@@ -1,0 +1,46 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// experiment in DESIGN.md §4. Each benchmark regenerates its table(s) per
+// iteration; run with
+//
+//	go test -bench=. -benchmem
+//
+// to reproduce every result. The tables themselves are printed by
+// cmd/experiments; here we verify they regenerate and measure harness cost.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tables []*metrics.Table
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables = e.Run(42)
+	}
+	if len(tables) == 0 {
+		b.Fatal("no tables produced")
+	}
+}
+
+func BenchmarkE1SkyComputingScaling(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE1cDataLocality(b *testing.B)       { benchExperiment(b, "E1c") }
+func BenchmarkE2ElasticCluster(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3aBroadcastChain(b *testing.B)     { benchExperiment(b, "E3a") }
+func BenchmarkE3bCoWStartup(b *testing.B)         { benchExperiment(b, "E3b") }
+func BenchmarkE4Shrinker(b *testing.B)            { benchExperiment(b, "E4") }
+func BenchmarkE5NetworkTransparency(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6PatternDetection(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7AutonomicAdaptation(b *testing.B) { benchExperiment(b, "E7") }
+func BenchmarkE8ElasticMapReduce(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9MigratableSpot(b *testing.B)      { benchExperiment(b, "E9") }
+func BenchmarkA1RegistryScope(b *testing.B)       { benchExperiment(b, "A1") }
+func BenchmarkA2DirtyRateSweep(b *testing.B)      { benchExperiment(b, "A2") }
+func BenchmarkA3ChunkSize(b *testing.B)           { benchExperiment(b, "A3") }

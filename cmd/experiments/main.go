@@ -1,0 +1,53 @@
+// Command experiments regenerates every table in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-seed N] [-markdown] [-run E4]
+//
+// With no -run flag all experiments execute in DESIGN.md order. -markdown
+// emits GitHub-flavoured tables (the format EXPERIMENTS.md records).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed (results are deterministic per seed)")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	runID := flag.String("run", "", "run a single experiment by ID (e.g. E4)")
+	flag.Parse()
+
+	exps := experiments.All()
+	if *runID != "" {
+		e, ok := experiments.ByID(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", *runID)
+			for _, x := range exps {
+				fmt.Fprintf(os.Stderr, " %s", x.ID)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		exps = []experiments.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		tables := e.Run(*seed)
+		elapsed := time.Since(start)
+		fmt.Printf("## %s — %s\n\n", e.ID, e.Claim)
+		for _, t := range tables {
+			if *markdown {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+		fmt.Printf("(regenerated in %.1fs wall-clock)\n\n", elapsed.Seconds())
+	}
+}

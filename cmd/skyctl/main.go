@@ -1,0 +1,135 @@
+// Command skyctl runs ad-hoc sky-computing scenarios from flags: build a
+// federation, launch a virtual cluster, optionally run a MapReduce job,
+// migrate it mid-run, and report the outcome. It is the CLI face of the
+// core library for quick what-if exploration.
+//
+// Examples:
+//
+//	skyctl -clouds 3 -vms 24 -job blast -maps 256
+//	skyctl -clouds 2 -vms 8 -job sort -maps 64 -migrate-at 60s -migrate-to cloud1
+//	skyctl -clouds 2 -vms 8 -spot -spike-at 2m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/nimbus"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		nClouds   = flag.Int("clouds", 2, "number of clouds in the federation")
+		hosts     = flag.Int("hosts", 16, "hosts per cloud")
+		vms       = flag.Int("vms", 16, "virtual cluster size (spread evenly)")
+		jobName   = flag.String("job", "blast", "job type: blast | sort | none")
+		maps      = flag.Int("maps", 128, "map task count")
+		reduces   = flag.Int("reduces", 4, "reduce task count (sort only)")
+		migrateAt = flag.Duration("migrate-at", 0, "migrate half the cluster at this time (0 = never)")
+		migrateTo = flag.String("migrate-to", "cloud1", "destination cloud for -migrate-at")
+		spot      = flag.Bool("spot", false, "use spot instances with migratable-spot enabled")
+		spikeAt   = flag.Duration("spike-at", 2*time.Minute, "spot price spike time (with -spot)")
+		wanMs     = flag.Int("wan-ms", 60, "inter-cloud one-way latency, ms")
+	)
+	flag.Parse()
+
+	f := core.NewFederation(*seed)
+	names := make([]string, *nClouds)
+	for i := range names {
+		names[i] = fmt.Sprintf("cloud%d", i)
+		c := f.AddCloud(nimbus.Config{
+			Name: names[i], Hosts: *hosts,
+			HostSpec: nimbus.HostSpec{Cores: 8, MemPages: 64 * 16384, Speed: 1.0},
+			NICBW:    125 << 20, WANUp: 125 << 20, WANDown: 125 << 20,
+			PricePerCoreHour: 0.08 + 0.04*float64(i),
+		})
+		m := vm.NewContentModel(*seed+int64(i)*17, "debian", 0.1, 0.5, 2048)
+		c.PutImage(vm.NewDiskImage("debian", 1024, 65536, m))
+	}
+	for i := 0; i < *nClouds; i++ {
+		for j := i + 1; j < *nClouds; j++ {
+			f.SetWANLatency(names[i], names[j], sim.Time(*wanMs)*sim.Millisecond)
+		}
+	}
+
+	dist := map[string]int{}
+	per := *vms / *nClouds
+	rem := *vms % *nClouds
+	for i, n := range names {
+		dist[n] = per
+		if i < rem {
+			dist[n]++
+		}
+	}
+
+	f.CreateCluster("skyctl", core.ClusterSpec{
+		Image: "debian", Cores: 2, MemPages: 8192, CoW: true,
+		Spot: *spot, Bid: 0.05,
+		Distribution: dist,
+	}, func(vc *core.VirtualCluster, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%v cluster up: %d VMs over %d clouds\n", f.K.Now(), vc.Size(), *nClouds)
+		if *spot {
+			vc.WireSpotMigration(names[0])
+			f.K.Schedule(sim.FromSeconds(spikeAt.Seconds()), func() {
+				fmt.Printf("t=%v spot price spike on %s\n", f.K.Now(), names[0])
+				f.Cloud(names[0]).Spot.ForcePrice(1.0)
+			})
+		}
+		var job mapreduce.Job
+		switch *jobName {
+		case "blast":
+			job = mapreduce.BlastJob(*maps)
+		case "sort":
+			job = mapreduce.SortJob(*maps, *reduces)
+		case "none":
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "unknown job %q\n", *jobName)
+			os.Exit(2)
+		}
+		err = vc.RunJob(job, func(res mapreduce.Result) {
+			t := metrics.NewTable("skyctl run", "metric", "value")
+			t.AddRowf("job", res.Job)
+			t.AddRowf("makespan", res.Makespan.String())
+			t.AddRowf("maps executed", res.MapsExecuted)
+			t.AddRowf("wasted maps", res.MapsExecuted-*maps)
+			t.AddRowf("cross-cloud shuffle", metrics.FmtBytes(res.CrossSiteShuffleBytes))
+			t.AddRowf("WAN bytes", metrics.FmtBytes(f.Net.TotalWANBytes()))
+			t.AddRowf("migrations", f.Migrations)
+			t.AddRowf("spot migrations / kills", fmt.Sprintf("%d / %d", f.SpotMigrations, f.SpotKills))
+			var cost float64
+			for _, c := range f.Clouds() {
+				cost += c.Cost()
+			}
+			t.AddRowf("compute cost ($)", cost)
+			fmt.Println(t)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *migrateAt > 0 {
+			f.K.Schedule(sim.FromSeconds(migrateAt.Seconds()), func() {
+				src := names[0]
+				movers := vc.VMsAt(src)
+				if len(movers) > 1 {
+					movers = movers[:len(movers)/2]
+				}
+				fmt.Printf("t=%v migrating %d VMs %s -> %s\n", f.K.Now(), len(movers), src, *migrateTo)
+				vc.MigrateWorkers(movers, *migrateTo, 2, nil)
+			})
+		}
+	})
+	f.K.Run()
+}

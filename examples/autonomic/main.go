@@ -1,0 +1,72 @@
+// Autonomic adaptation example (§III-C): a federation watches spot-market
+// style price signals and free capacity; the cost policy relocates a
+// running cluster to the cheaper cloud via inter-cloud live migration while
+// its job keeps executing.
+//
+//	go run ./examples/autonomic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/autonomic"
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/nimbus"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func main() {
+	f := core.NewFederation(5)
+	for i, d := range []struct {
+		name  string
+		price float64
+	}{{"cheap-cloud", 0.05}, {"pricey-cloud", 0.15}} {
+		c := f.AddCloud(nimbus.Config{
+			Name: d.name, Hosts: 8,
+			HostSpec: nimbus.HostSpec{Cores: 8, MemPages: 64 * 16384, Speed: 1.0},
+			NICBW:    125 << 20, WANUp: 125 << 20, WANDown: 125 << 20,
+			PricePerCoreHour: d.price,
+		})
+		m := vm.NewContentModel(int64(i)*13+1, "debian", 0.1, 0.5, 2048)
+		c.PutImage(vm.NewDiskImage("debian", 1024, 65536, m))
+	}
+	f.SetWANLatency("cheap-cloud", "pricey-cloud", 60*sim.Millisecond)
+
+	// Start, deliberately, on the expensive cloud.
+	f.CreateCluster("workload", core.ClusterSpec{
+		Image: "debian", Cores: 2, MemPages: 8192, CoW: true,
+		Distribution: map[string]int{"pricey-cloud": 4},
+	}, func(vc *core.VirtualCluster, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vc.RunJob(mapreduce.BlastJob(192), func(res mapreduce.Result) {
+			fmt.Printf("t=%v job finished: %d maps, %d wasted\n",
+				f.K.Now(), res.MapsExecuted, res.MapsExecuted-192)
+			fmt.Printf("cluster now at: cheap=%d pricey=%d VMs\n",
+				len(vc.VMsAt("cheap-cloud")), len(vc.VMsAt("pricey-cloud")))
+			var cost float64
+			for _, c := range f.Clouds() {
+				cost += c.Cost()
+			}
+			fmt.Printf("migrations: %d, WAN moved: %.1f MiB, compute cost: $%.3f\n",
+				f.Migrations, float64(f.MigrationBytes)/(1<<20), cost)
+			if eng := f.Engine(); eng != nil {
+				eng.Stop()
+				fmt.Printf("engine: %d evaluations, %d proposed, %d executed, %d rejected\n",
+					eng.Evaluations, eng.Proposed, eng.Executed, eng.Rejected)
+			}
+		}); err != nil {
+			log.Fatal(err)
+		}
+		// Keep workers bound to their (migrating) VMs.
+		eng := f.EnableAutonomic(30*sim.Second, autonomic.CostPolicy{Threshold: 0.3})
+		_ = eng
+		fmt.Printf("t=%v cluster of %d VMs on pricey-cloud, autonomic cost policy armed\n",
+			f.K.Now(), vc.Size())
+	})
+	f.K.Run()
+}

@@ -1,0 +1,73 @@
+// Elastic MapReduce example (§IV): submit a deadline job to the EMR service
+// over a three-cloud federation; watch it provision extra workers on the
+// cheapest cloud when the deadline is at risk, then release them.
+//
+//	go run ./examples/elastic-mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/emr"
+	"repro/internal/mapreduce"
+	"repro/internal/nimbus"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func main() {
+	f := core.NewFederation(7)
+	type cloudDef struct {
+		name  string
+		price float64
+		speed float64
+	}
+	for i, d := range []cloudDef{
+		{"private", 0.02, 1.0},  // cheap but ordinary
+		{"eu-cloud", 0.08, 1.2}, // mid
+		{"us-cloud", 0.20, 2.0}, // fast but expensive
+	} {
+		c := f.AddCloud(nimbus.Config{
+			Name: d.name, Hosts: 16,
+			HostSpec: nimbus.HostSpec{Cores: 8, MemPages: 64 * 16384, Speed: d.speed},
+			NICBW:    125 << 20, WANUp: 125 << 20, WANDown: 125 << 20,
+			PricePerCoreHour: d.price,
+		})
+		m := vm.NewContentModel(int64(i)*11+3, "debian", 0.1, 0.5, 2048)
+		c.PutImage(vm.NewDiskImage("debian", 1024, 65536, m))
+	}
+
+	f.CreateCluster("emr", core.ClusterSpec{
+		Image: "debian", Cores: 2, MemPages: 8192, CoW: true,
+		Distribution: map[string]int{"private": 4},
+	}, func(vc *core.VirtualCluster, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		job := mapreduce.Job{Name: "genomics", NumMaps: 160, NumReduces: 2,
+			MapCPU: 25, ReduceCPU: 5, ShuffleBytesPerMapPerReduce: 512 << 10}
+		deadline := f.K.Now() + 500*sim.Second
+
+		svc := emr.New(core.EMRAdapter{VC: vc}, emr.SelectCheapest)
+		err = svc.Submit(emr.JobSpec{Job: job, Deadline: deadline, SlotsPerWorker: 2},
+			func(rep emr.Report) {
+				fmt.Printf("job %q finished at %v (deadline %v)\n", rep.Job, rep.FinishedAt, rep.Deadline)
+				fmt.Printf("  deadline met: %v\n", rep.MetDeadline)
+				fmt.Printf("  scale-ups: %d, workers added: %d (policy: %s)\n",
+					rep.ScaleUps, rep.WorkersAdded, rep.Policy)
+				released := svc.ReleaseExtras(rep.WorkersAdded)
+				fmt.Printf("  released %d extra workers after completion\n", released)
+				var cost float64
+				for _, c := range f.Clouds() {
+					cost += c.Cost()
+				}
+				fmt.Printf("  total compute cost: $%.3f\n", cost)
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+	f.K.Run()
+}

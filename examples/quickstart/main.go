@@ -1,0 +1,67 @@
+// Quickstart: build a two-cloud federation, launch a virtual cluster
+// spanning both clouds, and run a BLAST-style MapReduce job across them —
+// the §II sky-computing scenario in ~60 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/nimbus"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func main() {
+	// A federation is a kernel + network + ViNe overlay + clouds.
+	f := core.NewFederation(42)
+	for i, name := range []string{"grid5000", "futuregrid"} {
+		c := f.AddCloud(nimbus.Config{
+			Name:             name,
+			Hosts:            8,
+			HostSpec:         nimbus.HostSpec{Cores: 8, MemPages: 64 * 16384, Speed: 1.0},
+			NICBW:            125 << 20, // 1 Gb/s NICs
+			WANUp:            125 << 20,
+			WANDown:          125 << 20,
+			PricePerCoreHour: 0.08 + 0.04*float64(i),
+		})
+		// Seed the base image at each site's repository.
+		m := vm.NewContentModel(int64(i)*7+1, "debian", 0.1, 0.5, 2048)
+		c.PutImage(vm.NewDiskImage("debian", 1024, 65536, m))
+	}
+	f.SetWANLatency("grid5000", "futuregrid", 60*sim.Millisecond) // transatlantic
+
+	// Provision a 16-VM virtual cluster: half in France, half in the USA.
+	f.CreateCluster("sky", core.ClusterSpec{
+		Image: "debian", Cores: 2, MemPages: 8192, CoW: true,
+		Distribution: map[string]int{"grid5000": 8, "futuregrid": 8},
+	}, func(vc *core.VirtualCluster, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cluster up: %d VMs across 2 clouds at t=%v\n", vc.Size(), f.K.Now())
+
+		// Run MapReduce BLAST over the federated cluster.
+		err = vc.RunJob(mapreduce.BlastJob(128), func(res mapreduce.Result) {
+			t := metrics.NewTable("BLAST on a sky-computing cluster",
+				"metric", "value")
+			t.AddRowf("makespan", res.Makespan.String())
+			t.AddRowf("maps executed", res.MapsExecuted)
+			t.AddRowf("shuffle volume", metrics.FmtBytes(res.ShuffleBytes))
+			t.AddRowf("cross-cloud shuffle", metrics.FmtBytes(res.CrossSiteShuffleBytes))
+			t.AddRowf("WAN bytes total", metrics.FmtBytes(f.Net.TotalWANBytes()))
+			fmt.Println(t)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// Drive the simulation to completion.
+	f.K.Run()
+}

@@ -1,0 +1,86 @@
+// Migratable spot instances example (§IV): run a job on spot VMs; when the
+// spot price spikes above the bid, the federation live-migrates the revoked
+// VMs to another cloud instead of killing them, and the job keeps all its
+// completed work.
+//
+//	go run ./examples/spot-migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/nimbus"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func main() {
+	for _, migratable := range []bool{false, true} {
+		mode := "kill + manual restart"
+		if migratable {
+			mode = "migratable spot (§IV)"
+		}
+		fmt.Printf("=== %s ===\n", mode)
+		run(migratable)
+		fmt.Println()
+	}
+}
+
+func run(migratable bool) {
+	f := core.NewFederation(21)
+	for i, name := range []string{"spot-cloud", "backup-cloud"} {
+		c := f.AddCloud(nimbus.Config{
+			Name: name, Hosts: 8,
+			HostSpec: nimbus.HostSpec{Cores: 8, MemPages: 64 * 16384, Speed: 1.0},
+			NICBW:    125 << 20, WANUp: 125 << 20, WANDown: 125 << 20,
+			PricePerCoreHour: 0.10,
+		})
+		m := vm.NewContentModel(int64(i)*5+2, "debian", 0.1, 0.5, 2048)
+		c.PutImage(vm.NewDiskImage("debian", 1024, 65536, m))
+	}
+	f.SetWANLatency("spot-cloud", "backup-cloud", 60*sim.Millisecond)
+
+	f.CreateCluster("spotjob", core.ClusterSpec{
+		Image: "debian", Cores: 2, MemPages: 8192, CoW: true,
+		Spot: true, Bid: 0.05,
+		Distribution: map[string]int{"spot-cloud": 6},
+	}, func(vc *core.VirtualCluster, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if migratable {
+			vc.WireSpotMigration("spot-cloud")
+		} else {
+			vc.WireSpotKill("spot-cloud")
+		}
+		err = vc.RunJob(mapreduce.BlastJob(96), func(res mapreduce.Result) {
+			fmt.Printf("job done at %v: %d maps executed (%d wasted)\n",
+				f.K.Now(), res.MapsExecuted, res.MapsExecuted-96)
+			fmt.Printf("spot events: %d migrations, %d kills\n",
+				f.SpotMigrations, f.SpotKills)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Price spike at t=120s: all six spot VMs are out-bid.
+		f.K.Schedule(120*sim.Second, func() {
+			fmt.Printf("t=%v: spot price spikes $0.05 -> $0.50\n", f.K.Now())
+			f.Cloud("spot-cloud").Spot.ForcePrice(0.50)
+		})
+		if !migratable {
+			// Without migratable spot, a user script must re-provision.
+			f.K.Schedule(150*sim.Second, func() {
+				vc.GrowOnDemand("backup-cloud", 6, func(err error) {
+					if err != nil {
+						log.Fatal(err)
+					}
+					fmt.Printf("t=%v: re-provisioned 6 on-demand replacements\n", f.K.Now())
+				})
+			})
+		}
+	})
+	f.K.Run()
+}

@@ -1,0 +1,295 @@
+package autonomic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netmon"
+	"repro/internal/sim"
+)
+
+// clusteredTraffic builds two chatty groups: a0..a3 talk among themselves,
+// b0..b3 likewise; negligible cross-group chatter.
+func clusteredTraffic() (vms []string, m netmon.Matrix) {
+	m = make(netmon.Matrix)
+	groupA := []string{"a0", "a1", "a2", "a3"}
+	groupB := []string{"b0", "b1", "b2", "b3"}
+	for _, g := range [][]string{groupA, groupB} {
+		for _, x := range g {
+			for _, y := range g {
+				if x != y {
+					m.Add(x, y, 1000)
+				}
+			}
+		}
+	}
+	m.Add("a0", "b0", 1) // faint cross traffic
+	return append(groupA, groupB...), m
+}
+
+func TestCommunicationAwareBeatsRoundRobin(t *testing.T) {
+	vms, traffic := clusteredTraffic()
+	sites := []string{"east", "west"}
+	cap := map[string]int{"east": 4, "west": 4}
+	rr := PlaceRoundRobin(vms, sites, cap)
+	ca := PlaceCommunicationAware(vms, traffic, sites, cap, nil)
+	RefineKL(ca, traffic, 100)
+	cutRR := CutBytes(rr, traffic)
+	cutCA := CutBytes(ca, traffic)
+	if cutCA >= cutRR {
+		t.Fatalf("comm-aware cut %d not below round-robin %d", cutCA, cutRR)
+	}
+	// Perfect split keeps only the faint cross edge: 1 byte.
+	if cutCA > 2 {
+		t.Fatalf("comm-aware cut %d, want <= 2", cutCA)
+	}
+}
+
+func TestPlacementRespectsCapacity(t *testing.T) {
+	vms, traffic := clusteredTraffic()
+	sites := []string{"east", "west"}
+	cap := map[string]int{"east": 3, "west": 5}
+	a := PlaceCommunicationAware(vms, traffic, sites, cap, nil)
+	counts := map[string]int{}
+	for _, s := range a {
+		counts[s]++
+	}
+	if counts["east"] > 3 || counts["west"] > 5 {
+		t.Fatalf("capacity violated: %v", counts)
+	}
+	if len(a) != 8 {
+		t.Fatalf("placed %d of 8", len(a))
+	}
+}
+
+func TestPlacementHonoursPins(t *testing.T) {
+	vms, traffic := clusteredTraffic()
+	sites := []string{"east", "west"}
+	cap := map[string]int{"east": 8, "west": 8}
+	fixed := Assignment{"a0": "west"}
+	a := PlaceCommunicationAware(vms, traffic, sites, cap, fixed)
+	if a["a0"] != "west" {
+		t.Fatal("pin ignored")
+	}
+	// Affinity should drag the rest of group A to west too.
+	for _, v := range []string{"a1", "a2", "a3"} {
+		if a[v] != "west" {
+			t.Fatalf("%s placed at %s, away from its pinned group", v, a[v])
+		}
+	}
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	a := PlaceRoundRobin([]string{"v1", "v2", "v3", "v4"}, []string{"s1", "s2"},
+		map[string]int{"s1": 10, "s2": 10})
+	counts := map[string]int{}
+	for _, s := range a {
+		counts[s]++
+	}
+	if counts["s1"] != 2 || counts["s2"] != 2 {
+		t.Fatalf("uneven spread: %v", counts)
+	}
+}
+
+func TestRefineKLImprovesBadAssignment(t *testing.T) {
+	_, traffic := clusteredTraffic()
+	// Deliberately interleaved (worst case) assignment.
+	bad := Assignment{"a0": "east", "a1": "west", "a2": "east", "a3": "west",
+		"b0": "east", "b1": "west", "b2": "east", "b3": "west"}
+	before := CutBytes(bad, traffic)
+	swaps := RefineKL(bad, traffic, 100)
+	after := CutBytes(bad, traffic)
+	if swaps == 0 || after >= before {
+		t.Fatalf("KL refinement: swaps=%d cut %d -> %d", swaps, before, after)
+	}
+}
+
+func TestCutBytesIgnoresUnknownVMs(t *testing.T) {
+	m := netmon.Matrix{{"x", "y"}: 100}
+	a := Assignment{"x": "east"} // y unplaced
+	if CutBytes(a, m) != 0 {
+		t.Fatal("cut counted an edge with an unplaced endpoint")
+	}
+}
+
+func TestCostPolicyMovesToCheaper(t *testing.T) {
+	s := &State{
+		Sites:     []string{"east", "west"},
+		Price:     map[string]float64{"east": 0.10, "west": 0.04},
+		FreeCores: map[string]int{"east": 0, "west": 8},
+		VMSite:    Assignment{"v1": "east", "v2": "east", "v3": "west"},
+		VMCores:   map[string]int{"v1": 2, "v2": 2, "v3": 2},
+	}
+	acts := CostPolicy{Threshold: 0.3}.Evaluate(s)
+	if len(acts) != 2 {
+		t.Fatalf("actions %v", acts)
+	}
+	for _, a := range acts {
+		if a.To != "west" || a.From != "east" {
+			t.Fatalf("bad action %v", a)
+		}
+	}
+}
+
+func TestCostPolicyHysteresis(t *testing.T) {
+	s := &State{
+		Sites:     []string{"east", "west"},
+		Price:     map[string]float64{"east": 0.10, "west": 0.09}, // only 10% cheaper
+		FreeCores: map[string]int{"east": 0, "west": 8},
+		VMSite:    Assignment{"v1": "east"},
+		VMCores:   map[string]int{"v1": 1},
+	}
+	if acts := (CostPolicy{Threshold: 0.3}).Evaluate(s); len(acts) != 0 {
+		t.Fatalf("hysteresis failed: %v", acts)
+	}
+}
+
+func TestCostPolicyRespectsCapacity(t *testing.T) {
+	s := &State{
+		Sites:     []string{"east", "west"},
+		Price:     map[string]float64{"east": 0.10, "west": 0.01},
+		FreeCores: map[string]int{"east": 0, "west": 3},
+		VMSite:    Assignment{"v1": "east", "v2": "east"},
+		VMCores:   map[string]int{"v1": 2, "v2": 2},
+	}
+	acts := CostPolicy{Threshold: 0.1}.Evaluate(s)
+	if len(acts) != 1 {
+		t.Fatalf("capacity-bounded actions: %v", acts)
+	}
+}
+
+func TestAvailabilityPolicyDrains(t *testing.T) {
+	s := &State{
+		Sites:     []string{"east", "west"},
+		FreeCores: map[string]int{"east": 1, "west": 20},
+		VMSite:    Assignment{"v1": "east", "v2": "west"},
+		VMCores:   map[string]int{"v1": 2, "v2": 2},
+	}
+	acts := AvailabilityPolicy{LowWatermark: 4}.Evaluate(s)
+	if len(acts) != 1 || acts[0].VM != "v1" || acts[0].To != "west" {
+		t.Fatalf("actions %v", acts)
+	}
+}
+
+func TestCommunicationPolicyProposesRegrouping(t *testing.T) {
+	vms, traffic := clusteredTraffic()
+	// Interleaved current placement.
+	cur := Assignment{}
+	for i, v := range vms {
+		if i%2 == 0 {
+			cur[v] = "east"
+		} else {
+			cur[v] = "west"
+		}
+	}
+	s := &State{
+		Sites:     []string{"east", "west"},
+		FreeCores: map[string]int{"east": 0, "west": 0},
+		VMSite:    cur,
+		VMCores:   map[string]int{},
+		Traffic:   traffic,
+	}
+	acts := CommunicationPolicy{MinGain: 1000}.Evaluate(s)
+	if len(acts) == 0 {
+		t.Fatal("no regrouping proposed for interleaved chatty groups")
+	}
+	// Applying the actions must reduce the cut.
+	after := Assignment{}
+	for v, site := range cur {
+		after[v] = site
+	}
+	for _, a := range acts {
+		after[a.VM] = a.To
+	}
+	if CutBytes(after, traffic) >= CutBytes(cur, traffic) {
+		t.Fatal("proposed actions do not reduce the cut")
+	}
+}
+
+func TestEngineExecutesAndCoolsDown(t *testing.T) {
+	k := sim.NewKernel(1)
+	price := map[string]float64{"east": 0.10, "west": 0.02}
+	vmSite := Assignment{"v1": "east"}
+	snapshot := func() *State {
+		vs := Assignment{}
+		for v, s := range vmSite {
+			vs[v] = s
+		}
+		return &State{
+			Sites: []string{"east", "west"}, Price: price,
+			FreeCores: map[string]int{"east": 4, "west": 4},
+			VMSite:    vs, VMCores: map[string]int{"v1": 1},
+		}
+	}
+	moves := 0
+	eng := NewEngine(k, snapshot, func(a Action) bool {
+		moves++
+		vmSite[a.VM] = a.To
+		return true
+	}, CostPolicy{Threshold: 0.3})
+	eng.Cooldown = 10 * sim.Minute
+	eng.Start(time30s)
+	// After the move, flip prices so the policy wants to move back, but the
+	// cooldown must hold it for 10 minutes.
+	k.Schedule(2*sim.Minute, func() { price["east"], price["west"] = 0.02, 0.10 })
+	k.RunUntil(5 * sim.Minute)
+	eng.Stop()
+	if moves != 1 {
+		t.Fatalf("moves=%d within cooldown window, want 1", moves)
+	}
+	if eng.Rejected == 0 {
+		t.Fatal("cooldown rejections not counted")
+	}
+	if eng.Evaluations == 0 || eng.Proposed < 2 {
+		t.Fatalf("engine stats: %+v", eng)
+	}
+}
+
+const time30s = 30 * sim.Second
+
+func TestEngineExecuteRejection(t *testing.T) {
+	k := sim.NewKernel(1)
+	snapshot := func() *State {
+		return &State{
+			Sites:     []string{"east", "west"},
+			Price:     map[string]float64{"east": 0.10, "west": 0.02},
+			FreeCores: map[string]int{"east": 4, "west": 4},
+			VMSite:    Assignment{"v1": "east"},
+			VMCores:   map[string]int{"v1": 1},
+		}
+	}
+	eng := NewEngine(k, snapshot, func(Action) bool { return false }, CostPolicy{Threshold: 0.3})
+	eng.Tick()
+	if eng.Executed != 0 || eng.Rejected != 1 {
+		t.Fatalf("stats %+v", eng)
+	}
+}
+
+// Property: communication-aware placement never produces a worse cut than
+// round-robin on the same instance (with equal capacities).
+func TestPropCommAwareNeverWorse(t *testing.T) {
+	f := func(seedEdges []uint16) bool {
+		vms := []string{"v0", "v1", "v2", "v3", "v4", "v5"}
+		traffic := make(netmon.Matrix)
+		for i, e := range seedEdges {
+			if len(traffic) > 20 {
+				break
+			}
+			a := vms[int(e)%len(vms)]
+			b := vms[(int(e)/7)%len(vms)]
+			if a != b {
+				traffic.Add(a, b, int64(e%977)+1)
+			}
+			_ = i
+		}
+		sites := []string{"s1", "s2"}
+		cap := map[string]int{"s1": 3, "s2": 3}
+		rr := PlaceRoundRobin(vms, sites, cap)
+		ca := PlaceCommunicationAware(vms, traffic, sites, cap, nil)
+		RefineKL(ca, traffic, 50)
+		return CutBytes(ca, traffic) <= CutBytes(rr, traffic)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

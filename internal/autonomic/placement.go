@@ -1,0 +1,162 @@
+// Package autonomic implements §III-C's adaptation layer: policies that
+// decide when to relocate VMs between clouds (price, availability, deadline
+// pressure) and a communication-aware placement algorithm that keeps
+// chatty VMs co-located to limit traffic crossing cloud boundaries — the
+// two reasons the paper gives being WAN latency and inter-cloud billing.
+package autonomic
+
+import (
+	"sort"
+
+	"repro/internal/netmon"
+)
+
+// Assignment maps VM name to site name.
+type Assignment map[string]string
+
+// CutBytes returns the traffic crossing site boundaries under an
+// assignment — the objective communication-aware placement minimises.
+func CutBytes(a Assignment, traffic netmon.Matrix) int64 {
+	var cut int64
+	for e, b := range traffic {
+		sa, oka := a[e[0]]
+		sb, okb := a[e[1]]
+		if oka && okb && sa != sb {
+			cut += b
+		}
+	}
+	return cut
+}
+
+// PlaceRoundRobin is the communication-oblivious baseline: VMs are spread
+// over sites in order, respecting capacity.
+func PlaceRoundRobin(vms []string, sites []string, capacity map[string]int) Assignment {
+	out := make(Assignment, len(vms))
+	left := make(map[string]int, len(capacity))
+	for s, c := range capacity {
+		left[s] = c
+	}
+	si := 0
+	for _, v := range vms {
+		placed := false
+		for try := 0; try < len(sites); try++ {
+			s := sites[(si+try)%len(sites)]
+			if left[s] > 0 {
+				out[v] = s
+				left[s]--
+				si = (si + try + 1) % len(sites)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			break // out of capacity; partial assignment
+		}
+	}
+	return out
+}
+
+// PlaceCommunicationAware greedily partitions VMs across sites to minimise
+// cross-site traffic: VMs are considered in order of decreasing total
+// traffic; each goes to the site where it has the most affinity (bytes
+// exchanged with VMs already placed there), subject to capacity. fixed
+// entries pin VMs to sites (e.g. VMs that cannot migrate).
+func PlaceCommunicationAware(vms []string, traffic netmon.Matrix, sites []string,
+	capacity map[string]int, fixed Assignment) Assignment {
+
+	out := make(Assignment, len(vms))
+	left := make(map[string]int, len(capacity))
+	for s, c := range capacity {
+		left[s] = c
+	}
+	for v, s := range fixed {
+		out[v] = s
+		left[s]--
+	}
+	// Total traffic per VM, for ordering.
+	vol := make(map[string]int64, len(vms))
+	for e, b := range traffic {
+		vol[e[0]] += b
+		vol[e[1]] += b
+	}
+	order := append([]string(nil), vms...)
+	sort.Slice(order, func(i, j int) bool {
+		if vol[order[i]] != vol[order[j]] {
+			return vol[order[i]] > vol[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	affinity := func(v, site string) int64 {
+		var a int64
+		for other, s := range out {
+			if s != site {
+				continue
+			}
+			a += traffic[[2]string{v, other}] + traffic[[2]string{other, v}]
+		}
+		return a
+	}
+	for _, v := range order {
+		if _, done := out[v]; done {
+			continue
+		}
+		bestSite := ""
+		var bestAff int64 = -1
+		bestLeft := -1
+		for _, s := range sites {
+			if left[s] <= 0 {
+				continue
+			}
+			a := affinity(v, s)
+			// Prefer affinity; tie-break on most free capacity (spread),
+			// then site name (determinism).
+			if a > bestAff || (a == bestAff && left[s] > bestLeft) {
+				bestSite, bestAff, bestLeft = s, a, left[s]
+			}
+		}
+		if bestSite == "" {
+			break // capacity exhausted
+		}
+		out[v] = bestSite
+		left[bestSite]--
+	}
+	return out
+}
+
+// RefineKL performs a bounded Kernighan–Lin-style refinement pass: consider
+// swapping pairs of VMs on different sites and apply swaps that reduce the
+// cut, up to maxSwaps. Returns the improved assignment (in place) and the
+// number of swaps applied.
+func RefineKL(a Assignment, traffic netmon.Matrix, maxSwaps int) int {
+	vms := make([]string, 0, len(a))
+	for v := range a {
+		vms = append(vms, v)
+	}
+	sort.Strings(vms)
+	swaps := 0
+	improved := true
+	for improved && swaps < maxSwaps {
+		improved = false
+		base := CutBytes(a, traffic)
+		for i := 0; i < len(vms) && swaps < maxSwaps; i++ {
+			for j := i + 1; j < len(vms); j++ {
+				vi, vj := vms[i], vms[j]
+				if a[vi] == a[vj] {
+					continue
+				}
+				a[vi], a[vj] = a[vj], a[vi]
+				if c := CutBytes(a, traffic); c < base {
+					base = c
+					swaps++
+					improved = true
+					if swaps >= maxSwaps {
+						break
+					}
+					continue
+				}
+				a[vi], a[vj] = a[vj], a[vi] // revert
+			}
+		}
+	}
+	return swaps
+}

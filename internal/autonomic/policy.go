@@ -1,0 +1,269 @@
+package autonomic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netmon"
+	"repro/internal/sim"
+)
+
+// State is the monitoring snapshot policies evaluate: per-site prices and
+// free capacity, current VM placement, and the observed traffic matrix
+// (from the netmon detector — this is where §III-C's two systems meet).
+type State struct {
+	Now       sim.Time
+	Sites     []string
+	Price     map[string]float64 // $/core-hour
+	FreeCores map[string]int
+	VMSite    Assignment
+	VMCores   map[string]int
+	Traffic   netmon.Matrix
+	// Deadline pressure: predicted completion vs deadline per job (used by
+	// the deadline policy; filled by the EMR service).
+	PredictedLate map[string]sim.Time // job -> predicted overrun
+}
+
+// Action is a proposed relocation.
+type Action struct {
+	VM     string
+	From   string
+	To     string
+	Reason string
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("migrate %s: %s -> %s (%s)", a.VM, a.From, a.To, a.Reason)
+}
+
+// Policy proposes relocations from a monitoring snapshot.
+type Policy interface {
+	Name() string
+	Evaluate(s *State) []Action
+}
+
+// CostPolicy migrates VMs away from sites whose price exceeds the cheapest
+// alternative by more than Threshold (relative), up to the destination's
+// free capacity. §III-C reason 2: "changes in resource cost".
+type CostPolicy struct {
+	// Threshold is the minimum relative saving to justify a move (e.g.
+	// 0.3 = only move for a >=30% cheaper site, hysteresis against churn).
+	Threshold float64
+}
+
+// Name implements Policy.
+func (CostPolicy) Name() string { return "cost" }
+
+// Evaluate implements Policy.
+func (p CostPolicy) Evaluate(s *State) []Action {
+	if len(s.Sites) < 2 {
+		return nil
+	}
+	cheapest := s.Sites[0]
+	for _, site := range s.Sites {
+		if s.Price[site] < s.Price[cheapest] {
+			cheapest = site
+		}
+	}
+	free := s.FreeCores[cheapest]
+	var acts []Action
+	for _, v := range sortedVMs(s.VMSite) {
+		site := s.VMSite[v]
+		if site == cheapest {
+			continue
+		}
+		if s.Price[site] <= 0 {
+			continue
+		}
+		saving := 1 - s.Price[cheapest]/s.Price[site]
+		if saving < p.Threshold {
+			continue
+		}
+		cores := s.VMCores[v]
+		if cores == 0 {
+			cores = 1
+		}
+		if free < cores {
+			continue
+		}
+		free -= cores
+		acts = append(acts, Action{VM: v, From: site, To: cheapest,
+			Reason: fmt.Sprintf("cost: %.0f%% cheaper at %s", saving*100, cheapest)})
+	}
+	return acts
+}
+
+// AvailabilityPolicy drains VMs from sites whose free capacity dropped
+// below LowWatermark cores (the provider is reclaiming resources, or local
+// demand grew), moving them to the site with the most headroom. §III-C
+// reason 1: "changes in resource availability".
+type AvailabilityPolicy struct {
+	LowWatermark int
+}
+
+// Name implements Policy.
+func (AvailabilityPolicy) Name() string { return "availability" }
+
+// Evaluate implements Policy.
+func (p AvailabilityPolicy) Evaluate(s *State) []Action {
+	if len(s.Sites) < 2 {
+		return nil
+	}
+	roomiest := s.Sites[0]
+	for _, site := range s.Sites {
+		if s.FreeCores[site] > s.FreeCores[roomiest] {
+			roomiest = site
+		}
+	}
+	free := s.FreeCores[roomiest]
+	var acts []Action
+	for _, v := range sortedVMs(s.VMSite) {
+		site := s.VMSite[v]
+		if site == roomiest || s.FreeCores[site] >= p.LowWatermark {
+			continue
+		}
+		cores := s.VMCores[v]
+		if cores == 0 {
+			cores = 1
+		}
+		if free-cores < p.LowWatermark {
+			continue // don't push the destination under water
+		}
+		free -= cores
+		acts = append(acts, Action{VM: v, From: site, To: roomiest,
+			Reason: fmt.Sprintf("availability: %s below %d free cores", site, p.LowWatermark)})
+	}
+	return acts
+}
+
+// CommunicationPolicy proposes moves that reduce cross-site traffic using
+// the observed traffic matrix: it recomputes a communication-aware
+// placement and emits the diff if the cut improves by at least MinGain
+// bytes. This is the "relocating subsets of a virtual cluster ... taking
+// into account communication patterns" mechanism.
+type CommunicationPolicy struct {
+	MinGain int64
+}
+
+// Name implements Policy.
+func (CommunicationPolicy) Name() string { return "communication" }
+
+// Evaluate implements Policy.
+func (p CommunicationPolicy) Evaluate(s *State) []Action {
+	if len(s.Sites) < 2 || len(s.Traffic) == 0 {
+		return nil
+	}
+	capacity := make(map[string]int, len(s.Sites))
+	for _, site := range s.Sites {
+		capacity[site] = s.FreeCores[site]
+	}
+	// Current VMs occupy their cores: placement may keep them in place.
+	for v, site := range s.VMSite {
+		cores := s.VMCores[v]
+		if cores == 0 {
+			cores = 1
+		}
+		capacity[site] += cores
+	}
+	vms := sortedVMs(s.VMSite)
+	proposed := PlaceCommunicationAware(vms, s.Traffic, s.Sites, capacity, nil)
+	RefineKL(proposed, s.Traffic, 64)
+	gain := CutBytes(s.VMSite, s.Traffic) - CutBytes(proposed, s.Traffic)
+	if gain < p.MinGain {
+		return nil
+	}
+	var acts []Action
+	for _, v := range vms {
+		if to, ok := proposed[v]; ok && to != s.VMSite[v] {
+			acts = append(acts, Action{VM: v, From: s.VMSite[v], To: to,
+				Reason: fmt.Sprintf("communication: cut -%d bytes", gain)})
+		}
+	}
+	return acts
+}
+
+func sortedVMs(a Assignment) []string {
+	out := make([]string, 0, len(a))
+	for v := range a {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine periodically evaluates policies against a snapshot provider and
+// hands actions to an executor (the federation layer, which performs the
+// actual inter-cloud live migrations).
+type Engine struct {
+	Policies []Policy
+	// Snapshot produces the current monitoring state.
+	Snapshot func() *State
+	// Execute performs one relocation; it returns false if the action was
+	// rejected (e.g. destination filled up meanwhile).
+	Execute func(Action) bool
+	// Cooldown suppresses re-migrating the same VM too soon.
+	Cooldown sim.Time
+
+	k          *sim.Kernel
+	lastMove   map[string]sim.Time
+	cancelTick func()
+
+	// Stats.
+	Evaluations int
+	Proposed    int
+	Executed    int
+	Rejected    int
+}
+
+// NewEngine builds an engine on the kernel. Call Start to begin the loop.
+func NewEngine(k *sim.Kernel, snapshot func() *State, execute func(Action) bool, policies ...Policy) *Engine {
+	return &Engine{
+		Policies: policies,
+		Snapshot: snapshot,
+		Execute:  execute,
+		Cooldown: 5 * sim.Minute,
+		k:        k,
+		lastMove: make(map[string]sim.Time),
+	}
+}
+
+// Start launches periodic evaluation every interval.
+func (e *Engine) Start(interval sim.Time) {
+	if e.cancelTick != nil {
+		return
+	}
+	e.cancelTick = e.k.Ticker(interval, e.Tick)
+}
+
+// Stop halts the loop.
+func (e *Engine) Stop() {
+	if e.cancelTick != nil {
+		e.cancelTick()
+		e.cancelTick = nil
+	}
+}
+
+// Tick runs one evaluation round immediately.
+func (e *Engine) Tick() {
+	e.Evaluations++
+	s := e.Snapshot()
+	now := e.k.Now()
+	for _, p := range e.Policies {
+		for _, a := range p.Evaluate(s) {
+			e.Proposed++
+			if last, ok := e.lastMove[a.VM]; ok && now-last < e.Cooldown {
+				e.Rejected++
+				continue
+			}
+			if e.Execute(a) {
+				e.Executed++
+				e.lastMove[a.VM] = now
+				// Keep the snapshot coherent for subsequent policies in
+				// this round.
+				s.VMSite[a.VM] = a.To
+			} else {
+				e.Rejected++
+			}
+		}
+	}
+}

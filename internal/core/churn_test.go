@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/migration"
+	"repro/internal/sim"
+)
+
+// Churn and failure-injection tests: the federation must keep its
+// bookkeeping consistent while clusters grow, shrink, and migrate
+// concurrently with a running job — the "dynamic nature of distributed
+// clouds" the thesis is about, exercised adversarially.
+
+func TestJobSurvivesRandomChurn(t *testing.T) {
+	f := fed(t)
+	vc := makeCluster(t, f, map[string]int{"g5k": 4, "futuregrid": 2})
+	var res mapreduce.Result
+	if err := vc.RunJob(mapreduce.BlastJob(96), func(r mapreduce.Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	// Inject churn on a schedule derived from the seeded kernel RNG:
+	// growth, shrink, and a cross-cloud migration, all mid-job.
+	f.K.Schedule(20*sim.Second, func() {
+		vc.Grow("futuregrid", 3, func(err error) {
+			if err != nil {
+				t.Errorf("grow failed: %v", err)
+			}
+		})
+	})
+	f.K.Schedule(60*sim.Second, func() { vc.Shrink("g5k", 2) })
+	f.K.Schedule(90*sim.Second, func() {
+		names := vc.VMsAt("g5k")
+		if len(names) > 0 {
+			vc.MigrateWorkers(names[:1], "futuregrid", 1, nil)
+		}
+	})
+	f.K.Schedule(150*sim.Second, func() {
+		vc.Grow("g5k", 2, func(error) {})
+	})
+	f.K.Run()
+	if res.Makespan == 0 {
+		t.Fatal("job did not survive churn")
+	}
+	if res.MapsExecuted < 96 {
+		t.Fatalf("maps executed %d < 96", res.MapsExecuted)
+	}
+	// Resource accounting must balance: free cores + used cores == total.
+	for _, c := range f.Clouds() {
+		used := 0
+		for _, h := range c.Hosts() {
+			used += h.Spec.Cores - h.FreeCores()
+		}
+		if c.FreeCores()+used != c.TotalCores() {
+			t.Fatalf("cloud %s core accounting broken: free=%d used=%d total=%d",
+				c.Name, c.FreeCores(), used, c.TotalCores())
+		}
+	}
+	// Every live VM must resolve in the overlay and on exactly one cloud.
+	for _, v := range vc.VMs() {
+		if f.Overlay.Lookup(v.VirtualIP) == nil {
+			t.Fatalf("VM %s lost its overlay address", v.Name)
+		}
+		hosts := 0
+		for _, c := range f.Clouds() {
+			if c.HostOf(v.Name) != nil {
+				hosts++
+			}
+		}
+		if hosts != 1 {
+			t.Fatalf("VM %s placed on %d clouds", v.Name, hosts)
+		}
+	}
+}
+
+func TestRepeatedMigrationPingPong(t *testing.T) {
+	// Migrating the same VM back and forth must converge every time and
+	// keep registries and the overlay coherent.
+	f := fed(t)
+	vc := makeCluster(t, f, map[string]int{"g5k": 1})
+	name := vc.VMsAt("g5k")[0]
+	hops := []string{"futuregrid", "g5k", "futuregrid", "g5k"}
+	var step func(idx int)
+	step = func(idx int) {
+		if idx >= len(hops) {
+			return
+		}
+		f.MigrateVM(name, hops[idx], DefaultMigrate(), func(_ migration.Result, err error) {
+			if err != nil {
+				t.Errorf("hop %d failed: %v", idx, err)
+				return
+			}
+			step(idx + 1)
+		})
+	}
+	step(0)
+	f.K.Run()
+	if got := f.CloudOf(name).Name; got != "g5k" {
+		t.Fatalf("ping-pong ended at %s, want g5k", got)
+	}
+	if f.Migrations != 4 {
+		t.Fatalf("migrations %d, want 4", f.Migrations)
+	}
+	v := f.VM(name)
+	if f.Overlay.RouteStale("futuregrid", v.VirtualIP) || f.Overlay.RouteStale("g5k", v.VirtualIP) {
+		t.Fatal("overlay stale after ping-pong")
+	}
+}
+
+func TestShrinkEverythingThenGrow(t *testing.T) {
+	f := fed(t)
+	vc := makeCluster(t, f, map[string]int{"g5k": 3})
+	if n := vc.Shrink("g5k", 3); n != 3 {
+		t.Fatalf("shrunk %d", n)
+	}
+	if vc.Size() != 0 {
+		t.Fatalf("size %d after full shrink", vc.Size())
+	}
+	var err error
+	vc.Grow("futuregrid", 2, func(e error) { err = e })
+	f.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Size() != 2 {
+		t.Fatalf("size %d after regrow", vc.Size())
+	}
+	// The revived cluster must run jobs.
+	var res mapreduce.Result
+	if err := vc.RunJob(mapreduce.BlastJob(8), func(r mapreduce.Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	f.K.Run()
+	if res.MapsExecuted != 8 {
+		t.Fatalf("revived cluster executed %d maps", res.MapsExecuted)
+	}
+}

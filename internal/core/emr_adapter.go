@@ -1,0 +1,61 @@
+package core
+
+import (
+	"repro/internal/emr"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+)
+
+// EMRAdapter exposes a VirtualCluster as an emr.Provider, letting the
+// Elastic MapReduce service provision workers through the federation.
+type EMRAdapter struct {
+	VC *VirtualCluster
+}
+
+var _ emr.Provider = EMRAdapter{}
+
+// Clouds implements emr.Provider.
+func (a EMRAdapter) Clouds() []emr.CloudInfo {
+	out := make([]emr.CloudInfo, 0, len(a.VC.f.clouds))
+	for _, c := range a.VC.f.Clouds() {
+		out = append(out, emr.CloudInfo{
+			Name:      c.Name,
+			Price:     a.VC.f.PriceOf(c.Name),
+			Speed:     c.HostSpeed(),
+			FreeCores: c.FreeCores(),
+		})
+	}
+	return out
+}
+
+// Grow implements emr.Provider.
+func (a EMRAdapter) Grow(cloud string, n int, onDone func(error)) {
+	a.VC.Grow(cloud, n, onDone)
+}
+
+// Shrink implements emr.Provider.
+func (a EMRAdapter) Shrink(cloud string, n int) int { return a.VC.Shrink(cloud, n) }
+
+// Cluster implements emr.Provider.
+func (a EMRAdapter) Cluster() *mapreduce.Cluster { return a.VC.mr }
+
+// Kernel implements emr.Provider.
+func (a EMRAdapter) Kernel() *sim.Kernel { return a.VC.f.K }
+
+// WorkerCapacity implements emr.Provider: aggregate slot-speed over the
+// cluster's live VMs.
+func (a EMRAdapter) WorkerCapacity() float64 {
+	speed := make(map[string]float64)
+	for _, c := range a.VC.f.Clouds() {
+		speed[c.Name] = c.HostSpeed()
+	}
+	var total float64
+	for _, v := range a.VC.VMs() {
+		s := 1.0
+		if c := a.VC.f.CloudOf(v.Name); c != nil {
+			s = speed[c.Name]
+		}
+		total += float64(a.VC.spec.Slots) * s
+	}
+	return total
+}

@@ -1,0 +1,134 @@
+package dedup
+
+import "repro/internal/vm"
+
+// Bloom is a Bloom filter over content IDs: the memory-bounded membership
+// index a production Shrinker registry front-ends its lookups with (the
+// research report discusses hash-registry memory as the scalability
+// limit; a Bloom filter answers "definitely absent" locally without a
+// round trip to the distributed store).
+//
+// False positives make the migrator skip a page body it actually needed —
+// the destination then fetches it on fault. FalsePositiveCost in
+// BloomRegistry accounts for that.
+type Bloom struct {
+	bits   []uint64
+	nBits  uint64
+	hashes int
+	n      int
+}
+
+// NewBloom sizes a filter for capacity items at roughly the given
+// false-positive rate using the standard m/n, k formulas, bounded to
+// sensible ranges.
+func NewBloom(capacity int, fpRate float64) *Bloom {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	// m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	m := int(float64(capacity) * 1.44 * log2Reciprocal(fpRate))
+	if m < 64 {
+		m = 64
+	}
+	k := int(0.693*float64(m)/float64(capacity) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	words := (m + 63) / 64
+	return &Bloom{bits: make([]uint64, words), nBits: uint64(words) * 64, hashes: k}
+}
+
+// log2Reciprocal returns log2(1/p) computed without math imports beyond
+// integer ops (p in (0,1)).
+func log2Reciprocal(p float64) float64 {
+	// Simple iterative log2 via frexp-like halving; precision is ample for
+	// sizing a filter.
+	inv := 1 / p
+	l := 0.0
+	for inv >= 2 {
+		inv /= 2
+		l++
+	}
+	// Linear interpolation on the remaining fraction.
+	l += inv - 1
+	return l
+}
+
+// mix expands a content ID into the i-th hash value (splitmix-style).
+func mix(c vm.ContentID, i int) uint64 {
+	x := uint64(c) + uint64(i)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a content ID.
+func (b *Bloom) Add(c vm.ContentID) {
+	for i := 0; i < b.hashes; i++ {
+		bit := mix(c, i) % b.nBits
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+	b.n++
+}
+
+// MayContain reports whether c might be present (false = definitely not).
+func (b *Bloom) MayContain(c vm.ContentID) bool {
+	for i := 0; i < b.hashes; i++ {
+		bit := mix(c, i) % b.nBits
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of inserted items.
+func (b *Bloom) Len() int { return b.n }
+
+// BloomRegistry fronts a Registry with a Bloom filter, counting how often
+// the filter's false positives would have cost an extra page fetch.
+type BloomRegistry struct {
+	Reg   *Registry
+	Bloom *Bloom
+
+	// FalsePositives counts lookups the filter passed but the registry
+	// missed (each costs one destination-side page fault in Shrinker).
+	FalsePositives int64
+	// Saved counts lookups the filter rejected locally (no round trip).
+	Saved int64
+}
+
+// NewBloomRegistry wraps reg with a filter sized for capacity entries.
+func NewBloomRegistry(reg *Registry, capacity int, fpRate float64) *BloomRegistry {
+	return &BloomRegistry{Reg: reg, Bloom: NewBloom(capacity, fpRate)}
+}
+
+// Lookup consults the filter first; only filter-positive lookups reach the
+// backing registry.
+func (br *BloomRegistry) Lookup(c vm.ContentID) bool {
+	if !br.Bloom.MayContain(c) {
+		br.Saved++
+		br.Reg.Misses++
+		return false
+	}
+	hit := br.Reg.Lookup(c)
+	if !hit {
+		br.FalsePositives++
+	}
+	return hit
+}
+
+// Register records content in both the registry and the filter.
+func (br *BloomRegistry) Register(c vm.ContentID) {
+	br.Reg.Register(c)
+	br.Bloom.Add(c)
+}

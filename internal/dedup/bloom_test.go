@@ -1,0 +1,93 @@
+package dedup
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 1; i <= 1000; i++ {
+		b.Add(vm.ContentID(i * 7919))
+	}
+	for i := 1; i <= 1000; i++ {
+		if !b.MayContain(vm.ContentID(i * 7919)) {
+			t.Fatalf("false negative for %d", i*7919)
+		}
+	}
+	if b.Len() != 1000 {
+		t.Fatalf("Len %d", b.Len())
+	}
+}
+
+func TestBloomFalsePositiveRateReasonable(t *testing.T) {
+	b := NewBloom(10000, 0.01)
+	for i := 1; i <= 10000; i++ {
+		b.Add(vm.ContentID(i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 1; i <= probes; i++ {
+		if b.MayContain(vm.ContentID(1_000_000 + i*13)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Fatalf("false-positive rate %.4f too high for 1%% target", rate)
+	}
+}
+
+func TestBloomDegenerateParams(t *testing.T) {
+	b := NewBloom(0, 2.0) // clamped
+	b.Add(5)
+	if !b.MayContain(5) {
+		t.Fatal("clamped filter lost an element")
+	}
+}
+
+func TestBloomRegistryCounters(t *testing.T) {
+	br := NewBloomRegistry(NewRegistry("s"), 1000, 0.01)
+	br.Register(42)
+	if !br.Lookup(42) {
+		t.Fatal("registered content missed")
+	}
+	// Many absent lookups: most should be saved by the filter.
+	for i := 1; i <= 1000; i++ {
+		if br.Lookup(vm.ContentID(1_000_000 + i)) {
+			t.Fatal("phantom hit")
+		}
+	}
+	if br.Saved == 0 {
+		t.Fatal("filter never rejected locally")
+	}
+	if br.Saved+br.FalsePositives != 1000 {
+		t.Fatalf("saved %d + fp %d != 1000", br.Saved, br.FalsePositives)
+	}
+	// Registry miss counter must reflect every absent lookup.
+	if br.Reg.Misses != 1000 {
+		t.Fatalf("registry misses %d", br.Reg.Misses)
+	}
+}
+
+// Property: anything added is always MayContain (no false negatives),
+// regardless of the insertion set.
+func TestPropBloomComplete(t *testing.T) {
+	f := func(ids []uint32) bool {
+		b := NewBloom(len(ids)+1, 0.02)
+		for _, id := range ids {
+			b.Add(vm.ContentID(id))
+		}
+		for _, id := range ids {
+			if !b.MayContain(vm.ContentID(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package dedup
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+func TestLookupRegister(t *testing.T) {
+	r := NewRegistry("site:test")
+	c := vm.ContentID(42)
+	if r.Lookup(c) {
+		t.Fatal("empty registry reported a hit")
+	}
+	r.Register(c)
+	if !r.Lookup(c) {
+		t.Fatal("registered content not found")
+	}
+	if r.Hits != 1 || r.Misses != 1 || r.Registrations != 1 {
+		t.Fatalf("counters hits=%d misses=%d regs=%d", r.Hits, r.Misses, r.Registrations)
+	}
+	// Duplicate registration is idempotent.
+	r.Register(c)
+	if r.Registrations != 1 || r.Len() != 1 {
+		t.Fatal("duplicate Register changed state")
+	}
+}
+
+func TestContainsDoesNotCount(t *testing.T) {
+	r := NewRegistry("s")
+	r.Register(7)
+	_ = r.Contains(7)
+	_ = r.Contains(8)
+	if r.Hits != 0 || r.Misses != 0 {
+		t.Fatal("Contains must not touch counters")
+	}
+}
+
+func TestSeedFromMemory(t *testing.T) {
+	m := vm.NewContentModel(1, "img", 0.2, 0.6, 100)
+	mem := vm.NewMemory(1000, m)
+	r := NewRegistry("s")
+	r.SeedFromMemory(mem)
+	for i := 0; i < mem.NumPages(); i++ {
+		if !r.Contains(mem.Page(i)) {
+			t.Fatalf("page %d missing after seed", i)
+		}
+	}
+	// Registry should be much smaller than page count: zero page + pool.
+	if r.Len() >= 1000 {
+		t.Fatalf("no dedup in seeded registry: %d entries", r.Len())
+	}
+}
+
+func TestSeedFromDisk(t *testing.T) {
+	m := vm.NewContentModel(1, "img", 0, 0.9, 50)
+	d := vm.NewDiskImage("base", 500, 4096, m)
+	r := NewRegistry("s")
+	r.SeedFromDisk(d)
+	for i := 0; i < d.NumBlocks(); i++ {
+		if !r.Contains(d.Read(i)) {
+			t.Fatalf("block %d missing after seed", i)
+		}
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	r := NewRegistry("s")
+	if r.HitRate() != 0 {
+		t.Fatal("empty registry hit rate should be 0")
+	}
+	r.Register(1)
+	r.Lookup(1)
+	r.Lookup(2)
+	r.Lookup(1)
+	if hr := r.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Fatalf("hit rate %.3f, want 2/3", hr)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry("s")
+	r.Register(1)
+	r.Lookup(1)
+	r.Reset()
+	if r.Len() != 0 || r.Hits != 0 || r.Misses != 0 || r.Registrations != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+// Property: after registering any set, every member is a hit and Len equals
+// the number of distinct elements.
+func TestPropRegistryComplete(t *testing.T) {
+	f := func(ids []uint32) bool {
+		r := NewRegistry("p")
+		distinct := make(map[vm.ContentID]bool)
+		for _, id := range ids {
+			c := vm.ContentID(id)
+			r.Register(c)
+			distinct[c] = true
+		}
+		for c := range distinct {
+			if !r.Contains(c) {
+				return false
+			}
+		}
+		return r.Len() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package deploy implements the VM image deployment mechanisms from §II of
+// the paper: a Kastafior-style broadcast chain for pushing image data to
+// many hosts, a naive unicast baseline, and a copy-on-write image store
+// giving near-instant VM creation once the base image is cached.
+package deploy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/vm"
+)
+
+// Result reports one propagation run.
+type Result struct {
+	Strategy   string
+	Targets    int
+	ImageBytes int64
+	Start      sim.Time
+	AllDone    sim.Time   // when the last target holds the full image
+	PerTarget  []sim.Time // completion time per target, same order as input
+	BytesMoved int64      // total bytes placed on the network
+}
+
+// Elapsed returns the wall-clock (virtual) propagation time.
+func (r Result) Elapsed() sim.Time { return r.AllDone - r.Start }
+
+// Strategy distributes an image from a repository node to target hosts.
+type Strategy interface {
+	Name() string
+	// Propagate starts the distribution and calls onDone with the result
+	// when every target holds the image.
+	Propagate(net *simnet.Network, repo *simnet.Node, targets []*simnet.Node, imageBytes int64, onDone func(Result))
+}
+
+// Unicast is the baseline: the repository streams the full image to every
+// target concurrently, so the repository NIC divides among the targets.
+type Unicast struct{}
+
+// Name implements Strategy.
+func (Unicast) Name() string { return "unicast" }
+
+// Propagate implements Strategy.
+func (Unicast) Propagate(net *simnet.Network, repo *simnet.Node, targets []*simnet.Node, imageBytes int64, onDone func(Result)) {
+	res := Result{
+		Strategy:   "unicast",
+		Targets:    len(targets),
+		ImageBytes: imageBytes,
+		Start:      net.K.Now(),
+		PerTarget:  make([]sim.Time, len(targets)),
+		BytesMoved: imageBytes * int64(len(targets)),
+	}
+	if len(targets) == 0 {
+		net.K.Schedule(0, func() { res.AllDone = net.K.Now(); onDone(res) })
+		return
+	}
+	remaining := len(targets)
+	for i, tgt := range targets {
+		i := i
+		net.StartFlow(repo, tgt, imageBytes, "image-unicast", func() {
+			res.PerTarget[i] = net.K.Now()
+			remaining--
+			if remaining == 0 {
+				res.AllDone = net.K.Now()
+				onDone(res)
+			}
+		})
+	}
+}
+
+// Chain is the Kastafior-style broadcast chain: hosts form a pipeline
+// repo -> h0 -> h1 -> ... -> hN. The image is cut into chunks; each host
+// forwards a chunk downstream as soon as it has fully received it. In steady
+// state every hop carries one chunk concurrently, so total time approaches
+// image/bandwidth + (N-1) * chunk/bandwidth instead of N * image/bandwidth.
+type Chain struct {
+	// ChunkBytes is the pipeline granularity. Zero means 32 MiB, the value
+	// the TeraGrid'10 deployment used.
+	ChunkBytes int64
+	// PerChunkOverhead is the fixed per-chunk per-hop protocol cost
+	// (acknowledgement round + write barrier). Zero means 5 ms. This is
+	// what makes very small chunks counterproductive (ablation A3).
+	PerChunkOverhead sim.Time
+}
+
+// Name implements Strategy.
+func (c Chain) Name() string { return "chain" }
+
+// Propagate implements Strategy.
+func (c Chain) Propagate(net *simnet.Network, repo *simnet.Node, targets []*simnet.Node, imageBytes int64, onDone func(Result)) {
+	chunk := c.ChunkBytes
+	if chunk <= 0 {
+		chunk = 32 << 20
+	}
+	overhead := c.PerChunkOverhead
+	if overhead == 0 {
+		overhead = 5 * sim.Millisecond
+	}
+	res := Result{
+		Strategy:   "chain",
+		Targets:    len(targets),
+		ImageBytes: imageBytes,
+		Start:      net.K.Now(),
+		PerTarget:  make([]sim.Time, len(targets)),
+		BytesMoved: imageBytes * int64(len(targets)),
+	}
+	if len(targets) == 0 {
+		net.K.Schedule(0, func() { res.AllDone = net.K.Now(); onDone(res) })
+		return
+	}
+	nChunks := int((imageBytes + chunk - 1) / chunk)
+	lastChunkBytes := imageBytes - int64(nChunks-1)*chunk
+	chunkSize := func(i int) int64 {
+		if i == nChunks-1 {
+			return lastChunkBytes
+		}
+		return chunk
+	}
+	// nodes[0] = repo, nodes[1..] = targets in given order.
+	nodes := append([]*simnet.Node{repo}, targets...)
+	// have[h] = number of consecutive chunks fully received by nodes[h].
+	have := make([]int, len(nodes))
+	have[0] = nChunks
+	// sending[h] = true while hop h (nodes[h] -> nodes[h+1]) has a flow.
+	sending := make([]bool, len(nodes))
+	remaining := len(targets)
+
+	var pump func(h int)
+	chunkLanded := func(h, next int) {
+		sending[h] = false
+		have[h+1] = next + 1
+		if have[h+1] == nChunks {
+			res.PerTarget[h] = net.K.Now()
+			remaining--
+			if remaining == 0 {
+				res.AllDone = net.K.Now()
+				onDone(res)
+				return
+			}
+		}
+		pump(h)     // keep this hop busy
+		pump(h + 1) // downstream may now proceed
+	}
+	pump = func(h int) {
+		// Hop h forwards from nodes[h] to nodes[h+1].
+		if h+1 >= len(nodes) || sending[h] {
+			return
+		}
+		next := have[h+1]
+		if next >= have[h] || next >= nChunks {
+			return
+		}
+		sending[h] = true
+		net.StartFlow(nodes[h], nodes[h+1], chunkSize(next), "image-chain", func() {
+			// Per-chunk acknowledgement/write barrier before the chunk is
+			// forwardable.
+			net.K.Schedule(overhead, func() { chunkLanded(h, next) })
+		})
+	}
+	pump(0)
+}
+
+// ImageMeta describes an image stored in a Store.
+type ImageMeta struct {
+	Name  string
+	Bytes int64
+}
+
+// Store is a per-site image repository with a cache of base images,
+// supporting the copy-on-write creation path: if the base image is cached,
+// creating a VM disk costs only CowMetadataBytes of transfer and
+// CowCreateLatency of time.
+type Store struct {
+	Site   string
+	images map[string]*vm.DiskImage
+	// CowMetadataBytes is the backing-file metadata copied per CoW clone.
+	CowMetadataBytes int64
+	// CowCreateLatency is the local qcow2-style creation latency.
+	CowCreateLatency sim.Time
+}
+
+// NewStore returns a store with defaults matching the prototype:
+// 1 MiB of metadata per clone, 200 ms creation latency.
+func NewStore(site string) *Store {
+	return &Store{
+		Site:             site,
+		images:           make(map[string]*vm.DiskImage),
+		CowMetadataBytes: 1 << 20,
+		CowCreateLatency: 200 * sim.Millisecond,
+	}
+}
+
+// Put caches a base image.
+func (s *Store) Put(img *vm.DiskImage) { s.images[img.Name] = img }
+
+// Has reports whether the named base image is cached.
+func (s *Store) Has(name string) bool { _, ok := s.images[name]; return ok }
+
+// Get returns a cached base image, or nil.
+func (s *Store) Get(name string) *vm.DiskImage { return s.images[name] }
+
+// Images returns cached image names, sorted.
+func (s *Store) Images() []string {
+	out := make([]string, 0, len(s.images))
+	for n := range s.images {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone creates a CoW overlay of the named base image. It returns an error
+// if the base is not cached (the caller must propagate it first).
+func (s *Store) Clone(base, cloneName string) (*vm.DiskImage, error) {
+	b, ok := s.images[base]
+	if !ok {
+		return nil, fmt.Errorf("deploy: base image %q not cached at site %s", base, s.Site)
+	}
+	return vm.NewCoWImage(cloneName, b), nil
+}

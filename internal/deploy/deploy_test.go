@@ -1,0 +1,169 @@
+package deploy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/vm"
+)
+
+const MB = 1 << 20
+
+// lanCluster builds one site with a repo node and n hosts, all 125 MB/s NICs.
+func lanCluster(n int) (*sim.Kernel, *simnet.Network, *simnet.Node, []*simnet.Node) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	s := net.AddSite("cloud", 125*MB, 125*MB)
+	repo := s.AddNode("repo", 125*MB)
+	hosts := make([]*simnet.Node, n)
+	for i := range hosts {
+		hosts[i] = s.AddNode(nodeName(i), 125*MB)
+	}
+	return k, net, repo, hosts
+}
+
+func nodeName(i int) string { return "host" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestUnicastSingleTarget(t *testing.T) {
+	k, net, repo, hosts := lanCluster(1)
+	var res Result
+	Unicast{}.Propagate(net, repo, hosts, 125*MB, func(r Result) { res = r })
+	k.Run()
+	// 125 MB at 125 MB/s = 1 s.
+	if e := res.Elapsed().Seconds(); e < 0.99 || e > 1.02 {
+		t.Fatalf("unicast to 1 host took %.3fs, want ~1s", e)
+	}
+}
+
+func TestUnicastScalesLinearly(t *testing.T) {
+	elapsed := func(n int) float64 {
+		k, net, repo, hosts := lanCluster(n)
+		var res Result
+		Unicast{}.Propagate(net, repo, hosts, 125*MB, func(r Result) { res = r })
+		k.Run()
+		return res.Elapsed().Seconds()
+	}
+	e1, e4, e8 := elapsed(1), elapsed(4), elapsed(8)
+	// Repo NIC is the bottleneck: time grows linearly with target count.
+	if e4 < 3.8*e1 || e4 > 4.2*e1 {
+		t.Fatalf("unicast x4 = %.2fs vs x1 = %.2fs, want ~4x", e4, e1)
+	}
+	if e8 < 7.6*e1 || e8 > 8.4*e1 {
+		t.Fatalf("unicast x8 = %.2fs vs x1 = %.2fs, want ~8x", e8, e1)
+	}
+}
+
+func TestChainNearlyFlatInTargets(t *testing.T) {
+	elapsed := func(n int) float64 {
+		k, net, repo, hosts := lanCluster(n)
+		var res Result
+		Chain{ChunkBytes: 8 * MB}.Propagate(net, repo, hosts, 128*MB, func(r Result) { res = r })
+		k.Run()
+		if res.Targets != n {
+			t.Fatalf("result target count %d != %d", res.Targets, n)
+		}
+		return res.Elapsed().Seconds()
+	}
+	e1, e16 := elapsed(1), elapsed(16)
+	// Chain: ~S/bw + (n-1)*chunk/bw. For 128MB/125MBps + 15*8MB/125MBps
+	// that is ~1.02 + 0.96 ≈ 2x single, while unicast x16 would be 16x.
+	if e16 > 2.5*e1 {
+		t.Fatalf("chain x16 = %.2fs vs x1 = %.2fs; pipeline broken", e16, e1)
+	}
+}
+
+func TestChainBeatsUnicastAtScale(t *testing.T) {
+	const n = 32
+	run := func(s Strategy) float64 {
+		k, net, repo, hosts := lanCluster(n)
+		var res Result
+		s.Propagate(net, repo, hosts, 256*MB, func(r Result) { res = r })
+		k.Run()
+		return res.Elapsed().Seconds()
+	}
+	uni := run(Unicast{})
+	chain := run(Chain{ChunkBytes: 16 * MB})
+	if chain >= uni/4 {
+		t.Fatalf("chain (%.1fs) should beat unicast (%.1fs) by >4x at 32 hosts", chain, uni)
+	}
+}
+
+func TestChainAllTargetsComplete(t *testing.T) {
+	k, net, repo, hosts := lanCluster(5)
+	var res Result
+	Chain{ChunkBytes: 4 * MB}.Propagate(net, repo, hosts, 10*MB, func(r Result) { res = r })
+	k.Run()
+	for i, tt := range res.PerTarget {
+		if tt == 0 {
+			t.Fatalf("target %d never completed", i)
+		}
+		if i > 0 && tt < res.PerTarget[i-1] {
+			t.Fatalf("chain target %d finished before its upstream", i)
+		}
+	}
+	if res.AllDone != res.PerTarget[len(res.PerTarget)-1] {
+		t.Fatal("AllDone != last target completion")
+	}
+}
+
+func TestChainUnevenLastChunk(t *testing.T) {
+	k, net, repo, hosts := lanCluster(2)
+	var res Result
+	// 10 MB with 4 MB chunks: chunks of 4,4,2.
+	Chain{ChunkBytes: 4 * MB}.Propagate(net, repo, hosts, 10*MB, func(r Result) { res = r })
+	k.Run()
+	if res.AllDone == 0 {
+		t.Fatal("chain with uneven chunks never finished")
+	}
+	if res.BytesMoved != 20*MB {
+		t.Fatalf("bytes moved %d, want 20 MB", res.BytesMoved)
+	}
+}
+
+func TestPropagateZeroTargets(t *testing.T) {
+	k, net, repo, _ := lanCluster(1)
+	doneU, doneC := false, false
+	Unicast{}.Propagate(net, repo, nil, MB, func(Result) { doneU = true })
+	Chain{}.Propagate(net, repo, nil, MB, func(Result) { doneC = true })
+	k.Run()
+	if !doneU || !doneC {
+		t.Fatal("zero-target propagation must still call onDone")
+	}
+}
+
+func TestStoreCoWClone(t *testing.T) {
+	st := NewStore("cloud")
+	m := vm.NewContentModel(1, "debian", 0, 0.5, 100)
+	base := vm.NewDiskImage("debian", 1000, 65536, m)
+	st.Put(base)
+	if !st.Has("debian") || st.Get("debian") != base {
+		t.Fatal("store lost the base image")
+	}
+	c, err := st.Clone("debian", "vm0-disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsCoW() || c.Base() != base {
+		t.Fatal("clone is not CoW over the cached base")
+	}
+	if _, err := st.Clone("missing", "x"); err == nil {
+		t.Fatal("clone of uncached base must fail")
+	}
+	if imgs := st.Images(); len(imgs) != 1 || imgs[0] != "debian" {
+		t.Fatalf("Images() = %v", imgs)
+	}
+}
+
+func TestChainDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		k, net, repo, hosts := lanCluster(8)
+		var res Result
+		Chain{ChunkBytes: 2 * MB}.Propagate(net, repo, hosts, 32*MB, func(r Result) { res = r })
+		k.Run()
+		return res.AllDone
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("chain nondeterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,242 @@
+// Package emr implements §IV's Elastic MapReduce service over federated
+// clouds: jobs carry deadlines; the service monitors progress, predicts the
+// completion time, and when the prediction slips past the deadline it
+// provisions additional workers on a cloud chosen by a resource-selection
+// policy (cheapest or fastest), shrinking back after the job completes.
+package emr
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+)
+
+// CloudInfo is what resource selection sees about one member cloud.
+type CloudInfo struct {
+	Name      string
+	Price     float64 // $/core-hour (current signal, spot or on-demand)
+	Speed     float64 // relative CPU speed of its hosts
+	FreeCores int
+}
+
+// Provider is the provisioning backend (implemented by core.VirtualCluster
+// via core.EMRAdapter).
+type Provider interface {
+	Clouds() []CloudInfo
+	// Grow adds n workers on the named cloud.
+	Grow(cloud string, n int, onDone func(error))
+	// Shrink removes up to n workers from the named cloud, returning how
+	// many were removed.
+	Shrink(cloud string, n int) int
+	// Cluster is the execution framework the workers join.
+	Cluster() *mapreduce.Cluster
+	// Kernel exposes the simulation clock.
+	Kernel() *sim.Kernel
+	// WorkerCapacity returns the cluster's aggregate slot-speed product
+	// (sum over workers of Slots * Speed).
+	WorkerCapacity() float64
+}
+
+// SelectionPolicy picks where extra workers come from.
+type SelectionPolicy int
+
+// Resource-selection policies (§IV: "policies for resource selection").
+const (
+	// SelectCheapest minimises $/core-hour.
+	SelectCheapest SelectionPolicy = iota
+	// SelectFastest maximises host speed.
+	SelectFastest
+)
+
+func (p SelectionPolicy) String() string {
+	if p == SelectFastest {
+		return "fastest"
+	}
+	return "cheapest"
+}
+
+// JobSpec is a deadline job.
+type JobSpec struct {
+	Job mapreduce.Job
+	// Deadline is absolute virtual time.
+	Deadline sim.Time
+	// MaxExtraWorkers bounds elastic growth (0 = unbounded).
+	MaxExtraWorkers int
+	// SlotsPerWorker mirrors the cluster's worker slot count, used by the
+	// growth computation. Zero means 2.
+	SlotsPerWorker int
+}
+
+// Report summarises one job run.
+type Report struct {
+	Job          string
+	Result       mapreduce.Result
+	Deadline     sim.Time
+	FinishedAt   sim.Time
+	MetDeadline  bool
+	ScaleUps     int
+	WorkersAdded int
+	Policy       SelectionPolicy
+}
+
+// Service is the elastic MapReduce front end.
+type Service struct {
+	Prov   Provider
+	Policy SelectionPolicy
+	// CheckInterval is the progress-monitoring period. Default 30 s.
+	CheckInterval sim.Time
+	// Margin is slack subtracted from the deadline when deciding to scale
+	// (provisioning itself takes time). Default 90 s.
+	Margin sim.Time
+}
+
+// New returns a service with default tuning.
+func New(p Provider, policy SelectionPolicy) *Service {
+	return &Service{Prov: p, Policy: policy, CheckInterval: 30 * sim.Second, Margin: 90 * sim.Second}
+}
+
+// Submit runs the job, scaling the cluster to chase the deadline.
+func (s *Service) Submit(spec JobSpec, onDone func(Report)) error {
+	if spec.SlotsPerWorker <= 0 {
+		spec.SlotsPerWorker = 2
+	}
+	k := s.Prov.Kernel()
+	rep := Report{Job: spec.Job.Name, Deadline: spec.Deadline, Policy: s.Policy}
+	finished := false
+	err := s.Prov.Cluster().Run(spec.Job, func(r mapreduce.Result) {
+		finished = true
+		rep.Result = r
+		rep.FinishedAt = k.Now()
+		rep.MetDeadline = k.Now() <= spec.Deadline
+		if onDone != nil {
+			onDone(rep)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	growing := false
+	var cancel func()
+	cancel = k.Ticker(s.CheckInterval, func() {
+		if finished {
+			cancel()
+			return
+		}
+		if growing {
+			return
+		}
+		eta := s.predictETA(spec)
+		if eta <= spec.Deadline-s.Margin {
+			return
+		}
+		need := s.workersNeeded(spec, eta)
+		if spec.MaxExtraWorkers > 0 && rep.WorkersAdded+need > spec.MaxExtraWorkers {
+			need = spec.MaxExtraWorkers - rep.WorkersAdded
+		}
+		if need <= 0 {
+			return
+		}
+		cloud, grant := s.selectCloud(need)
+		if grant <= 0 {
+			return
+		}
+		growing = true
+		s.Prov.Grow(cloud, grant, func(err error) {
+			growing = false
+			if err == nil {
+				rep.ScaleUps++
+				rep.WorkersAdded += grant
+			}
+		})
+	})
+	return nil
+}
+
+// predictETA estimates job completion from current progress and capacity.
+func (s *Service) predictETA(spec JobSpec) sim.Time {
+	k := s.Prov.Kernel()
+	mapsDone, mapsTotal, reducesDone, reducesTotal := s.Prov.Cluster().Progress()
+	capacity := s.Prov.WorkerCapacity()
+	if capacity <= 0 {
+		return sim.Time(math.MaxInt64 / 2)
+	}
+	job := spec.Job
+	mapWork := float64(mapsTotal-mapsDone) * (job.MapCPU + float64(job.MapInputBytes)/(100<<20))
+	reduceWork := float64(reducesTotal-reducesDone) * job.ReduceCPU
+	// Shuffle adds a latency-ish tail we approximate with its serialised
+	// volume over a conservative 10 MB/s effective per-reduce rate.
+	shuffle := float64(job.NumMaps) * float64(job.ShuffleBytesPerMapPerReduce) / (10 << 20)
+	eta := (mapWork + reduceWork) / capacity
+	return k.Now() + sim.FromSeconds(eta+shuffle)
+}
+
+// workersNeeded sizes the growth so the remaining work fits before the
+// deadline.
+func (s *Service) workersNeeded(spec JobSpec, eta sim.Time) int {
+	k := s.Prov.Kernel()
+	timeLeft := (spec.Deadline - s.Margin - k.Now()).Seconds()
+	if timeLeft <= 0 {
+		timeLeft = s.CheckInterval.Seconds() // already late: grow aggressively
+	}
+	capacity := s.Prov.WorkerCapacity()
+	workNeeded := (eta - k.Now()).Seconds() * capacity // slot-speed-seconds
+	requiredCapacity := workNeeded / timeLeft
+	deficit := requiredCapacity - capacity
+	if deficit <= 0 {
+		return 0
+	}
+	return int(math.Ceil(deficit / float64(spec.SlotsPerWorker)))
+}
+
+// selectCloud applies the resource-selection policy, returning the chosen
+// cloud and how many workers it can actually take.
+func (s *Service) selectCloud(want int) (string, int) {
+	clouds := s.Prov.Clouds()
+	sort.Slice(clouds, func(i, j int) bool {
+		a, b := clouds[i], clouds[j]
+		switch s.Policy {
+		case SelectFastest:
+			if a.Speed != b.Speed {
+				return a.Speed > b.Speed
+			}
+		default:
+			if a.Price != b.Price {
+				return a.Price < b.Price
+			}
+		}
+		return a.Name < b.Name
+	})
+	for _, c := range clouds {
+		if c.FreeCores <= 0 {
+			continue
+		}
+		grant := want
+		if c.FreeCores < grant {
+			grant = c.FreeCores
+		}
+		return c.Name, grant
+	}
+	return "", 0
+}
+
+// ReleaseExtras shrinks the cluster by n workers after job completion,
+// preferring the most expensive cloud first.
+func (s *Service) ReleaseExtras(n int) int {
+	clouds := s.Prov.Clouds()
+	sort.Slice(clouds, func(i, j int) bool {
+		if clouds[i].Price != clouds[j].Price {
+			return clouds[i].Price > clouds[j].Price
+		}
+		return clouds[i].Name < clouds[j].Name
+	})
+	released := 0
+	for _, c := range clouds {
+		if released >= n {
+			break
+		}
+		released += s.Prov.Shrink(c.Name, n-released)
+	}
+	return released
+}

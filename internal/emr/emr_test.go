@@ -1,0 +1,244 @@
+package emr
+
+import (
+	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const MB = 1 << 20
+
+// fakeProvider backs the service with a real mapreduce cluster on a
+// synthetic two-cloud network, with scripted prices and speeds.
+type fakeProvider struct {
+	k       *sim.Kernel
+	net     *simnet.Network
+	cluster *mapreduce.Cluster
+	sites   map[string]*simnet.Site
+	price   map[string]float64
+	speed   map[string]float64
+	free    map[string]int
+	slots   int
+	seq     int
+	grows   []string
+}
+
+func newFakeProvider(initial int) *fakeProvider {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	p := &fakeProvider{
+		k: k, net: net,
+		cluster: mapreduce.NewCluster(net),
+		sites:   map[string]*simnet.Site{},
+		price:   map[string]float64{"cheap": 0.04, "fast": 0.20},
+		speed:   map[string]float64{"cheap": 1.0, "fast": 2.0},
+		free:    map[string]int{"cheap": 32, "fast": 32},
+		slots:   2,
+	}
+	for name := range p.price {
+		p.sites[name] = net.AddSite(name, 125*MB, 125*MB)
+	}
+	for i := 0; i < initial; i++ {
+		p.addWorker("cheap")
+	}
+	return p
+}
+
+func (p *fakeProvider) addWorker(cloud string) {
+	p.seq++
+	id := cloud + "-w" + string(rune('a'+p.seq%26)) + string(rune('0'+p.seq/26))
+	node := p.sites[cloud].AddNode(id, 125*MB)
+	p.cluster.AddWorker(id, node, p.speed[cloud], p.slots)
+	p.free[cloud] -= p.slots
+}
+
+func (p *fakeProvider) Clouds() []CloudInfo {
+	var out []CloudInfo
+	for name := range p.price {
+		out = append(out, CloudInfo{Name: name, Price: p.price[name],
+			Speed: p.speed[name], FreeCores: p.free[name]})
+	}
+	return out
+}
+
+func (p *fakeProvider) Grow(cloud string, n int, onDone func(error)) {
+	p.grows = append(p.grows, cloud)
+	// Provisioning takes 30s (propagation + boot).
+	p.k.Schedule(30*sim.Second, func() {
+		for i := 0; i < n; i++ {
+			p.addWorker(cloud)
+		}
+		onDone(nil)
+	})
+}
+
+func (p *fakeProvider) Shrink(cloud string, n int) int {
+	removed := 0
+	for _, id := range p.cluster.Workers() {
+		if removed >= n {
+			break
+		}
+		if len(id) >= len(cloud) && id[:len(cloud)] == cloud {
+			p.cluster.RemoveWorker(id)
+			p.free[cloud] += p.slots
+			removed++
+		}
+	}
+	return removed
+}
+
+func (p *fakeProvider) Cluster() *mapreduce.Cluster { return p.cluster }
+func (p *fakeProvider) Kernel() *sim.Kernel         { return p.k }
+func (p *fakeProvider) WorkerCapacity() float64 {
+	var total float64
+	for _, id := range p.cluster.Workers() {
+		for cloud, sp := range p.speed {
+			if len(id) >= len(cloud) && id[:len(cloud)] == cloud {
+				total += float64(p.slots) * sp
+			}
+		}
+	}
+	return total
+}
+
+// deadlineJob: 128 maps x 20s = 2560 slot-seconds. Two workers (4 slots)
+// would take ~640s.
+func deadlineJob() mapreduce.Job {
+	return mapreduce.Job{Name: "dl", NumMaps: 128, NumReduces: 1,
+		MapCPU: 20, ReduceCPU: 1, ShuffleBytesPerMapPerReduce: 1024}
+}
+
+func TestStaticClusterMissesTightDeadline(t *testing.T) {
+	p := newFakeProvider(2)
+	var res mapreduce.Result
+	if err := p.cluster.Run(deadlineJob(), func(r mapreduce.Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	p.k.Run()
+	if res.Makespan < 300*sim.Second {
+		t.Fatalf("static makespan %v suspiciously fast", res.Makespan)
+	}
+}
+
+func TestElasticMeetsDeadline(t *testing.T) {
+	p := newFakeProvider(2)
+	svc := New(p, SelectCheapest)
+	deadline := 300 * sim.Second
+	var rep Report
+	done := false
+	if err := svc.Submit(JobSpec{Job: deadlineJob(), Deadline: deadline, SlotsPerWorker: 2},
+		func(r Report) { rep = r; done = true }); err != nil {
+		t.Fatal(err)
+	}
+	p.k.Run()
+	if !done {
+		t.Fatal("job never finished")
+	}
+	if !rep.MetDeadline {
+		t.Fatalf("elastic service missed the deadline: finished %v > %v (added %d workers)",
+			rep.FinishedAt, deadline, rep.WorkersAdded)
+	}
+	if rep.ScaleUps == 0 || rep.WorkersAdded == 0 {
+		t.Fatalf("no scaling happened: %+v", rep)
+	}
+}
+
+func TestCheapestPolicyPicksCheapCloud(t *testing.T) {
+	p := newFakeProvider(2)
+	svc := New(p, SelectCheapest)
+	if err := svc.Submit(JobSpec{Job: deadlineJob(), Deadline: 300 * sim.Second},
+		nil); err != nil {
+		t.Fatal(err)
+	}
+	p.k.Run()
+	if len(p.grows) == 0 {
+		t.Fatal("no growth")
+	}
+	for _, c := range p.grows {
+		if c != "cheap" {
+			t.Fatalf("cheapest policy grew on %q", c)
+		}
+	}
+}
+
+func TestFastestPolicyPicksFastCloud(t *testing.T) {
+	p := newFakeProvider(2)
+	svc := New(p, SelectFastest)
+	if err := svc.Submit(JobSpec{Job: deadlineJob(), Deadline: 300 * sim.Second},
+		nil); err != nil {
+		t.Fatal(err)
+	}
+	p.k.Run()
+	if len(p.grows) == 0 {
+		t.Fatal("no growth")
+	}
+	for _, c := range p.grows {
+		if c != "fast" {
+			t.Fatalf("fastest policy grew on %q", c)
+		}
+	}
+}
+
+func TestLooseDeadlineNoScaling(t *testing.T) {
+	p := newFakeProvider(8)
+	svc := New(p, SelectCheapest)
+	var rep Report
+	// 128 maps x 20s over 16 slots = 160s; deadline 20 min is loose.
+	if err := svc.Submit(JobSpec{Job: deadlineJob(), Deadline: 20 * sim.Minute},
+		func(r Report) { rep = r }); err != nil {
+		t.Fatal(err)
+	}
+	p.k.Run()
+	if !rep.MetDeadline {
+		t.Fatal("loose deadline missed")
+	}
+	if rep.WorkersAdded != 0 {
+		t.Fatalf("scaled %d workers with a loose deadline", rep.WorkersAdded)
+	}
+}
+
+func TestMaxExtraWorkersBound(t *testing.T) {
+	p := newFakeProvider(1)
+	svc := New(p, SelectCheapest)
+	var rep Report
+	if err := svc.Submit(JobSpec{Job: deadlineJob(), Deadline: 200 * sim.Second,
+		MaxExtraWorkers: 3}, func(r Report) { rep = r }); err != nil {
+		t.Fatal(err)
+	}
+	p.k.Run()
+	if rep.WorkersAdded > 3 {
+		t.Fatalf("bound violated: added %d", rep.WorkersAdded)
+	}
+}
+
+func TestReleaseExtrasPrefersExpensive(t *testing.T) {
+	p := newFakeProvider(2)
+	p.addWorker("fast")
+	p.addWorker("fast")
+	svc := New(p, SelectCheapest)
+	released := svc.ReleaseExtras(2)
+	if released != 2 {
+		t.Fatalf("released %d", released)
+	}
+	for _, id := range p.cluster.Workers() {
+		if id[:4] == "fast" {
+			t.Fatalf("expensive worker %s kept while cheap ones exist", id)
+		}
+	}
+}
+
+func TestSubmitErrorPropagates(t *testing.T) {
+	p := newFakeProvider(1)
+	svc := New(p, SelectCheapest)
+	if err := svc.Submit(JobSpec{Job: mapreduce.Job{Name: "bad"}}, nil); err == nil {
+		t.Fatal("invalid job must error")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if SelectCheapest.String() != "cheapest" || SelectFastest.String() != "fastest" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dedup"
+	"repro/internal/deploy"
+	"repro/internal/metrics"
+	"repro/internal/migration"
+	"repro/internal/nimbus"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/vm"
+)
+
+// E3aBroadcastChain reproduces §II's image-deployment result: the Kastafior
+// broadcast chain distributes a VM image to N hosts in near-constant time
+// while unicast degrades linearly.
+func E3aBroadcastChain(seed int64) []*metrics.Table {
+	t := metrics.NewTable("E3a: 1 GiB image propagation, broadcast chain vs unicast",
+		"hosts", "unicast (s)", "chain (s)", "speedup")
+	for _, n := range []int{2, 8, 32, 128} {
+		times := map[string]float64{}
+		for _, strat := range []deploy.Strategy{deploy.Unicast{}, deploy.Chain{}} {
+			k := sim.NewKernel(seed)
+			net := simnet.New(k)
+			s := net.AddSite("cloud", 125*mb, 125*mb)
+			repo := s.AddNode("repo", 125*mb)
+			hosts := make([]*simnet.Node, n)
+			for i := range hosts {
+				hosts[i] = s.AddNode(fmt.Sprintf("h%03d", i), 125*mb)
+			}
+			var res deploy.Result
+			strat.Propagate(net, repo, hosts, 1*gb, func(r deploy.Result) { res = r })
+			k.Run()
+			times[strat.Name()] = res.Elapsed().Seconds()
+		}
+		t.AddRowf(n, times["unicast"], times["chain"],
+			fmt.Sprintf("%.1fx", times["unicast"]/times["chain"]))
+	}
+	return []*metrics.Table{t}
+}
+
+// E3bCoWStartup reproduces §II's copy-on-write result: near-instant VM
+// creation once the base image is cached.
+func E3bCoWStartup(seed int64) []*metrics.Table {
+	t := metrics.NewTable("E3b: 16-VM cluster startup, full-copy vs CoW images (1 GiB base)",
+		"mode", "propagation (s)", "ready (s)")
+	run := func(label string, cow, warm bool) {
+		f := newFederation(seed, 1)
+		c := f.Cloud("cloud0")
+		m := vm.NewContentModel(seed, "big", 0.1, 0.5, 2048)
+		c.PutImage(vm.NewDiskImage("big", 16384, 65536, m)) // 1 GiB
+		deployOnce := func(onDone func(d nimbus.Deployment)) {
+			c.Deploy(nimbus.DeployRequest{
+				NamePrefix: "e3b-", Count: 16, Image: "big",
+				Cores: 1, MemPages: 4096, CoW: cow,
+			}, func(d nimbus.Deployment) {
+				if d.Err != nil {
+					panic(d.Err)
+				}
+				onDone(d)
+			})
+		}
+		var prop, ready sim.Time
+		if warm {
+			deployOnce(func(d nimbus.Deployment) {
+				// Free the hosts, then redeploy: the image is now cached
+				// host-side so propagation is skipped entirely.
+				for _, v := range d.VMs {
+					c.Terminate(v)
+				}
+				deployOnce(func(d2 nimbus.Deployment) {
+					prop, ready = d2.PropagationTime, d2.ReadyTime
+				})
+			})
+		} else {
+			deployOnce(func(d nimbus.Deployment) { prop, ready = d.PropagationTime, d.ReadyTime })
+		}
+		f.K.Run()
+		t.AddRowf(label, prop.Seconds(), ready.Seconds())
+	}
+	run("full copy, cold cache", false, false)
+	run("CoW, cold cache", true, false)
+	run("CoW, warm cache", true, true)
+	return []*metrics.Table{t}
+}
+
+// workloads for E4/A1/A2, matching the Shrinker report's evaluation set.
+var migrationWorkloads = []struct {
+	name string
+	mk   func(m *vm.ContentModel, seed int64) *vm.Workload
+}{
+	{"idle", vm.IdleWorkload},
+	{"webserver", vm.WebServerWorkload},
+	{"kernelbuild", vm.KernelBuildWorkload},
+}
+
+// shrinkerCluster builds nVMs 64-MiB VMs with literature-typical content
+// redundancy on a src/dst WAN pair and returns everything E4-style
+// experiments need.
+func shrinkerCluster(seed int64, nVMs int, workload func(*vm.ContentModel, int64) *vm.Workload) (
+	*sim.Kernel, *simnet.Network, []migration.Move) {
+	k := sim.NewKernel(seed)
+	net := simnet.New(k)
+	a := net.AddSite("src-cloud", 125*mb, 125*mb)
+	b := net.AddSite("dst-cloud", 125*mb, 125*mb)
+	net.SetSiteLatency("src-cloud", "dst-cloud", 60*sim.Millisecond)
+	src := a.AddNode("src-host", 1*gb)
+	dst := b.AddNode("dst-host", 1*gb)
+	moves := make([]migration.Move, nVMs)
+	for i := range moves {
+		m := vm.NewContentModel(seed+int64(i)*31, "debian", 0.10, 0.35, 8192)
+		v := vm.New(fmt.Sprintf("vm%02d", i), "debian", 2, 16384, m, nil)
+		v.Attach(workload(m, seed+int64(i)*101))
+		moves[i] = migration.Move{VM: v, Src: src, Dst: dst}
+	}
+	return k, net, moves
+}
+
+// E4Shrinker reproduces §III-A's headline numbers: Shrinker reduces
+// migration time by ~20% and WAN bandwidth by 30-40% depending on workload,
+// for live migration of an 8-VM virtual cluster over a WAN.
+func E4Shrinker(seed int64) []*metrics.Table {
+	t := metrics.NewTable("E4: 8-VM virtual cluster live migration over WAN, pre-copy vs Shrinker",
+		"workload", "method", "total (s)", "max downtime (ms)", "WAN traffic", "bandwidth saving", "time saving")
+	for _, w := range migrationWorkloads {
+		var baseline migration.ClusterResult
+		for _, useShrinker := range []bool{false, true} {
+			k, net, moves := shrinkerCluster(seed, 8, w.mk)
+			opts := migration.Options{MigrateDisk: false}
+			method := "pre-copy"
+			if useShrinker {
+				opts.Registry = dedup.NewRegistry("site:dst-cloud")
+				method = "Shrinker"
+			}
+			var cres migration.ClusterResult
+			migration.MigrateCluster(net, moves, opts, 2, func(c migration.ClusterResult) { cres = c })
+			k.Run()
+			wan := net.WANBytes("src-cloud", "dst-cloud")
+			if !useShrinker {
+				baseline = cres
+				t.AddRowf(w.name, method, cres.TotalTime.Seconds(),
+					float64(cres.MaxDowntime)/float64(sim.Millisecond),
+					metrics.FmtBytes(wan), "-", "-")
+				continue
+			}
+			bwSave := 1 - float64(cres.WireBytes)/float64(baseline.WireBytes)
+			timeSave := 1 - cres.TotalTime.Seconds()/baseline.TotalTime.Seconds()
+			t.AddRowf(w.name, method, cres.TotalTime.Seconds(),
+				float64(cres.MaxDowntime)/float64(sim.Millisecond),
+				metrics.FmtBytes(wan), metrics.FmtPct(bwSave), metrics.FmtPct(timeSave))
+		}
+	}
+	return []*metrics.Table{t}
+}
+
+// A1RegistryScope is the DESIGN.md ablation: Shrinker's site-wide registry
+// (inter-VM dedup) vs a per-VM destination-node registry (the
+// Sapuntzakis/Tolia-era approach) vs no dedup.
+func A1RegistryScope(seed int64) []*metrics.Table {
+	t := metrics.NewTable("A1: registry scope ablation, 8-VM cluster migration (webserver workload)",
+		"registry scope", "WAN traffic", "bandwidth saving", "pages deduped")
+	var baselineWire int64
+	for _, scope := range []string{"none", "node (per-VM)", "site-wide (Shrinker)"} {
+		k, net, moves := shrinkerCluster(seed, 8, vm.WebServerWorkload)
+		var cres migration.ClusterResult
+		switch scope {
+		case "none":
+			migration.MigrateCluster(net, moves, migration.Options{}, 2,
+				func(c migration.ClusterResult) { cres = c })
+			k.Run()
+		case "node (per-VM)":
+			// A fresh registry per VM: only intra-VM duplicates found.
+			done := 0
+			for i := range moves {
+				i := i
+				opts := migration.Options{Registry: dedup.NewRegistry(fmt.Sprintf("node:%d", i))}
+				migration.Live(net, moves[i].VM, moves[i].Src, moves[i].Dst, opts,
+					func(r migration.Result) {
+						cres.Results = append(cres.Results, r)
+						cres.WireBytes += r.WireBytes
+						cres.RawBytes += r.RawBytes
+						done++
+					})
+			}
+			k.Run()
+		default:
+			migration.MigrateCluster(net, moves,
+				migration.Options{Registry: dedup.NewRegistry("site:dst")}, 2,
+				func(c migration.ClusterResult) { cres = c })
+			k.Run()
+		}
+		var deduped int64
+		for _, r := range cres.Results {
+			deduped += r.PagesDeduped
+		}
+		if scope == "none" {
+			baselineWire = cres.WireBytes
+			t.AddRowf(scope, metrics.FmtBytes(cres.WireBytes), "-", deduped)
+			continue
+		}
+		save := 1 - float64(cres.WireBytes)/float64(baselineWire)
+		t.AddRowf(scope, metrics.FmtBytes(cres.WireBytes), metrics.FmtPct(save), deduped)
+	}
+	return []*metrics.Table{t}
+}
+
+// A2DirtyRateSweep is the convergence ablation: as the guest dirties pages
+// faster, pre-copy degrades toward stop-and-copy and Shrinker's advantage
+// shifts from time to downtime.
+func A2DirtyRateSweep(seed int64) []*metrics.Table {
+	t := metrics.NewTable("A2: dirty-rate sensitivity, single 64-MiB VM over WAN",
+		"dirty rate (pages/s)", "precopy total (s)", "precopy downtime (ms)",
+		"shrinker total (s)", "shrinker downtime (ms)", "time saving")
+	for _, rate := range []float64{100, 1000, 5000, 20000, 60000} {
+		var results [2]migration.Result
+		for i, useReg := range []bool{false, true} {
+			k := sim.NewKernel(seed)
+			net := simnet.New(k)
+			a := net.AddSite("s", 125*mb, 125*mb)
+			b := net.AddSite("d", 125*mb, 125*mb)
+			net.SetSiteLatency("s", "d", 60*sim.Millisecond)
+			src := a.AddNode("sh", 1*gb)
+			dst := b.AddNode("dh", 1*gb)
+			m := vm.NewContentModel(seed, "debian", 0.15, 0.40, 4096)
+			v := vm.New("vm0", "debian", 2, 16384, m, nil)
+			v.Attach(vm.NewWorkload("sweep", rate, 0.3, 0.8, 0.3, m, seed+7))
+			opts := migration.Options{}
+			if useReg {
+				opts.Registry = dedup.NewRegistry("site:d")
+			}
+			var res migration.Result
+			migration.Live(net, v, src, dst, opts, func(r migration.Result) { res = r })
+			k.Run()
+			results[i] = res
+		}
+		p, s := results[0], results[1]
+		t.AddRowf(int(rate), p.TotalTime.Seconds(),
+			float64(p.Downtime)/float64(sim.Millisecond),
+			s.TotalTime.Seconds(), float64(s.Downtime)/float64(sim.Millisecond),
+			metrics.FmtPct(1-s.TotalTime.Seconds()/p.TotalTime.Seconds()))
+	}
+	return []*metrics.Table{t}
+}

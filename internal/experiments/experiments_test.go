@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsProduceTables smoke-runs every experiment at a fixed
+// seed and checks each yields non-empty tables. Individual result *shapes*
+// are asserted in the focused tests below.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are long; skipped in -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(7)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				s := tb.String()
+				if len(strings.Split(strings.TrimSpace(s), "\n")) < 3 {
+					t.Fatalf("%s table empty:\n%s", e.ID, s)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E4"); !ok {
+		t.Fatal("E4 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown ID found")
+	}
+}
+
+func TestE4ShrinkerShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := E4Shrinker(7)
+	out := tables[0].String()
+	// The table must contain both methods for all three workloads.
+	for _, want := range []string{"idle", "webserver", "kernelbuild", "Shrinker", "pre-copy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E4 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE5SurvivalShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := E5NetworkTransparency(7)
+	out := tables[0].String()
+	if !strings.Contains(out, "off (state of the art)") || !strings.Contains(out, "on (§III-B)") {
+		t.Fatalf("E5 table malformed:\n%s", out)
+	}
+}

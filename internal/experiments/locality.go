@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/deploy"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// E1cDataLocality extends E1 with the DFS layer under the virtual Hadoop
+// cluster: maps scheduled on replica holders read locally, everything else
+// streams input over the (possibly inter-cloud) network — quantifying why
+// the paper's BLAST runs keep input site-local.
+func E1cDataLocality(seed int64) []*metrics.Table {
+	t := metrics.NewTable("E1c: HDFS data locality under a 2-cloud MapReduce cluster (32 x 64 MiB splits)",
+		"scheduling", "makespan (s)", "node-local", "site-local", "remote", "input over network")
+	for _, locality := range []bool{true, false} {
+		k := sim.NewKernel(seed)
+		net := simnet.New(k)
+		sites := []*simnet.Site{
+			net.AddSite("east", 60*mb, 60*mb),
+			net.AddSite("west", 60*mb, 60*mb),
+		}
+		net.SetSiteLatency("east", "west", 60*sim.Millisecond)
+		var nodes []*simnet.Node
+		for i := 0; i < 8; i++ {
+			nodes = append(nodes, sites[i%2].AddNode(fmt.Sprintf("w%02d", i), 125*mb))
+		}
+		fs := hdfs.New(net, hdfs.Config{BlockSize: 64 * mb, Replication: 2}, nodes, seed+5)
+		var file *hdfs.File
+		// External loader (nil writer): replicas spread over all datanodes
+		// on both sites, as after a balanced ingest.
+		fs.Write("dataset", 32*64*mb, nil, func(f *hdfs.File, err error) {
+			if err != nil {
+				panic(err)
+			}
+			file = f
+		})
+		k.Run()
+		cl := mapreduce.NewCluster(net)
+		for i, n := range nodes {
+			cl.AddWorker(fmt.Sprintf("w%02d", i), n, 1, 2)
+		}
+		job := mapreduce.Job{Name: "scan", NumMaps: len(file.Blocks), NumReduces: 1,
+			MapCPU: 10, ReduceCPU: 2, ShuffleBytesPerMapPerReduce: 64 << 10}
+		job.Splits = hdfs.MapSplits(file)
+		job.IgnoreLocality = !locality
+		var res mapreduce.Result
+		if err := cl.Run(job, func(r mapreduce.Result) { res = r }); err != nil {
+			panic(err)
+		}
+		k.Run()
+		label := "locality-aware (Hadoop)"
+		if !locality {
+			label = "locality-oblivious"
+		}
+		t.AddRowf(label, res.Makespan.Seconds(), res.NodeLocalMaps, res.SiteLocalMaps,
+			res.RemoteMaps, metrics.FmtBytes(res.InputNetworkBytes))
+	}
+	return []*metrics.Table{t}
+}
+
+// A3ChunkSize ablates the broadcast chain's pipeline granularity: tiny
+// chunks waste per-hop latency, huge chunks destroy pipelining.
+func A3ChunkSize(seed int64) []*metrics.Table {
+	t := metrics.NewTable("A3: broadcast-chain chunk size, 1 GiB image to 32 hosts",
+		"chunk", "propagation (s)", "vs best")
+	best := 0.0
+	type row struct {
+		label string
+		secs  float64
+	}
+	var rows []row
+	for _, chunk := range []int64{2 * mb, 8 * mb, 32 * mb, 128 * mb, 512 * mb} {
+		k := sim.NewKernel(seed)
+		net := simnet.New(k)
+		s := net.AddSite("cloud", 125*mb, 125*mb)
+		repo := s.AddNode("repo", 125*mb)
+		hosts := make([]*simnet.Node, 32)
+		for i := range hosts {
+			hosts[i] = s.AddNode(fmt.Sprintf("h%03d", i), 125*mb)
+		}
+		var res deploy.Result
+		deploy.Chain{ChunkBytes: chunk}.Propagate(net, repo, hosts, 1*gb, func(r deploy.Result) { res = r })
+		k.Run()
+		secs := res.Elapsed().Seconds()
+		if best == 0 || secs < best {
+			best = secs
+		}
+		rows = append(rows, row{fmt.Sprintf("%d MiB", chunk/mb), secs})
+	}
+	for _, r := range rows {
+		t.AddRowf(r.label, r.secs, fmt.Sprintf("%.2fx", r.secs/best))
+	}
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,627 @@
+// Package mapreduce is a Hadoop-like execution framework running on
+// simulated VMs, built for §II of the paper: virtual Hadoop clusters
+// spanning multiple clouds running MapReduce BLAST, with dynamic addition
+// and removal of workers at run time ("execution frameworks supporting
+// resource addition and removal at run time are suitable to take advantage
+// of the dynamic nature of distributed cloud computing infrastructures").
+//
+// Fidelity notes (and deliberate simplifications, documented in DESIGN.md):
+//   - Map outputs live on the worker that ran the map. Removing a worker
+//     re-executes its completed maps unless every reduce already fetched
+//     them — Hadoop's exact behaviour.
+//   - Shuffle transfers are aggregated per (source worker, reduce) pair and
+//     fetched with bounded parallelism, like Hadoop's copier threads.
+//   - Reduces start when all maps are done (no slow-start overlap); task
+//     heartbeat/control traffic is not modelled (negligible bytes).
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Job describes a MapReduce job. CPU costs are seconds on a speed-1.0 core.
+type Job struct {
+	Name       string
+	NumMaps    int
+	NumReduces int
+	MapCPU     float64
+	ReduceCPU  float64
+	// MapInputBytes is read locally per map (adds MapInputBytes/DiskBW of
+	// runtime; DiskBW fixed at 100 MB/s). Ignored when Splits is set.
+	MapInputBytes int64
+	// ShuffleBytesPerMapPerReduce is the intermediate data each map emits
+	// for each reduce.
+	ShuffleBytesPerMapPerReduce int64
+	// Splits optionally binds each map task to a DFS input split with
+	// replica locations (see hdfs.MapSplits). When set, len(Splits) must
+	// equal NumMaps; the scheduler prefers node-local, then site-local
+	// workers, and non-local maps stream their input over the network
+	// before computing — Hadoop's locality-aware scheduling.
+	Splits []Split
+	// IgnoreLocality keeps the split-aware data path (non-local maps still
+	// stream their input) but makes the scheduler assign tasks FIFO — the
+	// locality-oblivious baseline.
+	IgnoreLocality bool
+}
+
+// Split is one map task's input: size plus the nodes holding a replica.
+type Split struct {
+	Bytes     int64
+	Preferred []*simnet.Node
+}
+
+// BlastJob returns an embarrassingly parallel BLAST-style job: heavy maps,
+// negligible shuffle — the workload §II runs across clouds.
+func BlastJob(nMaps int) Job {
+	return Job{
+		Name: "blast", NumMaps: nMaps, NumReduces: 1,
+		MapCPU: 30, ReduceCPU: 2,
+		MapInputBytes:               8 << 20,
+		ShuffleBytesPerMapPerReduce: 16 << 10,
+	}
+}
+
+// SortJob returns a shuffle-heavy job (the contrast workload: all map input
+// crosses the network, so cross-cloud placement hurts).
+func SortJob(nMaps, nReduces int) Job {
+	return Job{
+		Name: "sort", NumMaps: nMaps, NumReduces: nReduces,
+		MapCPU: 4, ReduceCPU: 6,
+		MapInputBytes:               64 << 20,
+		ShuffleBytesPerMapPerReduce: (64 << 20) / int64(nReduces),
+	}
+}
+
+const diskBW = 100 << 20 // local disk read bandwidth, bytes/sec
+
+// Result reports a finished job.
+type Result struct {
+	Job      string
+	Makespan sim.Time
+	// MapsExecuted counts map task executions including re-runs after
+	// worker removal (MapsExecuted - NumMaps = wasted work).
+	MapsExecuted          int
+	ReducesExecuted       int
+	ShuffleBytes          int64
+	CrossSiteShuffleBytes int64
+	PeakWorkers           int
+	// Locality accounting (populated when Job.Splits is set).
+	NodeLocalMaps     int
+	SiteLocalMaps     int
+	RemoteMaps        int
+	InputNetworkBytes int64
+}
+
+// Worker is a task-runner on one VM/node.
+type Worker struct {
+	ID    string
+	Node  *simnet.Node
+	Speed float64
+	Slots int
+
+	busy          int
+	alive         bool
+	completedMaps map[int]bool // map task id -> output held here
+}
+
+// Cluster is the JobTracker plus its TaskTrackers.
+type Cluster struct {
+	net     *simnet.Network
+	workers map[string]*Worker
+
+	exec *execution
+}
+
+// NewCluster returns an empty cluster.
+func NewCluster(net *simnet.Network) *Cluster {
+	return &Cluster{net: net, workers: make(map[string]*Worker)}
+}
+
+// AddWorker registers a worker (dynamic addition works mid-job) with the
+// given relative CPU speed and task slots.
+func (c *Cluster) AddWorker(id string, node *simnet.Node, speed float64, slots int) {
+	if _, dup := c.workers[id]; dup {
+		panic("mapreduce: duplicate worker " + id)
+	}
+	if speed <= 0 {
+		speed = 1
+	}
+	if slots <= 0 {
+		slots = 1
+	}
+	c.workers[id] = &Worker{ID: id, Node: node, Speed: speed, Slots: slots,
+		alive: true, completedMaps: make(map[int]bool)}
+	if c.exec != nil {
+		if n := c.aliveCount(); n > c.exec.result.PeakWorkers {
+			c.exec.result.PeakWorkers = n
+		}
+		c.pump()
+	}
+}
+
+// RemoveWorker deregisters a worker (dynamic removal). Running tasks are
+// requeued; completed map outputs that some unfinished reduce still needs
+// are invalidated, forcing re-execution.
+func (c *Cluster) RemoveWorker(id string) {
+	w, ok := c.workers[id]
+	if !ok {
+		return
+	}
+	w.alive = false
+	delete(c.workers, id)
+	if c.exec != nil {
+		c.exec.workerLost(w)
+		c.pump()
+	}
+}
+
+// MoveWorker rebinds a worker to a new network node — called after a live
+// migration relocated the worker's VM. The worker keeps its tasks (live
+// migration does not interrupt the guest); subsequent transfers use the new
+// location.
+func (c *Cluster) MoveWorker(id string, node *simnet.Node) {
+	if w, ok := c.workers[id]; ok {
+		w.Node = node
+	}
+}
+
+// Workers returns alive worker IDs, sorted.
+func (c *Cluster) Workers() []string {
+	out := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Cluster) aliveCount() int { return len(c.workers) }
+
+func (c *Cluster) sortedWorkers() []*Worker {
+	out := make([]*Worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Running reports whether a job is in flight.
+func (c *Cluster) Running() bool { return c.exec != nil && !c.exec.finished }
+
+// Progress returns completed and total map counts for the running job.
+func (c *Cluster) Progress() (mapsDone, mapsTotal, reducesDone, reducesTotal int) {
+	if c.exec == nil {
+		return 0, 0, 0, 0
+	}
+	e := c.exec
+	return e.mapsDone, e.job.NumMaps, e.reducesDone, e.job.NumReduces
+}
+
+type taskState int
+
+const (
+	statePending taskState = iota
+	stateRunning
+	stateDone
+)
+
+type reduceExec struct {
+	id     int
+	state  taskState
+	worker *Worker
+	// counted[mapID] = this reduce has accounted (or fetched) that map's
+	// output bytes.
+	counted map[int]bool
+	// pendingSources aggregates unfetched bytes per source worker id.
+	pendingSources map[string]int64
+	sourceNodes    map[string]*simnet.Node
+	fetching       int
+	computing      bool
+}
+
+type execution struct {
+	c     *Cluster
+	job   Job
+	start sim.Time
+
+	mapState []taskState
+	mapQueue []int
+	mapsDone int
+	mapRunOn map[int]*Worker
+
+	reduces     []*reduceExec
+	reduceQueue []int
+	reducesDone int
+
+	result   Result
+	onDone   func(Result)
+	finished bool
+}
+
+// Run starts a job. Exactly one job may run at a time per cluster.
+func (c *Cluster) Run(job Job, onDone func(Result)) error {
+	if c.Running() {
+		return fmt.Errorf("mapreduce: cluster already running %s", c.exec.job.Name)
+	}
+	if len(c.workers) == 0 {
+		return fmt.Errorf("mapreduce: no workers")
+	}
+	if job.NumMaps <= 0 {
+		return fmt.Errorf("mapreduce: job needs maps")
+	}
+	if job.Splits != nil && len(job.Splits) != job.NumMaps {
+		return fmt.Errorf("mapreduce: %d splits for %d maps", len(job.Splits), job.NumMaps)
+	}
+	e := &execution{
+		c:        c,
+		job:      job,
+		start:    c.net.K.Now(),
+		mapState: make([]taskState, job.NumMaps),
+		mapRunOn: make(map[int]*Worker),
+		onDone:   onDone,
+	}
+	e.result.Job = job.Name
+	e.result.PeakWorkers = c.aliveCount()
+	for i := 0; i < job.NumMaps; i++ {
+		e.mapQueue = append(e.mapQueue, i)
+	}
+	c.exec = e
+	c.net.K.Schedule(0, c.pump)
+	return nil
+}
+
+// pump is the scheduler: assigns pending work to free slots.
+func (c *Cluster) pump() {
+	e := c.exec
+	if e == nil || e.finished {
+		return
+	}
+	workers := c.sortedWorkers()
+	// Map phase: each free slot takes the pending map with the best
+	// locality for that worker (node-local > site-local > any), matching
+	// Hadoop's scheduler when splits carry replica locations.
+	for len(e.mapQueue) > 0 {
+		w := freeWorker(workers)
+		if w == nil {
+			break
+		}
+		pick := 0
+		if e.job.Splits != nil && !e.job.IgnoreLocality {
+			bestRank := 3
+			for qi, mapID := range e.mapQueue {
+				r := e.localityRank(mapID, w)
+				if r < bestRank {
+					bestRank, pick = r, qi
+					if r == 0 {
+						break
+					}
+				}
+			}
+		}
+		mapID := e.mapQueue[pick]
+		e.mapQueue = append(e.mapQueue[:pick], e.mapQueue[pick+1:]...)
+		e.startMap(mapID, w)
+	}
+	// Reduce phase: create reduce tasks once all maps are done.
+	if e.mapsDone == e.job.NumMaps && e.reduces == nil {
+		e.createReduces()
+	}
+	if e.reduces != nil {
+		for len(e.reduceQueue) > 0 {
+			w := freeWorker(workers)
+			if w == nil {
+				break
+			}
+			rid := e.reduceQueue[0]
+			e.reduceQueue = e.reduceQueue[1:]
+			e.startReduce(e.reduces[rid], w)
+		}
+	}
+	e.maybeFinish()
+}
+
+func freeWorker(ws []*Worker) *Worker {
+	// Least-loaded first for balance, ties by ID for determinism.
+	var best *Worker
+	for _, w := range ws {
+		if !w.alive || w.busy >= w.Slots {
+			continue
+		}
+		if best == nil || w.busy < best.busy {
+			best = w
+		}
+	}
+	return best
+}
+
+// localityRank scores a (map, worker) pair: 0 node-local, 1 site-local,
+// 2 remote, 3 no split info.
+func (e *execution) localityRank(mapID int, w *Worker) int {
+	if e.job.Splits == nil || mapID >= len(e.job.Splits) {
+		return 3
+	}
+	rank := 2
+	for _, n := range e.job.Splits[mapID].Preferred {
+		if n == w.Node {
+			return 0
+		}
+		if n.Site == w.Node.Site {
+			rank = 1
+		}
+	}
+	return rank
+}
+
+func (e *execution) startMap(mapID int, w *Worker) {
+	e.mapState[mapID] = stateRunning
+	e.mapRunOn[mapID] = w
+	w.busy++
+	compute := func(inputDiskBytes int64) {
+		dur := sim.FromSeconds(e.job.MapCPU/w.Speed + float64(inputDiskBytes)/diskBW)
+		e.c.net.K.Schedule(dur, func() { e.mapDone(mapID, w) })
+	}
+	if e.job.Splits == nil || mapID >= len(e.job.Splits) {
+		compute(e.job.MapInputBytes)
+		return
+	}
+	split := e.job.Splits[mapID]
+	switch e.localityRank(mapID, w) {
+	case 0:
+		e.result.NodeLocalMaps++
+		compute(split.Bytes)
+	default:
+		if e.localityRank(mapID, w) == 1 {
+			e.result.SiteLocalMaps++
+		} else {
+			e.result.RemoteMaps++
+		}
+		// Stream the split from the nearest replica before computing.
+		src := bestSource(split.Preferred, w.Node)
+		if src == nil {
+			compute(split.Bytes)
+			return
+		}
+		e.result.InputNetworkBytes += split.Bytes
+		e.c.net.StartFlow(src, w.Node, split.Bytes, "input:"+e.job.Name, func() {
+			if !w.alive || e.mapRunOn[mapID] != w || e.mapState[mapID] != stateRunning {
+				return
+			}
+			compute(0)
+		})
+	}
+}
+
+// bestSource picks the replica closest to reader (same site first).
+func bestSource(replicas []*simnet.Node, reader *simnet.Node) *simnet.Node {
+	var any *simnet.Node
+	for _, r := range replicas {
+		if r == reader {
+			continue
+		}
+		if r.Site == reader.Site {
+			return r
+		}
+		if any == nil {
+			any = r
+		}
+	}
+	return any
+}
+
+func (e *execution) mapDone(mapID int, w *Worker) {
+	if !w.alive || e.mapRunOn[mapID] != w || e.mapState[mapID] != stateRunning {
+		return // task was requeued when the worker vanished
+	}
+	w.busy--
+	e.mapState[mapID] = stateDone
+	e.mapsDone++
+	e.result.MapsExecuted++
+	w.completedMaps[mapID] = true
+	// Publish this map's output to every unfinished reduce.
+	for _, r := range e.reduces {
+		r.addSource(mapID, w, e.job.ShuffleBytesPerMapPerReduce)
+	}
+	e.c.pump()
+}
+
+func (e *execution) createReduces() {
+	if e.job.NumReduces == 0 {
+		return
+	}
+	e.reduces = make([]*reduceExec, e.job.NumReduces)
+	for i := range e.reduces {
+		r := &reduceExec{
+			id:             i,
+			counted:        make(map[int]bool),
+			pendingSources: make(map[string]int64),
+			sourceNodes:    make(map[string]*simnet.Node),
+		}
+		// Account every completed map.
+		for _, w := range e.c.sortedWorkers() {
+			for mapID := range w.completedMaps {
+				r.addSource(mapID, w, e.job.ShuffleBytesPerMapPerReduce)
+			}
+		}
+		e.reduces[i] = r
+		e.reduceQueue = append(e.reduceQueue, i)
+	}
+}
+
+func (r *reduceExec) addSource(mapID int, w *Worker, bytes int64) {
+	if r.state == stateDone || r.computing || r.counted[mapID] {
+		return
+	}
+	r.counted[mapID] = true
+	r.pendingSources[w.ID] += bytes
+	r.sourceNodes[w.ID] = w.Node
+}
+
+const fetchParallelism = 3 // Hadoop copier threads per reduce
+
+func (e *execution) startReduce(r *reduceExec, w *Worker) {
+	r.state = stateRunning
+	r.worker = w
+	w.busy++
+	e.fetchMore(r)
+}
+
+func (e *execution) fetchMore(r *reduceExec) {
+	if r.state != stateRunning || r.computing {
+		return
+	}
+	// Launch fetches up to the parallelism bound, deterministic order.
+	sources := make([]string, 0, len(r.pendingSources))
+	for id := range r.pendingSources {
+		sources = append(sources, id)
+	}
+	sort.Strings(sources)
+	for _, src := range sources {
+		if r.fetching >= fetchParallelism {
+			return
+		}
+		bytes := r.pendingSources[src]
+		node := r.sourceNodes[src]
+		delete(r.pendingSources, src)
+		if bytes == 0 || node == r.worker.Node {
+			e.accountShuffle(node, r.worker.Node, bytes)
+			continue // local data needs no network fetch
+		}
+		r.fetching++
+		e.c.net.StartFlow(node, r.worker.Node, bytes, "shuffle:"+e.job.Name, func() {
+			r.fetching--
+			e.accountShuffle(node, r.worker.Node, bytes)
+			e.fetchMore(r)
+			e.maybeCompute(r)
+		})
+	}
+	e.maybeCompute(r)
+}
+
+func (e *execution) accountShuffle(src, dst *simnet.Node, bytes int64) {
+	e.result.ShuffleBytes += bytes
+	if src != nil && dst != nil && src.Site != dst.Site {
+		e.result.CrossSiteShuffleBytes += bytes
+	}
+}
+
+// maybeCompute starts the reduce computation once every map output has been
+// counted and fetched.
+func (e *execution) maybeCompute(r *reduceExec) {
+	if r.state != stateRunning || r.computing || r.fetching > 0 ||
+		len(r.pendingSources) > 0 || e.mapsDone < e.job.NumMaps ||
+		len(r.counted) < e.job.NumMaps {
+		return
+	}
+	r.computing = true
+	w := r.worker
+	dur := sim.FromSeconds(e.job.ReduceCPU / w.Speed)
+	e.c.net.K.Schedule(dur, func() {
+		if r.state != stateRunning || r.worker != w || !w.alive {
+			return
+		}
+		w.busy--
+		r.state = stateDone
+		e.reducesDone++
+		e.result.ReducesExecuted++
+		e.maybeFinish()
+	})
+}
+
+func (e *execution) maybeFinish() {
+	if e.finished {
+		return
+	}
+	if e.mapsDone < e.job.NumMaps {
+		return
+	}
+	if e.job.NumReduces > 0 && e.reducesDone < e.job.NumReduces {
+		return
+	}
+	e.finished = true
+	e.result.Makespan = e.c.net.K.Now() - e.start
+	e.c.exec = nil
+	if e.onDone != nil {
+		e.onDone(e.result)
+	}
+}
+
+// workerLost handles dynamic removal: requeue running tasks and invalidate
+// map outputs still needed by some reduce.
+func (e *execution) workerLost(w *Worker) {
+	// Requeue running maps.
+	for mapID, rw := range e.mapRunOn {
+		if rw == w && e.mapState[mapID] == stateRunning {
+			e.mapState[mapID] = statePending
+			delete(e.mapRunOn, mapID)
+			e.mapQueue = append(e.mapQueue, mapID)
+		}
+	}
+	// Reset running reduces placed on the lost worker: all fetched data is
+	// gone; rebuild sources from surviving map outputs.
+	for _, r := range e.reduces {
+		if r.state == stateRunning && r.worker == w {
+			r.state = statePending
+			r.worker = nil
+			r.computing = false
+			r.fetching = 0
+			r.counted = make(map[int]bool)
+			r.pendingSources = make(map[string]int64)
+			r.sourceNodes = make(map[string]*simnet.Node)
+			for _, sw := range e.c.sortedWorkers() {
+				for mapID := range sw.completedMaps {
+					r.addSource(mapID, sw, e.job.ShuffleBytesPerMapPerReduce)
+				}
+			}
+			e.reduceQueue = append(e.reduceQueue, r.id)
+		}
+	}
+	// Invalidate completed map outputs some unfinished consumer still needs.
+	needed := func(mapID int) bool {
+		if e.reduces == nil {
+			return e.job.NumReduces > 0 // shuffle not started: outputs needed
+		}
+		for _, r := range e.reduces {
+			if r.state != stateDone && !r.computing && !r.counted[mapID] {
+				return true
+			}
+			// counted but pending fetch from this worker: bytes are in
+			// pendingSources[w.ID]; those will never arrive.
+			if r.state != stateDone && r.pendingSources[w.ID] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	var invalidated []int
+	for mapID := range w.completedMaps {
+		if e.mapState[mapID] == stateDone && needed(mapID) {
+			invalidated = append(invalidated, mapID)
+		}
+	}
+	sort.Ints(invalidated)
+	if len(invalidated) > 0 {
+		for _, r := range e.reduces {
+			if r.state == stateDone || r.computing {
+				continue
+			}
+			// Drop the dead source and uncount its maps so the re-runs
+			// repopulate it.
+			delete(r.pendingSources, w.ID)
+			delete(r.sourceNodes, w.ID)
+			for _, mapID := range invalidated {
+				delete(r.counted, mapID)
+			}
+		}
+		for _, mapID := range invalidated {
+			e.mapState[mapID] = statePending
+			e.mapsDone--
+			delete(e.mapRunOn, mapID)
+			e.mapQueue = append(e.mapQueue, mapID)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const MB = 1 << 20
+
+// cluster builds a single-site cluster with n workers, 2 slots each.
+func cluster(n int) (*sim.Kernel, *simnet.Network, *Cluster) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	s := net.AddSite("cloud", 125*MB, 125*MB)
+	c := NewCluster(net)
+	for i := 0; i < n; i++ {
+		id := workerID(i)
+		c.AddWorker(id, s.AddNode(id, 125*MB), 1.0, 2)
+	}
+	return k, net, c
+}
+
+func workerID(i int) string { return string([]byte{'w', byte('0' + i/10), byte('0' + i%10)}) }
+
+func TestSimpleJobCompletes(t *testing.T) {
+	k, _, c := cluster(2)
+	job := Job{Name: "j", NumMaps: 8, NumReduces: 2, MapCPU: 10, ReduceCPU: 5,
+		ShuffleBytesPerMapPerReduce: MB}
+	var res Result
+	if err := c.Run(job, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if res.Makespan == 0 {
+		t.Fatal("job never finished")
+	}
+	if res.MapsExecuted != 8 || res.ReducesExecuted != 2 {
+		t.Fatalf("executions maps=%d reduces=%d", res.MapsExecuted, res.ReducesExecuted)
+	}
+	// 8 maps x 10s over 4 slots = 20s + shuffle + 5s reduce.
+	if res.Makespan.Seconds() < 25 || res.Makespan.Seconds() > 40 {
+		t.Fatalf("makespan %v out of range", res.Makespan)
+	}
+	if res.ShuffleBytes != 8*2*MB {
+		t.Fatalf("shuffle bytes %d", res.ShuffleBytes)
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	k, _, c := cluster(2)
+	var res Result
+	if err := c.Run(Job{Name: "m", NumMaps: 4, MapCPU: 1}, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if res.Makespan == 0 || res.ReducesExecuted != 0 {
+		t.Fatalf("map-only job: %+v", res)
+	}
+}
+
+func TestScalingNearLinearForEP(t *testing.T) {
+	makespan := func(n int) float64 {
+		k, _, c := cluster(n)
+		var res Result
+		if err := c.Run(BlastJob(64), func(r Result) { res = r }); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return res.Makespan.Seconds()
+	}
+	m2, m8 := makespan(2), makespan(8)
+	speedup := m2 / m8
+	// 4x the workers: embarrassingly parallel speedup should be near 4.
+	if speedup < 3.0 {
+		t.Fatalf("EP speedup %.2fx for 4x workers, want >= 3x", speedup)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	k, _, c := cluster(1)
+	if err := c.Run(Job{Name: "x"}, nil); err == nil {
+		t.Fatal("zero-map job must be rejected")
+	}
+	if err := c.Run(Job{Name: "a", NumMaps: 4, MapCPU: 100}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(Job{Name: "b", NumMaps: 1, MapCPU: 1}, nil); err == nil {
+		t.Fatal("concurrent job must be rejected")
+	}
+	k.Run()
+	// After completion a new job is accepted.
+	if err := c.Run(Job{Name: "c", NumMaps: 1, MapCPU: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	kEmpty := sim.NewKernel(1)
+	cEmpty := NewCluster(simnet.New(kEmpty))
+	if err := cEmpty.Run(Job{Name: "d", NumMaps: 1, MapCPU: 1}, nil); err == nil {
+		t.Fatal("no-worker job must be rejected")
+	}
+}
+
+func TestDynamicAdditionShortensJob(t *testing.T) {
+	run := func(addAt sim.Time, extra int) float64 {
+		k, net, c := cluster(2)
+		s := net.Site("cloud")
+		var res Result
+		if err := c.Run(BlastJob(64), func(r Result) { res = r }); err != nil {
+			t.Fatal(err)
+		}
+		if extra > 0 {
+			k.Schedule(addAt, func() {
+				for i := 0; i < extra; i++ {
+					id := workerID(10 + i)
+					c.AddWorker(id, s.AddNode(id, 125*MB), 1.0, 2)
+				}
+			})
+		}
+		k.Run()
+		return res.Makespan.Seconds()
+	}
+	static := run(0, 0)
+	elastic := run(30*sim.Second, 6)
+	if elastic >= static*0.8 {
+		t.Fatalf("elastic %.1fs not much faster than static %.1fs", elastic, static)
+	}
+}
+
+func TestDynamicRemovalRequeuesRunningMaps(t *testing.T) {
+	k, _, c := cluster(4)
+	var res Result
+	if err := c.Run(Job{Name: "j", NumMaps: 16, NumReduces: 1, MapCPU: 10,
+		ShuffleBytesPerMapPerReduce: 1024}, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	// Remove two workers mid-map-phase.
+	k.Schedule(5*sim.Second, func() {
+		c.RemoveWorker("w00")
+		c.RemoveWorker("w01")
+	})
+	k.Run()
+	if res.Makespan == 0 {
+		t.Fatal("job hung after worker removal")
+	}
+	if len(c.Workers()) != 2 {
+		t.Fatalf("workers left: %v", c.Workers())
+	}
+	if res.MapsExecuted < 16 {
+		t.Fatalf("maps executed %d < 16", res.MapsExecuted)
+	}
+}
+
+func TestRemovalOfCompletedMapsForcesRerun(t *testing.T) {
+	k, _, c := cluster(2)
+	var res Result
+	// Long maps; first batch completes on both workers, then one worker is
+	// removed before shuffle: its outputs must re-run.
+	if err := c.Run(Job{Name: "j", NumMaps: 8, NumReduces: 1, MapCPU: 10,
+		ShuffleBytesPerMapPerReduce: MB}, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(15*sim.Second, func() { c.RemoveWorker("w00") }) // after ~4 maps done
+	k.Run()
+	if res.Makespan == 0 {
+		t.Fatal("job hung")
+	}
+	if res.MapsExecuted <= 8 {
+		t.Fatalf("expected re-executions, got %d total", res.MapsExecuted)
+	}
+}
+
+func TestRemovalDuringReducePhase(t *testing.T) {
+	k, _, c := cluster(3)
+	var res Result
+	if err := c.Run(Job{Name: "j", NumMaps: 6, NumReduces: 3, MapCPU: 2, ReduceCPU: 30,
+		ShuffleBytesPerMapPerReduce: 4 * MB}, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	// Maps finish ~4s (6 maps, 6 slots). Kill a worker during reduces.
+	k.Schedule(10*sim.Second, func() { c.RemoveWorker("w02") })
+	k.Run()
+	if res.Makespan == 0 {
+		t.Fatal("job hung after reduce-phase removal")
+	}
+	if res.ReducesExecuted != 3 {
+		t.Fatalf("reduces executed %d", res.ReducesExecuted)
+	}
+}
+
+func TestCrossSiteShuffleAccounting(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	a := net.AddSite("east", 125*MB, 125*MB)
+	b := net.AddSite("west", 125*MB, 125*MB)
+	net.SetSiteLatency("east", "west", 50*sim.Millisecond)
+	c := NewCluster(net)
+	c.AddWorker("e0", a.AddNode("e0", 125*MB), 1, 2)
+	c.AddWorker("w0", b.AddNode("w0", 125*MB), 1, 2)
+	var res Result
+	if err := c.Run(Job{Name: "j", NumMaps: 4, NumReduces: 2, MapCPU: 1,
+		ShuffleBytesPerMapPerReduce: MB}, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if res.CrossSiteShuffleBytes == 0 {
+		t.Fatal("cross-site shuffle not accounted")
+	}
+	if res.CrossSiteShuffleBytes >= res.ShuffleBytes {
+		t.Fatalf("cross-site %d >= total %d", res.CrossSiteShuffleBytes, res.ShuffleBytes)
+	}
+	if net.TotalWANBytes() == 0 {
+		t.Fatal("shuffle never touched the WAN")
+	}
+}
+
+func TestShuffleHeavyCrossCloudSlower(t *testing.T) {
+	run := func(twoSites bool) float64 {
+		k := sim.NewKernel(1)
+		net := simnet.New(k)
+		a := net.AddSite("east", 30*MB, 30*MB)
+		var bSite = a
+		if twoSites {
+			bSite = net.AddSite("west", 30*MB, 30*MB)
+			net.SetSiteLatency("east", "west", 70*sim.Millisecond)
+		}
+		c := NewCluster(net)
+		for i := 0; i < 4; i++ {
+			id := workerID(i)
+			site := a
+			if twoSites && i >= 2 {
+				site = bSite
+			}
+			c.AddWorker(id, site.AddNode(id, 125*MB), 1, 2)
+		}
+		var res Result
+		if err := c.Run(SortJob(16, 4), func(r Result) { res = r }); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return res.Makespan.Seconds()
+	}
+	single, dual := run(false), run(true)
+	if dual <= single {
+		t.Fatalf("shuffle-heavy job not slower across clouds: single=%.1fs dual=%.1fs", single, dual)
+	}
+}
+
+func TestFasterWorkersFinishSooner(t *testing.T) {
+	run := func(speed float64) float64 {
+		k, net, c := cluster(0)
+		s := net.Site("cloud")
+		for i := 0; i < 2; i++ {
+			id := workerID(i)
+			c.AddWorker(id, s.AddNode(id, 125*MB), speed, 2)
+		}
+		var res Result
+		if err := c.Run(Job{Name: "j", NumMaps: 8, MapCPU: 10}, func(r Result) { res = r }); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return res.Makespan.Seconds()
+	}
+	slow, fast := run(1.0), run(2.0)
+	if fast >= slow*0.7 {
+		t.Fatalf("2x CPU speed gave %.1fs vs %.1fs", fast, slow)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	k, _, c := cluster(2)
+	if err := c.Run(Job{Name: "j", NumMaps: 8, NumReduces: 2, MapCPU: 10,
+		ShuffleBytesPerMapPerReduce: 1024}, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(15 * sim.Second)
+	md, mt, _, rt := c.Progress()
+	if mt != 8 || rt != 2 {
+		t.Fatalf("totals %d %d", mt, rt)
+	}
+	if md == 0 || md == 8 {
+		t.Fatalf("mid-job maps done %d should be partial", md)
+	}
+	if !c.Running() {
+		t.Fatal("job should still be running")
+	}
+	k.Run()
+	if c.Running() {
+		t.Fatal("job should have finished")
+	}
+}
+
+func TestDeterministicMakespan(t *testing.T) {
+	run := func() sim.Time {
+		k, _, c := cluster(3)
+		var res Result
+		if err := c.Run(SortJob(12, 3), func(r Result) { res = r }); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		return res.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic makespan: %v vs %v", a, b)
+	}
+}
+
+func TestPeakWorkersTracked(t *testing.T) {
+	k, net, c := cluster(2)
+	var res Result
+	if err := c.Run(BlastJob(32), func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(20*sim.Second, func() {
+		c.AddWorker("w99", net.Site("cloud").AddNode("w99", 125*MB), 1, 2)
+	})
+	k.Run()
+	if res.PeakWorkers != 3 {
+		t.Fatalf("peak workers %d, want 3", res.PeakWorkers)
+	}
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesStats(t *testing.T) {
+	s := Series{4, 2, 8, 6}
+	if s.Mean() != 5 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("min/max %v %v", s.Min(), s.Max())
+	}
+	if d := s.Stddev(); d < 2.23 || d > 2.24 {
+		t.Fatalf("stddev %v", d)
+	}
+	if p := s.Percentile(50); p != 4 {
+		t.Fatalf("p50 %v", p)
+	}
+	if p := s.Percentile(100); p != 8 {
+		t.Fatalf("p100 %v", p)
+	}
+	if p := s.Percentile(0); p != 2 {
+		t.Fatalf("p0 %v", p)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series stats should be zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "T1") || !strings.Contains(out, "alpha") ||
+		!strings.Contains(out, "2.50") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("M", "a", "b")
+	tb.AddRow("x", "y")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| x | y |") ||
+		!strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Fatalf("ragged row lost: %s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FmtBytes(3<<20) != "3.0 MiB" {
+		t.Fatalf("FmtBytes: %s", FmtBytes(3<<20))
+	}
+	if FmtPct(0.375) != "37.5%" {
+		t.Fatalf("FmtPct: %s", FmtPct(0.375))
+	}
+}
+
+// Property: Min <= Percentile(p) <= Max for any series and p.
+func TestPropPercentileBounds(t *testing.T) {
+	f := func(vals []float64, p uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if v != v { // NaN breaks ordering; skip
+				return true
+			}
+		}
+		s := Series(vals)
+		pct := s.Percentile(float64(p % 101))
+		return pct >= s.Min() && pct <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package netmon
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const MB = 1 << 20
+
+func testbed(n int) (*sim.Kernel, *simnet.Network, []*simnet.Node) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	s := net.AddSite("cloud", 125*MB, 125*MB)
+	nodes := make([]*simnet.Node, n)
+	for i := range nodes {
+		nodes[i] = s.AddNode("n"+string(rune('0'+i)), 125*MB)
+	}
+	return k, net, nodes
+}
+
+func TestFullCaptureMatchesTruthExactly(t *testing.T) {
+	k, net, nodes := testbed(4)
+	mon := New(net, 1.0, 42, "app:")
+	rec := NewRecorder()
+	RunRing(net, PatternSpec{Nodes: nodes, BytesPerTransfer: 4 * MB,
+		Interval: sim.Second, Waves: 5, Tag: "app:ring"}, rec, nil)
+	k.Run()
+	if c := Correlation(rec.Truth, mon.Matrix()); c < 0.9999 {
+		t.Fatalf("full capture correlation %.6f, want ~1", c)
+	}
+	if e := NormalizedError(rec.Truth, mon.Matrix()); e > 1e-9 {
+		t.Fatalf("full capture error %.6f", e)
+	}
+	// Ring over 4 nodes: exactly 4 directed edges.
+	if len(mon.Matrix()) != 4 {
+		t.Fatalf("ring edges %d, want 4", len(mon.Matrix()))
+	}
+}
+
+func TestSampledCaptureHighCorrelation(t *testing.T) {
+	k, net, nodes := testbed(6)
+	mon := New(net, 0.05, 42, "app:") // 1-in-20 packet sampling
+	rec := NewRecorder()
+	RunAllToAll(net, PatternSpec{Nodes: nodes, BytesPerTransfer: 8 * MB,
+		Interval: sim.Second, Waves: 3, Tag: "app:a2a"}, rec, nil)
+	k.Run()
+	c := Correlation(rec.Truth, mon.Matrix())
+	if c < 0.95 {
+		t.Fatalf("sampled correlation %.4f, want >= 0.95", c)
+	}
+	if e := NormalizedError(rec.Truth, mon.Matrix()); e > 0.10 {
+		t.Fatalf("sampled relative error %.4f, want <= 10%%", e)
+	}
+}
+
+func TestTagFilterIgnoresOtherTraffic(t *testing.T) {
+	k, net, nodes := testbed(3)
+	mon := New(net, 1.0, 1, "app:")
+	// Background traffic with another tag must be invisible.
+	net.StartFlow(nodes[0], nodes[1], 64*MB, "migrate:vm0", nil)
+	RunRing(net, PatternSpec{Nodes: nodes, BytesPerTransfer: MB,
+		Interval: sim.Second, Waves: 1, Tag: "app:r"}, nil, nil)
+	k.Run()
+	if got := mon.Matrix().Total(); got != 3*MB {
+		t.Fatalf("filter leak: observed %d bytes, want %d", got, 3*MB)
+	}
+}
+
+func TestMasterWorkerTopology(t *testing.T) {
+	k, net, nodes := testbed(5)
+	mon := New(net, 1.0, 1, "")
+	rec := NewRecorder()
+	RunMasterWorker(net, PatternSpec{Nodes: nodes, BytesPerTransfer: MB,
+		Interval: sim.Second, Waves: 2, Tag: "mw"}, rec, nil)
+	k.Run()
+	// 4 workers x 2 directions = 8 edges, all touching the master.
+	edges := mon.Matrix().Edges()
+	if len(edges) != 8 {
+		t.Fatalf("edges %d, want 8", len(edges))
+	}
+	for _, e := range edges {
+		if e[0] != "n0" && e[1] != "n0" {
+			t.Fatalf("edge %v does not touch the master", e)
+		}
+	}
+}
+
+func TestPrecisionRecallThreshold(t *testing.T) {
+	truth := Matrix{{"a", "b"}: 100, {"b", "c"}: 5, {"c", "a"}: 80}
+	obs := Matrix{{"a", "b"}: 95, {"c", "a"}: 85, {"x", "y"}: 90}
+	p, r := PrecisionRecall(truth, obs, 50)
+	// True edges >= 50: {a,b},{c,a}. Observed >= 50: {a,b},{c,a},{x,y}.
+	if p < 0.66 || p > 0.67 {
+		t.Fatalf("precision %.3f, want 2/3", p)
+	}
+	if r != 1.0 {
+		t.Fatalf("recall %.3f, want 1", r)
+	}
+}
+
+func TestPrecisionRecallEmpty(t *testing.T) {
+	p, r := PrecisionRecall(Matrix{}, Matrix{}, 1)
+	if p != 1 || r != 1 {
+		t.Fatalf("empty/empty should be perfect: %v %v", p, r)
+	}
+	p, r = PrecisionRecall(Matrix{{"a", "b"}: 10}, Matrix{}, 1)
+	if p != 0 || r != 0 {
+		t.Fatalf("missing everything: p=%v r=%v", p, r)
+	}
+}
+
+func TestCorrelationEdgeCases(t *testing.T) {
+	if c := Correlation(Matrix{}, Matrix{}); c != 0 {
+		t.Fatalf("empty correlation %v", c)
+	}
+	m := Matrix{{"a", "b"}: 5}
+	if c := Correlation(m, m); c != 1 {
+		t.Fatalf("single-edge self correlation %v", c)
+	}
+	// Disjoint matrices: orthogonal, similarity zero.
+	a := Matrix{{"a", "b"}: 100, {"b", "c"}: 0}
+	b := Matrix{{"a", "b"}: 0, {"b", "c"}: 100}
+	if c := Correlation(a, b); c != 0 {
+		t.Fatalf("disjoint similarity %v, want 0", c)
+	}
+}
+
+func TestZeroSampleRateSeesNothing(t *testing.T) {
+	k, net, nodes := testbed(2)
+	mon := New(net, 0, 1, "")
+	net.StartFlow(nodes[0], nodes[1], 10*MB, "x", nil)
+	k.Run()
+	if mon.Matrix().Total() != 0 {
+		t.Fatal("zero sampling captured bytes")
+	}
+}
+
+func TestReset(t *testing.T) {
+	k, net, nodes := testbed(2)
+	mon := New(net, 1.0, 1, "")
+	net.StartFlow(nodes[0], nodes[1], MB, "x", nil)
+	k.Run()
+	mon.Reset()
+	if mon.Matrix().Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestEdgesSortedByWeight(t *testing.T) {
+	m := Matrix{{"a", "b"}: 10, {"c", "d"}: 30, {"e", "f"}: 20}
+	e := m.Edges()
+	if e[0] != [2]string{"c", "d"} || e[1] != [2]string{"e", "f"} || e[2] != [2]string{"a", "b"} {
+		t.Fatalf("edges order wrong: %v", e)
+	}
+}

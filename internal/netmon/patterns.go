@@ -1,0 +1,92 @@
+package netmon
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Pattern generators drive synthetic application traffic with known
+// structure, used to evaluate the detector against the invasive baseline
+// (the paper's experiments compare inferred traces on applications with
+// known communication patterns).
+
+// PatternSpec drives a synthetic traffic generator.
+type PatternSpec struct {
+	// Nodes exchange traffic.
+	Nodes []*simnet.Node
+	// BytesPerTransfer per application-level message.
+	BytesPerTransfer int64
+	// Interval between transfer waves.
+	Interval sim.Time
+	// Waves is the number of rounds.
+	Waves int
+	// Tag marks generated flows for the monitor's filter.
+	Tag string
+}
+
+// RunRing generates ring traffic: node i sends to node (i+1) mod n each
+// wave. Every transfer is recorded in rec (the invasive ground truth).
+func RunRing(net *simnet.Network, spec PatternSpec, rec *Recorder, onDone func()) {
+	runWaves(net, spec, rec, onDone, func(wave int, emit func(src, dst *simnet.Node)) {
+		n := len(spec.Nodes)
+		for i, src := range spec.Nodes {
+			emit(src, spec.Nodes[(i+1)%n])
+		}
+	})
+}
+
+// RunAllToAll generates full-mesh traffic each wave.
+func RunAllToAll(net *simnet.Network, spec PatternSpec, rec *Recorder, onDone func()) {
+	runWaves(net, spec, rec, onDone, func(wave int, emit func(src, dst *simnet.Node)) {
+		for _, src := range spec.Nodes {
+			for _, dst := range spec.Nodes {
+				if src != dst {
+					emit(src, dst)
+				}
+			}
+		}
+	})
+}
+
+// RunMasterWorker generates hub-and-spoke traffic: node 0 scatters to all
+// others, which gather back.
+func RunMasterWorker(net *simnet.Network, spec PatternSpec, rec *Recorder, onDone func()) {
+	runWaves(net, spec, rec, onDone, func(wave int, emit func(src, dst *simnet.Node)) {
+		master := spec.Nodes[0]
+		for _, w := range spec.Nodes[1:] {
+			emit(master, w)
+			emit(w, master)
+		}
+	})
+}
+
+func runWaves(net *simnet.Network, spec PatternSpec, rec *Recorder, onDone func(),
+	wave func(int, func(src, dst *simnet.Node))) {
+	if spec.Waves <= 0 || len(spec.Nodes) == 0 {
+		net.K.Schedule(0, onDone)
+		return
+	}
+	outstanding := 0
+	wavesLeft := spec.Waves
+	var fire func()
+	fire = func() {
+		w := spec.Waves - wavesLeft
+		wavesLeft--
+		wave(w, func(src, dst *simnet.Node) {
+			outstanding++
+			if rec != nil {
+				rec.Record(src.ID, dst.ID, spec.BytesPerTransfer)
+			}
+			net.StartFlow(src, dst, spec.BytesPerTransfer, spec.Tag, func() {
+				outstanding--
+				if outstanding == 0 && wavesLeft == 0 && onDone != nil {
+					onDone()
+				}
+			})
+		})
+		if wavesLeft > 0 {
+			net.K.Schedule(spec.Interval, fire)
+		}
+	}
+	fire()
+}

@@ -1,0 +1,280 @@
+package nimbus
+
+import (
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/vm"
+)
+
+const MB = 1 << 20
+
+func testCloud(hosts int) (*sim.Kernel, *simnet.Network, *Cloud) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	c := New(net, Config{
+		Name:             "g5k",
+		Hosts:            hosts,
+		HostSpec:         HostSpec{Cores: 8, MemPages: 8 * 16384, Speed: 1.0},
+		NICBW:            125 * MB,
+		WANUp:            125 * MB,
+		WANDown:          125 * MB,
+		PricePerCoreHour: 0.10,
+	})
+	m := vm.NewContentModel(7, "debian", 0.1, 0.5, 1024)
+	c.PutImage(vm.NewDiskImage("debian", 1024, 65536, m)) // 64 MiB image
+	return k, net, c
+}
+
+func TestDeployBasic(t *testing.T) {
+	k, _, c := testCloud(4)
+	var dep Deployment
+	c.Deploy(DeployRequest{Count: 8, Image: "debian", Cores: 2, MemPages: 4096, CoW: true},
+		func(d Deployment) { dep = d })
+	k.Run()
+	if dep.Err != nil {
+		t.Fatal(dep.Err)
+	}
+	if len(dep.VMs) != 8 {
+		t.Fatalf("got %d VMs", len(dep.VMs))
+	}
+	for _, v := range dep.VMs {
+		if v.State != vm.StateRunning {
+			t.Fatalf("VM %s state %v", v.Name, v.State)
+		}
+		if v.SiteName != "g5k" || v.HostID == "" {
+			t.Fatalf("VM %s not placed: site=%q host=%q", v.Name, v.SiteName, v.HostID)
+		}
+		if !v.Disk.IsCoW() {
+			t.Fatal("requested CoW disk, got flat")
+		}
+	}
+	// 8 VMs x 2 cores on 4 hosts x 8 cores: 16 cores used.
+	if free := c.FreeCores(); free != 32-16 {
+		t.Fatalf("free cores %d, want 16", free)
+	}
+	if dep.ReadyTime <= 0 || dep.PropagationTime <= 0 {
+		t.Fatalf("timings missing: ready=%v prop=%v", dep.ReadyTime, dep.PropagationTime)
+	}
+}
+
+func TestDeployUnknownImage(t *testing.T) {
+	k, _, c := testCloud(2)
+	var dep Deployment
+	c.Deploy(DeployRequest{Count: 1, Image: "nope"}, func(d Deployment) { dep = d })
+	k.Run()
+	if dep.Err == nil {
+		t.Fatal("deploy of unknown image must fail")
+	}
+}
+
+func TestDeployOverCapacity(t *testing.T) {
+	k, _, c := testCloud(1)
+	var dep Deployment
+	c.Deploy(DeployRequest{Count: 9, Image: "debian", Cores: 1, MemPages: 1024},
+		func(d Deployment) { dep = d })
+	k.Run()
+	if dep.Err == nil {
+		t.Fatal("over-capacity deploy must fail")
+	}
+	if c.FreeCores() != 8 {
+		t.Fatalf("failed deploy leaked resources: free=%d", c.FreeCores())
+	}
+}
+
+func TestWarmCacheSpeedsSecondDeploy(t *testing.T) {
+	k, _, c := testCloud(2)
+	var cold, warm Deployment
+	c.Deploy(DeployRequest{Count: 2, Image: "debian", CoW: true, MemPages: 1024}, func(d Deployment) {
+		cold = d
+		c.Deploy(DeployRequest{Count: 2, Image: "debian", CoW: true, MemPages: 1024}, func(d2 Deployment) { warm = d2 })
+	})
+	k.Run()
+	if cold.Err != nil || warm.Err != nil {
+		t.Fatalf("errs: %v %v", cold.Err, warm.Err)
+	}
+	if warm.PropagationTime != 0 {
+		t.Fatalf("warm deploy re-propagated: %v", warm.PropagationTime)
+	}
+	if warm.ReadyTime >= cold.ReadyTime {
+		t.Fatalf("warm (%v) not faster than cold (%v)", warm.ReadyTime, cold.ReadyTime)
+	}
+}
+
+func TestCoWFasterThanFullCopy(t *testing.T) {
+	run := func(cow bool) sim.Time {
+		k, _, c := testCloud(2)
+		// Use a big image so the copy cost dominates.
+		m := vm.NewContentModel(9, "big", 0.1, 0.5, 1024)
+		c.PutImage(vm.NewDiskImage("big", 16384, 65536, m)) // 1 GiB
+		var dep Deployment
+		c.Deploy(DeployRequest{Count: 2, Image: "big", CoW: cow, MemPages: 1024},
+			func(d Deployment) { dep = d })
+		k.Run()
+		if dep.Err != nil {
+			t.Fatal(dep.Err)
+		}
+		return dep.ReadyTime
+	}
+	cow, full := run(true), run(false)
+	if cow >= full {
+		t.Fatalf("CoW deploy (%v) not faster than full copy (%v)", cow, full)
+	}
+}
+
+func TestTerminateFreesResources(t *testing.T) {
+	k, _, c := testCloud(1)
+	var dep Deployment
+	c.Deploy(DeployRequest{Count: 2, Image: "debian", Cores: 4, MemPages: 1024},
+		func(d Deployment) { dep = d })
+	k.Run()
+	if c.FreeCores() != 0 {
+		t.Fatalf("free=%d before terminate", c.FreeCores())
+	}
+	for _, v := range dep.VMs {
+		c.Terminate(v)
+	}
+	if c.FreeCores() != 8 {
+		t.Fatalf("free=%d after terminate", c.FreeCores())
+	}
+	if dep.VMs[0].State != vm.StateTerminated {
+		t.Fatal("terminated VM state wrong")
+	}
+}
+
+func TestAdoptAndRelease(t *testing.T) {
+	k, _, c := testCloud(1)
+	m := vm.NewContentModel(1, "debian", 0.1, 0.4, 100)
+	v := vm.New("incoming", "debian", 2, 1024, m, nil)
+	h := c.Adopt(v)
+	if h == nil {
+		t.Fatal("adopt failed with free capacity")
+	}
+	if v.SiteName != "g5k" {
+		t.Fatal("adopted VM not re-sited")
+	}
+	if c.FreeCores() != 6 {
+		t.Fatalf("free=%d after adopt", c.FreeCores())
+	}
+	c.Release(v)
+	if c.FreeCores() != 8 {
+		t.Fatalf("free=%d after release", c.FreeCores())
+	}
+	_ = k
+}
+
+func TestAdoptFullCloud(t *testing.T) {
+	_, _, c := testCloud(1)
+	m := vm.NewContentModel(1, "debian", 0.1, 0.4, 100)
+	big := vm.New("big", "debian", 9, 1024, m, nil) // > 8 cores
+	if c.Adopt(big) != nil {
+		t.Fatal("adopt must fail when no host fits")
+	}
+}
+
+func TestCostAccrues(t *testing.T) {
+	k, _, c := testCloud(1)
+	var dep Deployment
+	c.Deploy(DeployRequest{Count: 1, Image: "debian", Cores: 8, MemPages: 1024},
+		func(d Deployment) { dep = d })
+	k.Run()
+	readyAt := k.Now()
+	k.Schedule(sim.Hour, func() {})
+	k.Run()
+	cost := c.Cost()
+	// 8 cores for 1 hour at $0.10/core-hour = $0.80 (plus the deploy tail).
+	min := 0.8
+	max := 0.8 + 8*readyAt.Seconds()/3600*0.10 + 0.01
+	if cost < min || cost > max {
+		t.Fatalf("cost %.4f outside [%.4f, %.4f]", cost, min, max)
+	}
+	_ = dep
+}
+
+func TestSpotRevocationKillsByDefault(t *testing.T) {
+	k, _, c := testCloud(1)
+	var dep Deployment
+	c.Deploy(DeployRequest{Count: 2, Image: "debian", Cores: 1, MemPages: 1024,
+		Spot: true, Bid: 0.05}, func(d Deployment) { dep = d })
+	k.RunUntil(5 * sim.Minute)
+	if c.Spot.Watched() != 2 {
+		t.Fatalf("watched %d", c.Spot.Watched())
+	}
+	c.Spot.ForcePrice(0.10) // above both bids
+	if c.Spot.Revocations != 2 {
+		t.Fatalf("revocations %d", c.Spot.Revocations)
+	}
+	for _, v := range dep.VMs {
+		if v.State != vm.StateTerminated {
+			t.Fatalf("revoked VM %s not terminated", v.Name)
+		}
+	}
+}
+
+func TestSpotRevokeCallbackOverride(t *testing.T) {
+	k, _, c := testCloud(1)
+	saved := 0
+	c.Spot.OnRevoke = func(v *vm.VM) { saved++ } // "migrate" instead of kill
+	var dep Deployment
+	c.Deploy(DeployRequest{Count: 1, Image: "debian", Cores: 1, MemPages: 1024,
+		Spot: true, Bid: 0.05}, func(d Deployment) { dep = d })
+	k.RunUntil(5 * sim.Minute)
+	c.Spot.ForcePrice(1.0)
+	if saved != 1 {
+		t.Fatalf("override not called: %d", saved)
+	}
+	if dep.VMs[0].State == vm.StateTerminated {
+		t.Fatal("override should prevent termination")
+	}
+}
+
+func TestSpotPriceProcessDeterministic(t *testing.T) {
+	run := func() []float64 {
+		k, _, c := testCloud(1)
+		c.Spot.Start()
+		var series []float64
+		k.Ticker(60*sim.Second, func() { series = append(series, c.Spot.Price) })
+		k.RunUntil(30 * sim.Minute)
+		c.Spot.Stop()
+		return series
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("series lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("spot price series nondeterministic")
+		}
+	}
+}
+
+func TestSpotOnDemandVMsNotWatched(t *testing.T) {
+	k, _, c := testCloud(1)
+	c.Deploy(DeployRequest{Count: 1, Image: "debian", Cores: 1, MemPages: 1024}, func(Deployment) {})
+	k.Run()
+	if c.Spot.Watched() != 0 {
+		t.Fatal("on-demand VM ended up in the spot watch list")
+	}
+}
+
+func TestPropagationStrategyPluggable(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	c := New(net, Config{
+		Name: "uni", Hosts: 4,
+		HostSpec: HostSpec{Cores: 4, MemPages: 1 << 20},
+		NICBW:    125 * MB, WANUp: 125 * MB, WANDown: 125 * MB,
+		Propagation: deploy.Unicast{},
+	})
+	m := vm.NewContentModel(7, "debian", 0.1, 0.5, 1024)
+	c.PutImage(vm.NewDiskImage("debian", 1024, 65536, m))
+	var dep Deployment
+	c.Deploy(DeployRequest{Count: 4, Image: "debian", MemPages: 1024}, func(d Deployment) { dep = d })
+	k.Run()
+	if dep.Err != nil {
+		t.Fatal(dep.Err)
+	}
+}

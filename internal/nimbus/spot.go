@@ -1,0 +1,139 @@
+package nimbus
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// SpotMarket models per-cloud spot pricing (§IV: "Amazon already introduced
+// some price variability in Amazon EC2 with spot instances"). The price
+// follows a seeded geometric random walk with occasional demand spikes; a
+// spot VM whose bid falls below the price is revoked. The default revocation
+// behaviour kills the VM; the federation layer overrides OnRevoke to
+// implement migratable spot instances instead.
+type SpotMarket struct {
+	cloud *Cloud
+
+	// Price is the current spot price, $/core-hour.
+	Price float64
+	// UpdateInterval is the tick between price moves. Default 60 s.
+	UpdateInterval sim.Time
+	// SpikeProb is the per-tick probability of a demand spike.
+	SpikeProb float64
+	// SpikeFactor multiplies the price during a spike.
+	SpikeFactor float64
+	// SpikeTicks is how many ticks a spike lasts.
+	SpikeTicks int
+
+	// OnRevoke is called when a watched spot VM is out-bid. The default
+	// terminates the VM. Replacing it (e.g. with a migration) implements
+	// §IV's migratable spot instances.
+	OnRevoke func(*vm.VM)
+
+	basePrice   float64
+	spikeLeft   int
+	watched     []*vm.VM
+	started     bool
+	Revocations int
+	cancelTick  func()
+}
+
+func newSpotMarket(c *Cloud, basePrice float64) *SpotMarket {
+	if basePrice <= 0 {
+		basePrice = 0.01
+	}
+	m := &SpotMarket{
+		cloud:          c,
+		Price:          basePrice,
+		basePrice:      basePrice,
+		UpdateInterval: 60 * sim.Second,
+		SpikeProb:      0.02,
+		SpikeFactor:    4.0,
+		SpikeTicks:     5,
+	}
+	m.OnRevoke = func(v *vm.VM) { c.Terminate(v) }
+	return m
+}
+
+// watch begins revocation monitoring for spot VMs; the price process starts
+// on first use.
+func (m *SpotMarket) watch(vms []*vm.VM) {
+	m.watched = append(m.watched, vms...)
+	m.Start()
+}
+
+// Start launches the price process (idempotent).
+func (m *SpotMarket) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	k := m.cloud.Net.K
+	m.cancelTick = k.Ticker(m.UpdateInterval, m.tick)
+}
+
+// Stop halts the price process.
+func (m *SpotMarket) Stop() {
+	if m.cancelTick != nil {
+		m.cancelTick()
+		m.started = false
+	}
+}
+
+// ForcePrice sets the spot price immediately and runs revocation checks —
+// used by experiments that script price spikes deterministically.
+func (m *SpotMarket) ForcePrice(p float64) {
+	m.Price = p
+	m.revokeOutbid()
+}
+
+func (m *SpotMarket) tick() {
+	rng := m.cloud.Net.K.Rand()
+	if m.spikeLeft > 0 {
+		m.spikeLeft--
+		if m.spikeLeft == 0 {
+			m.Price = m.basePrice
+		}
+	} else if rng.Float64() < m.SpikeProb {
+		m.spikeLeft = m.SpikeTicks
+		m.Price = m.basePrice * m.SpikeFactor
+	} else {
+		// Geometric random walk, ±5% per tick, floored at 20% of base.
+		m.Price *= math.Exp((rng.Float64() - 0.5) * 0.1)
+		if m.Price < 0.2*m.basePrice {
+			m.Price = 0.2 * m.basePrice
+		}
+	}
+	m.revokeOutbid()
+}
+
+func (m *SpotMarket) revokeOutbid() {
+	kept := m.watched[:0]
+	var revoked []*vm.VM
+	for _, v := range m.watched {
+		if v.State == vm.StateTerminated {
+			continue
+		}
+		if v.Bid < m.Price {
+			revoked = append(revoked, v)
+			continue
+		}
+		kept = append(kept, v)
+	}
+	m.watched = kept
+	for _, v := range revoked {
+		m.Revocations++
+		m.OnRevoke(v)
+	}
+	// With nothing left to watch the price process idles; it restarts on
+	// the next spot deployment. This also lets simulations drain to
+	// completion instead of ticking forever.
+	if len(m.watched) == 0 {
+		m.Stop()
+	}
+}
+
+// Watched returns the number of spot VMs under revocation monitoring.
+func (m *SpotMarket) Watched() int { return len(m.watched) }

@@ -1,0 +1,143 @@
+package secure
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const MB = 1 << 20
+
+func testbed() (*sim.Kernel, *simnet.Network, *simnet.Node, *simnet.Node) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	a := net.AddSite("alpha", 125*MB, 125*MB)
+	b := net.AddSite("beta", 125*MB, 125*MB)
+	net.SetSiteLatency("alpha", "beta", 50*sim.Millisecond)
+	return k, net, a.AddNode("ha", 1<<30), b.AddNode("hb", 1<<30)
+}
+
+func TestIssueVerifyRevoke(t *testing.T) {
+	auth := NewAuthority(1)
+	c := auth.Issue("alpha")
+	if !auth.Verify(c) {
+		t.Fatal("fresh credential rejected")
+	}
+	forged := c
+	forged.Token ^= 0xdead
+	if auth.Verify(forged) {
+		t.Fatal("forged token accepted")
+	}
+	wrongCloud := c
+	wrongCloud.Cloud = "mallory"
+	if auth.Verify(wrongCloud) {
+		t.Fatal("credential accepted for wrong cloud")
+	}
+	auth.Revoke("alpha")
+	if auth.Verify(c) {
+		t.Fatal("revoked credential accepted")
+	}
+}
+
+func TestReissueInvalidatesOld(t *testing.T) {
+	auth := NewAuthority(1)
+	old := auth.Issue("alpha")
+	niu := auth.Issue("alpha")
+	if auth.Verify(old) {
+		t.Fatal("stale credential accepted after re-issue")
+	}
+	if !auth.Verify(niu) {
+		t.Fatal("new credential rejected")
+	}
+}
+
+func TestEstablishFullHandshake(t *testing.T) {
+	k, net, ha, hb := testbed()
+	auth := NewAuthority(1)
+	ca, cb := auth.Issue("alpha"), auth.Issue("beta")
+	br := NewBroker(net, auth, Config{})
+	var ch *Channel
+	br.Establish(ha, hb, ca, cb, func(c *Channel, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch = c
+	})
+	k.Run()
+	if ch == nil || ch.Resumed {
+		t.Fatalf("expected full handshake, got %+v", ch)
+	}
+	// 2 x 50ms hellos + 40ms key setup ≈ 140ms.
+	if e := ch.EstablishedAt.Seconds(); e < 0.13 || e > 0.20 {
+		t.Fatalf("handshake latency %.3fs out of range", e)
+	}
+	if br.Handshakes != 1 || br.Resumptions != 0 {
+		t.Fatalf("stats %+v", br)
+	}
+}
+
+func TestResumptionIsCheaper(t *testing.T) {
+	k, net, ha, hb := testbed()
+	auth := NewAuthority(1)
+	ca, cb := auth.Issue("alpha"), auth.Issue("beta")
+	br := NewBroker(net, auth, Config{})
+	var first, second sim.Time
+	br.Establish(ha, hb, ca, cb, func(c *Channel, err error) {
+		first = k.Now()
+		br.Establish(ha, hb, ca, cb, func(c2 *Channel, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c2.Resumed {
+				t.Fatal("second establishment should resume")
+			}
+			second = k.Now() - first
+		})
+	})
+	k.Run()
+	if second >= first {
+		t.Fatalf("resumption (%v) not cheaper than full handshake (%v)", second, first)
+	}
+	if br.Resumptions != 1 {
+		t.Fatalf("resumptions %d", br.Resumptions)
+	}
+}
+
+func TestEstablishRejectsRevoked(t *testing.T) {
+	k, net, ha, hb := testbed()
+	auth := NewAuthority(1)
+	ca, cb := auth.Issue("alpha"), auth.Issue("beta")
+	auth.Revoke("beta")
+	br := NewBroker(net, auth, Config{})
+	var err error
+	br.Establish(ha, hb, ca, cb, func(_ *Channel, e error) { err = e })
+	k.Run()
+	if err == nil {
+		t.Fatal("revoked destination accepted")
+	}
+	if br.Rejections != 1 {
+		t.Fatalf("rejections %d", br.Rejections)
+	}
+}
+
+func TestInvalidateDropsCachedSessions(t *testing.T) {
+	k, net, ha, hb := testbed()
+	auth := NewAuthority(1)
+	ca, cb := auth.Issue("alpha"), auth.Issue("beta")
+	br := NewBroker(net, auth, Config{})
+	br.Establish(ha, hb, ca, cb, func(*Channel, error) {})
+	k.Run()
+	br.Invalidate("beta")
+	// Re-issue beta so verification passes, but the session must not resume.
+	cb2 := auth.Issue("beta")
+	var ch *Channel
+	br.Establish(ha, hb, ca, cb2, func(c *Channel, err error) { ch = c })
+	k.Run()
+	if ch == nil || ch.Resumed {
+		t.Fatal("invalidated session was resumed")
+	}
+	if br.Handshakes != 2 {
+		t.Fatalf("handshakes %d", br.Handshakes)
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All substrates in this repository (network, clouds, migration, MapReduce)
+// are built on this kernel. Time is virtual: an int64 count of microseconds
+// since the start of the simulation. Events are callbacks ordered by
+// (time, sequence number), so two events scheduled for the same instant fire
+// in scheduling order, which makes every run with the same seed bit-for-bit
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in microseconds.
+type Time int64
+
+// Duration constants, expressed in Time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Seconds converts a virtual time (or duration) to float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts float64 seconds to a virtual duration.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String renders the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 once popped or cancelled
+	cancelled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event scheduler. It is not safe for concurrent use:
+// the simulation model is single-threaded by design for determinism.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewKernel returns a kernel with virtual time 0 and a deterministic RNG
+// seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. All model code must
+// draw randomness from here (or from sources derived from it) so runs are
+// reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Pending returns the number of events currently scheduled.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Fired returns the total number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Schedule runs fn after delay units of virtual time. A negative delay is
+// treated as zero (fire "now", after already-queued events for this instant).
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped to now.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Step fires the next event, if any, advancing virtual time to it.
+// It returns false when the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t
+// (if the simulation had not already advanced past it).
+func (k *Kernel) RunUntil(t Time) {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.events) == 0 {
+			break
+		}
+		// Peek at the earliest event without popping.
+		if k.events[0].at > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Stop makes the current Run/RunUntil return after the in-flight event.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Ticker invokes fn every period until the returned cancel function is
+// called. The first invocation happens after one period.
+func (k *Kernel) Ticker(period Time, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			k.Schedule(period, tick)
+		}
+	}
+	k.Schedule(period, tick)
+	return func() { stopped = true }
+}
+
+// ExpJitter returns a duration drawn from an exponential distribution with
+// the given mean, useful for arrival processes.
+func (k *Kernel) ExpJitter(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	return Time(k.rng.ExpFloat64() * float64(mean))
+}
+
+// UniformJitter returns a duration uniformly distributed in [0, max).
+func (k *Kernel) UniformJitter(max Time) Time {
+	if max <= 0 {
+		return 0
+	}
+	return Time(k.rng.Int63n(int64(max)))
+}

@@ -1,0 +1,473 @@
+// Package simnet is a flow-level network simulator built on the sim kernel.
+//
+// The topology models a set of sites (clouds) connected by a wide-area
+// network. Each node has a NIC of finite bandwidth; each site has a WAN
+// uplink and downlink shared by all cross-site traffic. Bulk transfers are
+// flows: their instantaneous rates follow max-min fair sharing over every
+// link on their path, recomputed whenever a flow starts or finishes. Control
+// traffic uses SendMessage, which models propagation latency plus
+// uncontended serialisation delay.
+//
+// The simulator accounts bytes per link and per site pair, which is how the
+// WAN-billing numbers in the paper's Shrinker and autonomic-adaptation
+// experiments are produced.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Link is a unidirectional capacity-constrained resource.
+type Link struct {
+	Name     string
+	Capacity float64 // bytes per second
+	Bytes    int64   // total bytes carried to completion
+
+	flows map[*Flow]struct{}
+}
+
+func newLink(name string, capacity float64) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simnet: link %s has non-positive capacity", name))
+	}
+	return &Link{Name: name, Capacity: capacity, flows: make(map[*Flow]struct{})}
+}
+
+// Utilization returns the fraction of capacity currently allocated.
+func (l *Link) Utilization() float64 {
+	var sum float64
+	for f := range l.flows {
+		sum += f.rate
+	}
+	return sum / l.Capacity
+}
+
+// ActiveFlows returns the number of flows currently traversing the link.
+func (l *Link) ActiveFlows() int { return len(l.flows) }
+
+// Site is a cloud location: a LAN of nodes behind a WAN uplink/downlink.
+type Site struct {
+	Name    string
+	Up      *Link // WAN egress shared by all cross-site flows leaving the site
+	Down    *Link // WAN ingress
+	LANLat  sim.Time
+	nodes   map[string]*Node
+	network *Network
+}
+
+// Nodes returns the site's nodes sorted by ID (deterministic order).
+func (s *Site) Nodes() []*Node {
+	out := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Node is an endpoint (a physical host or a service) with a NIC.
+type Node struct {
+	ID   string
+	Site *Site
+	Out  *Link // NIC egress
+	In   *Link // NIC ingress
+}
+
+// FlowEvent describes a flow starting or finishing, for observers
+// (the netmon package's hypervisor-level packet capture hooks into this).
+type FlowEvent struct {
+	Start    bool
+	Src, Dst *Node
+	Bytes    int64 // requested size (Start) or bytes actually carried (end)
+	Tag      string
+	At       sim.Time
+}
+
+// Flow is an in-progress bulk transfer.
+type Flow struct {
+	Src, Dst *Node
+	Tag      string
+
+	total      int64
+	remaining  float64
+	rate       float64 // bytes/sec, set by the fair-share computation
+	last       sim.Time
+	latency    sim.Time
+	links      []*Link
+	done       func()
+	completion *sim.Event
+	network    *Network
+	finished   bool
+}
+
+// Remaining returns the bytes not yet transferred.
+func (f *Flow) Remaining() int64 { return int64(math.Ceil(f.remaining)) }
+
+// Rate returns the current fair-share rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Network is the simulated internetwork.
+type Network struct {
+	K *sim.Kernel
+
+	sites     map[string]*Site
+	siteLat   map[[2]string]sim.Time
+	defWANLat sim.Time
+
+	active    map[*Flow]struct{}
+	wanBytes  map[[2]string]int64 // src site -> dst site, completed bytes
+	observers []func(FlowEvent)
+
+	// CostPerWANByte lets experiments attach a dollar cost to WAN traffic,
+	// mirroring cloud egress billing. Zero disables cost accounting.
+	CostPerWANByte float64
+	wanCost        float64
+}
+
+// New returns an empty network on the given kernel with a default inter-site
+// latency of 50 ms (a transatlantic RTT/2, matching the paper's
+// Grid'5000–FutureGrid setting).
+func New(k *sim.Kernel) *Network {
+	return &Network{
+		K:         k,
+		sites:     make(map[string]*Site),
+		siteLat:   make(map[[2]string]sim.Time),
+		defWANLat: 50 * sim.Millisecond,
+		active:    make(map[*Flow]struct{}),
+		wanBytes:  make(map[[2]string]int64),
+	}
+}
+
+// AddSite creates a site with the given WAN uplink/downlink capacities in
+// bytes/sec and a default LAN one-way latency of 100µs.
+func (n *Network) AddSite(name string, wanUp, wanDown float64) *Site {
+	if _, dup := n.sites[name]; dup {
+		panic("simnet: duplicate site " + name)
+	}
+	s := &Site{
+		Name:    name,
+		Up:      newLink(name+"/wan-up", wanUp),
+		Down:    newLink(name+"/wan-down", wanDown),
+		LANLat:  100 * sim.Microsecond,
+		nodes:   make(map[string]*Node),
+		network: n,
+	}
+	n.sites[name] = s
+	return s
+}
+
+// Site returns a site by name, or nil.
+func (n *Network) Site(name string) *Site { return n.sites[name] }
+
+// Sites returns all sites sorted by name.
+func (n *Network) Sites() []*Site {
+	out := make([]*Site, 0, len(n.sites))
+	for _, s := range n.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetSiteLatency sets the one-way latency between two sites (both directions).
+func (n *Network) SetSiteLatency(a, b string, lat sim.Time) {
+	n.siteLat[[2]string{a, b}] = lat
+	n.siteLat[[2]string{b, a}] = lat
+}
+
+// SetDefaultWANLatency sets the latency used for site pairs without an
+// explicit SetSiteLatency entry.
+func (n *Network) SetDefaultWANLatency(lat sim.Time) { n.defWANLat = lat }
+
+// AddNode creates a node on the site with a NIC of nicBW bytes/sec.
+func (s *Site) AddNode(id string, nicBW float64) *Node {
+	if _, dup := s.nodes[id]; dup {
+		panic("simnet: duplicate node " + id + " on site " + s.Name)
+	}
+	node := &Node{
+		ID:   id,
+		Site: s,
+		Out:  newLink(id+"/out", nicBW),
+		In:   newLink(id+"/in", nicBW),
+	}
+	s.nodes[id] = node
+	return node
+}
+
+// Node returns a node by ID on the site, or nil.
+func (s *Site) Node(id string) *Node { return s.nodes[id] }
+
+// Observe registers a callback invoked on every flow start and completion.
+func (n *Network) Observe(fn func(FlowEvent)) { n.observers = append(n.observers, fn) }
+
+func (n *Network) emit(ev FlowEvent) {
+	for _, o := range n.observers {
+		o(ev)
+	}
+}
+
+// PathLatency returns the one-way latency between two nodes.
+func (n *Network) PathLatency(src, dst *Node) sim.Time {
+	if src.Site == dst.Site {
+		return src.Site.LANLat
+	}
+	if lat, ok := n.siteLat[[2]string{src.Site.Name, dst.Site.Name}]; ok {
+		return lat
+	}
+	return n.defWANLat
+}
+
+func (n *Network) path(src, dst *Node) []*Link {
+	if src == dst {
+		return []*Link{src.Out} // loopback: NIC-bound local copy
+	}
+	if src.Site == dst.Site {
+		return []*Link{src.Out, dst.In}
+	}
+	return []*Link{src.Out, src.Site.Up, dst.Site.Down, dst.In}
+}
+
+// BottleneckBW returns the minimum capacity along the path, ignoring
+// contention. Used for sizing control-message serialisation delay.
+func (n *Network) BottleneckBW(src, dst *Node) float64 {
+	min := math.Inf(1)
+	for _, l := range n.path(src, dst) {
+		if l.Capacity < min {
+			min = l.Capacity
+		}
+	}
+	return min
+}
+
+// SendMessage delivers a control message of the given size after propagation
+// latency plus uncontended serialisation delay, then invokes fn. Control
+// messages are deliberately not subject to fair sharing: the real systems
+// send them over separate low-volume TCP connections whose impact on bulk
+// transfers is negligible.
+func (n *Network) SendMessage(src, dst *Node, bytes int64, fn func()) {
+	delay := n.PathLatency(src, dst) + sim.FromSeconds(float64(bytes)/n.BottleneckBW(src, dst))
+	if src.Site != dst.Site {
+		n.accountWAN(src.Site.Name, dst.Site.Name, bytes)
+	}
+	n.K.Schedule(delay, fn)
+}
+
+// StartFlow begins a bulk transfer of bytes from src to dst. onDone runs when
+// the last byte arrives (transfer completion plus one-way latency). Zero-byte
+// flows complete after latency alone.
+func (n *Network) StartFlow(src, dst *Node, bytes int64, tag string, onDone func()) *Flow {
+	if bytes < 0 {
+		panic("simnet: negative flow size")
+	}
+	f := &Flow{
+		Src: src, Dst: dst, Tag: tag,
+		total:     bytes,
+		remaining: float64(bytes),
+		last:      n.K.Now(),
+		latency:   n.PathLatency(src, dst),
+		links:     n.path(src, dst),
+		done:      onDone,
+		network:   n,
+	}
+	n.emit(FlowEvent{Start: true, Src: src, Dst: dst, Bytes: bytes, Tag: tag, At: n.K.Now()})
+	if bytes == 0 {
+		f.finished = true
+		n.K.Schedule(f.latency, func() {
+			n.emit(FlowEvent{Src: src, Dst: dst, Bytes: 0, Tag: tag, At: n.K.Now()})
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return f
+	}
+	n.advanceAll()
+	n.active[f] = struct{}{}
+	for _, l := range f.links {
+		l.flows[f] = struct{}{}
+	}
+	n.recomputeAndReschedule()
+	return f
+}
+
+// Cancel aborts an in-flight flow; bytes already carried stay accounted.
+// onDone is not invoked. Cancelling a finished flow is a no-op.
+func (f *Flow) Cancel() {
+	if f.finished {
+		return
+	}
+	n := f.network
+	n.advanceAll()
+	f.finish(false)
+	n.recomputeAndReschedule()
+}
+
+// finish removes the flow from the network and accounts its carried bytes.
+// advanceAll must have been called by the caller.
+func (f *Flow) finish(completed bool) {
+	n := f.network
+	f.finished = true
+	if f.completion != nil {
+		f.completion.Cancel()
+		f.completion = nil
+	}
+	delete(n.active, f)
+	carried := f.total - f.Remaining()
+	if completed {
+		carried = f.total
+	}
+	for _, l := range f.links {
+		delete(l.flows, f)
+		l.Bytes += carried
+	}
+	if f.Src.Site != f.Dst.Site {
+		n.accountWAN(f.Src.Site.Name, f.Dst.Site.Name, carried)
+	}
+	n.emit(FlowEvent{Src: f.Src, Dst: f.Dst, Bytes: carried, Tag: f.Tag, At: n.K.Now()})
+	if completed && f.done != nil {
+		done := f.done
+		n.K.Schedule(f.latency, done)
+	}
+}
+
+func (n *Network) accountWAN(src, dst string, bytes int64) {
+	n.wanBytes[[2]string{src, dst}] += bytes
+	n.wanCost += float64(bytes) * n.CostPerWANByte
+}
+
+// WANBytes returns completed bytes sent from site a to site b.
+func (n *Network) WANBytes(a, b string) int64 { return n.wanBytes[[2]string{a, b}] }
+
+// TotalWANBytes returns completed bytes over all site pairs.
+func (n *Network) TotalWANBytes() int64 {
+	var sum int64
+	for _, v := range n.wanBytes {
+		sum += v
+	}
+	return sum
+}
+
+// WANCost returns the accumulated WAN billing cost.
+func (n *Network) WANCost() float64 { return n.wanCost }
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// advanceAll progresses every active flow's remaining bytes to the current
+// virtual time at its last computed rate.
+func (n *Network) advanceAll() {
+	now := n.K.Now()
+	for f := range n.active {
+		dt := (now - f.last).Seconds()
+		if dt > 0 {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.last = now
+	}
+}
+
+// recomputeAndReschedule runs max-min fair sharing over all active flows and
+// reschedules each flow's completion event.
+func (n *Network) recomputeAndReschedule() {
+	if len(n.active) == 0 {
+		return
+	}
+	// Max-min water filling. Iteratively find the most contended link,
+	// freeze its flows at the fair share, and remove their demand.
+	type linkState struct {
+		rem      float64
+		unfrozen int
+	}
+	states := make(map[*Link]*linkState)
+	for f := range n.active {
+		for _, l := range f.links {
+			if _, ok := states[l]; !ok {
+				states[l] = &linkState{rem: l.Capacity}
+			}
+		}
+	}
+	for f := range n.active {
+		f.rate = -1 // unfrozen marker
+		for _, l := range f.links {
+			states[l].unfrozen++
+		}
+	}
+	frozen := 0
+	for frozen < len(n.active) {
+		// Find bottleneck link: minimal fair share among links with
+		// unfrozen flows.
+		var bottleneck *Link
+		share := math.Inf(1)
+		for l, st := range states {
+			if st.unfrozen == 0 {
+				continue
+			}
+			s := st.rem / float64(st.unfrozen)
+			if s < share || (s == share && (bottleneck == nil || l.Name < bottleneck.Name)) {
+				share, bottleneck = s, l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		for f := range bottleneck.flows {
+			if f.rate >= 0 {
+				continue
+			}
+			f.rate = share
+			for _, l := range f.links {
+				st := states[l]
+				st.rem -= share
+				if st.rem < 0 {
+					st.rem = 0
+				}
+				st.unfrozen--
+			}
+			frozen++
+		}
+	}
+	// Reschedule completions deterministically (sorted for reproducibility).
+	flows := make([]*Flow, 0, len(n.active))
+	for f := range n.active {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Src.ID != flows[j].Src.ID {
+			return flows[i].Src.ID < flows[j].Src.ID
+		}
+		if flows[i].Dst.ID != flows[j].Dst.ID {
+			return flows[i].Dst.ID < flows[j].Dst.ID
+		}
+		return flows[i].Tag < flows[j].Tag
+	})
+	for _, f := range flows {
+		if f.completion != nil {
+			f.completion.Cancel()
+			f.completion = nil
+		}
+		if f.rate <= 0 {
+			// Starved flow: no capacity. It stays active and will be
+			// rescheduled when contention changes.
+			continue
+		}
+		eta := sim.FromSeconds(f.remaining / f.rate)
+		if eta < 0 {
+			eta = 0
+		}
+		f := f
+		f.completion = n.K.Schedule(eta, func() {
+			n.advanceAll()
+			f.finish(true)
+			n.recomputeAndReschedule()
+		})
+	}
+}

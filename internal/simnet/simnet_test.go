@@ -1,0 +1,305 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+const (
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// twoSiteNet builds two sites with one node each: 1 GB/s NICs, WAN 125 MB/s
+// (a 1 Gb/s interconnect), 50 ms one-way latency.
+func twoSiteNet(t testing.TB) (*sim.Kernel, *Network, *Node, *Node) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	n := New(k)
+	a := n.AddSite("siteA", 125*MB, 125*MB)
+	b := n.AddSite("siteB", 125*MB, 125*MB)
+	n.SetSiteLatency("siteA", "siteB", 50*sim.Millisecond)
+	na := a.AddNode("a0", 1*GB)
+	nb := b.AddNode("b0", 1*GB)
+	return k, n, na, nb
+}
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %.6f want %.6f (tol %.6f)", msg, got, want, tol)
+	}
+}
+
+func TestSingleFlowWANTime(t *testing.T) {
+	k, n, a, b := twoSiteNet(t)
+	var doneAt sim.Time
+	n.StartFlow(a, b, 125*MB, "bulk", func() { doneAt = k.Now() })
+	k.Run()
+	// 125 MB over a 125 MB/s bottleneck = 1 s, plus 50 ms latency.
+	approx(t, doneAt.Seconds(), 1.05, 0.001, "WAN flow completion")
+	if n.WANBytes("siteA", "siteB") != 125*MB {
+		t.Fatalf("WAN accounting: %d", n.WANBytes("siteA", "siteB"))
+	}
+}
+
+func TestLANFlowUsesNICBandwidth(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	s := n.AddSite("s", 125*MB, 125*MB)
+	a := s.AddNode("a", 1*GB)
+	b := s.AddNode("b", 1*GB)
+	var doneAt sim.Time
+	n.StartFlow(a, b, 1*GB, "local", func() { doneAt = k.Now() })
+	k.Run()
+	// 1 GB at 1 GB/s NIC = 1 s + 100 µs LAN latency; WAN must be untouched.
+	approx(t, doneAt.Seconds(), 1.0001, 0.001, "LAN flow completion")
+	if n.TotalWANBytes() != 0 {
+		t.Fatal("LAN flow was billed to the WAN")
+	}
+}
+
+func TestFairShareTwoFlows(t *testing.T) {
+	k, n, a, b := twoSiteNet(t)
+	var t1, t2 sim.Time
+	n.StartFlow(a, b, 125*MB, "f1", func() { t1 = k.Now() })
+	n.StartFlow(a, b, 125*MB, "f2", func() { t2 = k.Now() })
+	k.Run()
+	// Two equal flows share the 125 MB/s WAN: each runs at 62.5 MB/s,
+	// finishing together at ~2 s (+latency).
+	approx(t, t1.Seconds(), 2.05, 0.01, "flow 1")
+	approx(t, t2.Seconds(), 2.05, 0.01, "flow 2")
+}
+
+func TestFairShareRampUp(t *testing.T) {
+	k, n, a, b := twoSiteNet(t)
+	var t1 sim.Time
+	// Flow 1 alone for 0.5 s (62.5 MB done), then flow 2 joins and they
+	// split: flow 1's remaining 62.5 MB takes 1 s more.
+	n.StartFlow(a, b, 125*MB, "f1", func() { t1 = k.Now() })
+	k.Schedule(500*sim.Millisecond, func() {
+		n.StartFlow(a, b, 250*MB, "f2", nil)
+	})
+	k.Run()
+	approx(t, t1.Seconds(), 1.55, 0.01, "flow 1 with mid-life contention")
+}
+
+func TestFlowReleaseSpeedsUpRemaining(t *testing.T) {
+	k, n, a, b := twoSiteNet(t)
+	var tSmall, tBig sim.Time
+	n.StartFlow(a, b, 62500*1024, "small", func() { tSmall = k.Now() }) // 61.04 MB
+	n.StartFlow(a, b, 125*MB, "big", func() { tBig = k.Now() })
+	k.Run()
+	if tSmall >= tBig {
+		t.Fatalf("small flow (%v) should finish before big flow (%v)", tSmall, tBig)
+	}
+	// Big flow total: shares until small done, then full rate.
+	// small = 64e6-ish bytes at 65.5 MB/s... just sanity-check ordering and
+	// that big finishes sooner than a pure half-rate run (2 s).
+	if tBig.Seconds() >= 2.05 {
+		t.Fatalf("big flow never sped up after small flow finished: %v", tBig)
+	}
+}
+
+func TestNICBottleneckOnLAN(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	s := n.AddSite("s", 1*GB, 1*GB)
+	src := s.AddNode("src", 100*MB) // slow NIC
+	dst := s.AddNode("dst", 1*GB)
+	var done sim.Time
+	n.StartFlow(src, dst, 100*MB, "x", func() { done = k.Now() })
+	k.Run()
+	approx(t, done.Seconds(), 1.0001, 0.001, "NIC-bound flow")
+}
+
+func TestZeroByteFlow(t *testing.T) {
+	k, n, a, b := twoSiteNet(t)
+	var done sim.Time
+	n.StartFlow(a, b, 0, "z", func() { done = k.Now() })
+	k.Run()
+	approx(t, done.Seconds(), 0.05, 0.0001, "zero-byte flow = latency only")
+}
+
+func TestCancelAccountsPartialBytes(t *testing.T) {
+	k, n, a, b := twoSiteNet(t)
+	f := n.StartFlow(a, b, 125*MB, "bulk", func() { t.Fatal("cancelled flow ran onDone") })
+	k.Schedule(500*sim.Millisecond, func() { f.Cancel() })
+	k.Run()
+	carried := n.WANBytes("siteA", "siteB")
+	// Half the flow: ~62.5 MB.
+	if carried < 62*MB || carried > 63*MB {
+		t.Fatalf("partial accounting: %d bytes", carried)
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatal("cancelled flow still active")
+	}
+}
+
+func TestSendMessageLatency(t *testing.T) {
+	k, n, a, b := twoSiteNet(t)
+	var done sim.Time
+	n.SendMessage(a, b, 1024, func() { done = k.Now() })
+	k.Run()
+	// 50 ms + 1 KiB / 125 MB/s ≈ 50.008 ms.
+	approx(t, done.Seconds(), 0.050008, 0.0001, "control message")
+}
+
+func TestObserver(t *testing.T) {
+	k, n, a, b := twoSiteNet(t)
+	var events []FlowEvent
+	n.Observe(func(ev FlowEvent) { events = append(events, ev) })
+	n.StartFlow(a, b, MB, "tagged", nil)
+	k.Run()
+	if len(events) != 2 {
+		t.Fatalf("want start+end events, got %d", len(events))
+	}
+	if !events[0].Start || events[0].Bytes != MB || events[0].Tag != "tagged" {
+		t.Fatalf("bad start event: %+v", events[0])
+	}
+	if events[1].Start || events[1].Bytes != MB {
+		t.Fatalf("bad end event: %+v", events[1])
+	}
+}
+
+func TestCrossTrafficIndependentSites(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	a := n.AddSite("a", 125*MB, 125*MB)
+	b := n.AddSite("b", 125*MB, 125*MB)
+	c := n.AddSite("c", 125*MB, 125*MB)
+	na := a.AddNode("na", 1*GB)
+	nb := b.AddNode("nb", 1*GB)
+	nc := c.AddNode("nc", 1*GB)
+	var tab, tac sim.Time
+	// a->b and c->a: share only a's uplink? No - different directions.
+	// a->b uses a.Up and b.Down; c->a uses c.Up and a.Down. Independent.
+	n.StartFlow(na, nb, 125*MB, "ab", func() { tab = k.Now() })
+	n.StartFlow(nc, na, 125*MB, "ca", func() { tac = k.Now() })
+	k.Run()
+	approx(t, tab.Seconds(), 1.05, 0.01, "a->b unaffected by c->a")
+	approx(t, tac.Seconds(), 1.05, 0.01, "c->a unaffected by a->b")
+}
+
+func TestSharedUplinkContention(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	a := n.AddSite("a", 125*MB, 125*MB)
+	b := n.AddSite("b", 125*MB, 125*MB)
+	c := n.AddSite("c", 125*MB, 125*MB)
+	a0 := a.AddNode("a0", 1*GB)
+	a1 := a.AddNode("a1", 1*GB)
+	nb := b.AddNode("nb", 1*GB)
+	nc := c.AddNode("nc", 1*GB)
+	var t1, t2 sim.Time
+	// Both flows leave site a: they share a's 125 MB/s uplink.
+	n.StartFlow(a0, nb, 125*MB, "f1", func() { t1 = k.Now() })
+	n.StartFlow(a1, nc, 125*MB, "f2", func() { t2 = k.Now() })
+	k.Run()
+	approx(t, t1.Seconds(), 2.05, 0.01, "uplink-shared flow 1")
+	approx(t, t2.Seconds(), 2.05, 0.01, "uplink-shared flow 2")
+}
+
+func TestWANCost(t *testing.T) {
+	k, n, a, b := twoSiteNet(t)
+	n.CostPerWANByte = 1e-9 // $1/GB
+	n.StartFlow(a, b, GB, "paid", nil)
+	k.Run()
+	approx(t, n.WANCost(), float64(GB)*1e-9, 0.001, "WAN cost accounting")
+}
+
+// Property: total bytes accounted on a site's uplink never exceeds
+// capacity * elapsed time (conservation / no free bandwidth).
+func TestPropNoFreeBandwidth(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		k := sim.NewKernel(11)
+		n := New(k)
+		a := n.AddSite("a", 10*MB, 10*MB)
+		b := n.AddSite("b", 10*MB, 10*MB)
+		na := a.AddNode("na", 100*MB)
+		nb := b.AddNode("nb", 100*MB)
+		if len(sizes) > 20 {
+			sizes = sizes[:20]
+		}
+		for _, s := range sizes {
+			n.StartFlow(na, nb, int64(s%(8*MB))+1, "p", nil)
+		}
+		k.Run()
+		elapsed := k.Now().Seconds()
+		carried := float64(a.Up.Bytes)
+		// Allow 1% slack for the final-latency tail.
+		return carried <= 10*MB*elapsed*1.01+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every started flow eventually completes and total WAN bytes
+// equals the sum of flow sizes.
+func TestPropAllFlowsComplete(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		k := sim.NewKernel(13)
+		n := New(k)
+		a := n.AddSite("a", MB, MB)
+		b := n.AddSite("b", MB, MB)
+		na := a.AddNode("na", 10*MB)
+		nb := b.AddNode("nb", 10*MB)
+		if len(sizes) > 30 {
+			sizes = sizes[:30]
+		}
+		var want int64
+		completed := 0
+		for _, s := range sizes {
+			sz := int64(s) + 1
+			want += sz
+			n.StartFlow(na, nb, sz, "p", func() { completed++ })
+		}
+		k.Run()
+		return completed == len(sizes) && n.WANBytes("a", "b") == want && n.ActiveFlows() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicCompletionOrder(t *testing.T) {
+	run := func() []string {
+		k := sim.NewKernel(5)
+		n := New(k)
+		a := n.AddSite("a", 10*MB, 10*MB)
+		b := n.AddSite("b", 10*MB, 10*MB)
+		na := a.AddNode("na", 100*MB)
+		nb := b.AddNode("nb", 100*MB)
+		var order []string
+		for _, tag := range []string{"x", "y", "z", "w"} {
+			tag := tag
+			n.StartFlow(na, nb, 5*MB, tag, func() { order = append(order, tag) })
+		}
+		k.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic completion order: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoopbackFlow(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	s := n.AddSite("s", MB, MB)
+	a := s.AddNode("a", 100*MB)
+	var done sim.Time
+	n.StartFlow(a, a, 100*MB, "loop", func() { done = k.Now() })
+	k.Run()
+	approx(t, done.Seconds(), 1.0001, 0.01, "loopback at NIC speed")
+	if n.TotalWANBytes() != 0 {
+		t.Fatal("loopback billed to WAN")
+	}
+}

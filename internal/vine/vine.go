@@ -1,0 +1,300 @@
+// Package vine models the ViNe virtual network overlay (Tsugawa & Fortes,
+// IPDPS'06) extended with the migration-transparency mechanisms of §III-B:
+// every site runs a ViNe router (VR); VMs get stable virtual IPs; all-to-all
+// connectivity crosses NAT/firewall boundaries through VR tunnels; and when
+// a VM migrates, the overlay detects it (gratuitous-ARP analogue) and
+// propagates a route update to every VR so open connections survive.
+package vine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Router is a site's ViNe router: the tunnel endpoint holding a routing
+// table from virtual IP to the site currently hosting it.
+type Router struct {
+	Site  *simnet.Site
+	Node  *simnet.Node
+	table map[string]string // virtual IP -> site name
+}
+
+// Overlay is the federation-wide virtual network.
+type Overlay struct {
+	net     *simnet.Network
+	routers map[string]*Router      // site name -> VR
+	hosts   map[string]*simnet.Node // virtual IP -> physical node (truth)
+
+	// DetectionDelay models how long the destination VR takes to notice a
+	// migrated VM (gratuitous ARP processing). Default 100 ms.
+	DetectionDelay sim.Time
+	// ReconfigMsgBytes is the size of one route-update control message.
+	ReconfigMsgBytes int64
+
+	// Stats.
+	Reconfigs        int
+	LastReconfigTime sim.Time // time from migration to last VR updated
+	DroppedPackets   int64
+	DeliveredPackets int64
+}
+
+// New returns an empty overlay over the given network.
+func New(net *simnet.Network) *Overlay {
+	return &Overlay{
+		net:              net,
+		routers:          make(map[string]*Router),
+		hosts:            make(map[string]*simnet.Node),
+		DetectionDelay:   100 * sim.Millisecond,
+		ReconfigMsgBytes: 512,
+	}
+}
+
+// AddRouter installs a VR for the site on the given node. Every site hosting
+// overlay VMs needs one.
+func (o *Overlay) AddRouter(node *simnet.Node) *Router {
+	site := node.Site
+	if _, dup := o.routers[site.Name]; dup {
+		panic("vine: site already has a router: " + site.Name)
+	}
+	r := &Router{Site: site, Node: node, table: make(map[string]string)}
+	o.routers[site.Name] = r
+	// A new VR learns the current global network descriptor.
+	for vip, n := range o.hosts {
+		r.table[vip] = n.Site.Name
+	}
+	return r
+}
+
+// Routers returns the VRs sorted by site name.
+func (o *Overlay) Routers() []*Router {
+	out := make([]*Router, 0, len(o.routers))
+	for _, r := range o.routers {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site.Name < out[j].Site.Name })
+	return out
+}
+
+// RegisterVM assigns a virtual IP to a VM on node and announces it to all
+// VRs (initial contextualization, assumed synchronous as in ViNe's
+// deployment phase).
+func (o *Overlay) RegisterVM(vip string, node *simnet.Node) {
+	if _, dup := o.hosts[vip]; dup {
+		panic("vine: duplicate virtual IP " + vip)
+	}
+	if _, ok := o.routers[node.Site.Name]; !ok {
+		panic("vine: site " + node.Site.Name + " has no ViNe router")
+	}
+	o.hosts[vip] = node
+	for _, r := range o.routers {
+		r.table[vip] = node.Site.Name
+	}
+}
+
+// Unregister removes a virtual IP (VM terminated).
+func (o *Overlay) Unregister(vip string) {
+	delete(o.hosts, vip)
+	for _, r := range o.routers {
+		delete(r.table, vip)
+	}
+}
+
+// Lookup returns the node currently hosting the virtual IP, or nil.
+func (o *Overlay) Lookup(vip string) *simnet.Node { return o.hosts[vip] }
+
+// RouteStale reports whether the named site's VR holds a stale route for
+// vip (i.e. packets from that site would currently blackhole).
+func (o *Overlay) RouteStale(site, vip string) bool {
+	r, ok := o.routers[site]
+	if !ok {
+		return true
+	}
+	actual, ok := o.hosts[vip]
+	if !ok {
+		return true
+	}
+	return r.table[vip] != actual.Site.Name
+}
+
+// Send routes a packet of the given size from one virtual IP to another.
+// Delivery follows the *source VR's* routing table: if the table is stale
+// (the destination migrated and the update has not arrived), the packet is
+// tunnelled to the old site and dropped there. onResult receives delivery
+// success. Same-site traffic bypasses the VR as in ViNe (direct LAN path).
+func (o *Overlay) Send(srcVIP, dstVIP string, bytes int64, onResult func(ok bool)) {
+	src, ok1 := o.hosts[srcVIP]
+	dst, ok2 := o.hosts[dstVIP]
+	if !ok1 || !ok2 {
+		o.DroppedPackets++
+		if onResult != nil {
+			o.net.K.Schedule(0, func() { onResult(false) })
+		}
+		return
+	}
+	srcVR := o.routers[src.Site.Name]
+	routedSite := srcVR.table[dstVIP]
+	if routedSite == dst.Site.Name && src.Site == dst.Site {
+		// Route is fresh and local: direct LAN path, no tunnel.
+		o.DeliveredPackets++
+		o.net.SendMessage(src, dst, bytes, func() {
+			if onResult != nil {
+				onResult(true)
+			}
+		})
+		return
+	}
+	if routedSite != dst.Site.Name {
+		// Stale route: packet crosses the WAN to the old site and dies.
+		o.DroppedPackets++
+		o.net.SendMessage(src, srcVR.Node, bytes, func() {
+			if onResult != nil {
+				onResult(false)
+			}
+		})
+		return
+	}
+	// src -> srcVR -> dstVR -> dst, through the tunnel.
+	dstVR := o.routers[dst.Site.Name]
+	o.DeliveredPackets++
+	o.net.SendMessage(src, srcVR.Node, bytes, func() {
+		o.net.SendMessage(srcVR.Node, dstVR.Node, bytes, func() {
+			o.net.SendMessage(dstVR.Node, dst, bytes, func() {
+				if onResult != nil {
+					onResult(true)
+				}
+			})
+		})
+	})
+}
+
+// VMMoved informs the overlay that a VM's data plane now lives on newNode
+// (called at migration completion). If reconfigure is true the §III-B
+// mechanism runs: after DetectionDelay the destination VR detects the VM
+// (gratuitous ARP), updates its own table, and pushes route updates to every
+// other VR; onReconfigured (optional) receives the time from VMMoved until
+// the last VR converges. If reconfigure is false the tables stay stale —
+// the state of the art before this work — and cross-site traffic to the VM
+// blackholes indefinitely.
+func (o *Overlay) VMMoved(vip string, newNode *simnet.Node, reconfigure bool, onReconfigured func(latency sim.Time)) {
+	if _, ok := o.routers[newNode.Site.Name]; !ok {
+		panic("vine: destination site " + newNode.Site.Name + " has no ViNe router")
+	}
+	o.hosts[vip] = newNode
+	if !reconfigure {
+		return
+	}
+	start := o.net.K.Now()
+	newSite := newNode.Site.Name
+	dstVR := o.routers[newSite]
+	o.net.K.Schedule(o.DetectionDelay, func() {
+		dstVR.table[vip] = newSite
+		pending := 0
+		for _, r := range o.Routers() {
+			if r == dstVR {
+				continue
+			}
+			pending++
+			r := r
+			o.net.SendMessage(dstVR.Node, r.Node, o.ReconfigMsgBytes, func() {
+				r.table[vip] = newSite
+				pending--
+				if pending == 0 {
+					o.Reconfigs++
+					o.LastReconfigTime = o.net.K.Now() - start
+					if onReconfigured != nil {
+						onReconfigured(o.LastReconfigTime)
+					}
+				}
+			})
+		}
+		if pending == 0 { // single-site overlay
+			o.Reconfigs++
+			o.LastReconfigTime = o.net.K.Now() - start
+			if onReconfigured != nil {
+				onReconfigured(o.LastReconfigTime)
+			}
+		}
+	})
+}
+
+// Connection models a long-lived transport connection (TCP) between two
+// virtual IPs, health-checked by probes. It survives a migration iff the
+// blackhole window stays below Timeout — exactly the race §III-B's
+// reconfiguration wins and the no-overlay baseline loses.
+type Connection struct {
+	A, B          string
+	Timeout       sim.Time
+	ProbeInterval sim.Time
+
+	overlay *Overlay
+	lastOK  sim.Time
+	stopped bool
+	stop    func()
+
+	Broken     bool
+	BrokenAt   sim.Time
+	ProbesSent int
+	ProbesLost int
+	// MaxOutage is the longest observed gap between successful probes.
+	MaxOutage sim.Time
+}
+
+// NewConnection creates and starts a probed connection. Defaults: 30 s
+// timeout (application-level TCP abort typical for the paper's services),
+// 500 ms probe interval.
+func NewConnection(o *Overlay, a, b string, timeout, probeInterval sim.Time) *Connection {
+	if timeout <= 0 {
+		timeout = 30 * sim.Second
+	}
+	if probeInterval <= 0 {
+		probeInterval = 500 * sim.Millisecond
+	}
+	c := &Connection{A: a, B: b, Timeout: timeout, ProbeInterval: probeInterval,
+		overlay: o, lastOK: o.net.K.Now()}
+	c.stop = o.net.K.Ticker(probeInterval, c.probe)
+	return c
+}
+
+func (c *Connection) probe() {
+	if c.Broken || c.stopped {
+		return
+	}
+	c.ProbesSent++
+	k := c.overlay.net.K
+	c.overlay.Send(c.A, c.B, 64, func(ok bool) {
+		if c.Broken || c.stopped {
+			return
+		}
+		now := k.Now()
+		if ok {
+			if gap := now - c.lastOK; gap > c.MaxOutage {
+				c.MaxOutage = gap
+			}
+			c.lastOK = now
+			return
+		}
+		c.ProbesLost++
+		if now-c.lastOK > c.Timeout {
+			c.Broken = true
+			c.BrokenAt = now
+			c.stop()
+		}
+	})
+}
+
+// Close stops probing (application finished normally).
+func (c *Connection) Close() {
+	c.stopped = true
+	c.stop()
+}
+
+func (c *Connection) String() string {
+	state := "established"
+	if c.Broken {
+		state = fmt.Sprintf("broken@%v", c.BrokenAt)
+	}
+	return fmt.Sprintf("%s<->%s %s probes=%d lost=%d", c.A, c.B, state, c.ProbesSent, c.ProbesLost)
+}

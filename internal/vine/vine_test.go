@@ -1,0 +1,205 @@
+package vine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const MB = 1 << 20
+
+// federation builds two sites with a VR and one worker node each.
+func federation() (*sim.Kernel, *simnet.Network, *Overlay, *simnet.Node, *simnet.Node) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	a := net.AddSite("alpha", 125*MB, 125*MB)
+	b := net.AddSite("beta", 125*MB, 125*MB)
+	net.SetSiteLatency("alpha", "beta", 50*sim.Millisecond)
+	o := New(net)
+	o.AddRouter(a.AddNode("vr-alpha", 1<<30))
+	o.AddRouter(b.AddNode("vr-beta", 1<<30))
+	na := a.AddNode("host-a", 1<<30)
+	nb := b.AddNode("host-b", 1<<30)
+	return k, net, o, na, nb
+}
+
+func TestRegisterAndSendCrossSite(t *testing.T) {
+	k, _, o, na, nb := federation()
+	o.RegisterVM("10.0.0.1", na)
+	o.RegisterVM("10.0.0.2", nb)
+	delivered := false
+	o.Send("10.0.0.1", "10.0.0.2", 1024, func(ok bool) { delivered = ok })
+	k.Run()
+	if !delivered {
+		t.Fatal("cross-site overlay send failed")
+	}
+	if o.DeliveredPackets != 1 || o.DroppedPackets != 0 {
+		t.Fatalf("counters delivered=%d dropped=%d", o.DeliveredPackets, o.DroppedPackets)
+	}
+}
+
+func TestSameSiteBypassesVR(t *testing.T) {
+	k, net, o, na, _ := federation()
+	nc := net.Site("alpha").AddNode("host-c", 1<<30)
+	o.RegisterVM("10.0.0.1", na)
+	o.RegisterVM("10.0.0.3", nc)
+	var doneAt sim.Time
+	o.Send("10.0.0.1", "10.0.0.3", 64, func(ok bool) { doneAt = k.Now() })
+	k.Run()
+	// Direct LAN: ~100 µs, not the 50 ms WAN tunnel.
+	if doneAt > sim.Millisecond {
+		t.Fatalf("same-site traffic took %v; went through the WAN?", doneAt)
+	}
+}
+
+func TestSendToUnknownVIPFails(t *testing.T) {
+	k, _, o, na, _ := federation()
+	o.RegisterVM("10.0.0.1", na)
+	ok := true
+	o.Send("10.0.0.1", "10.9.9.9", 64, func(r bool) { ok = r })
+	k.Run()
+	if ok {
+		t.Fatal("send to unknown VIP should fail")
+	}
+}
+
+func TestMigrationWithoutReconfigBlackholes(t *testing.T) {
+	k, net, o, na, nb := federation()
+	o.RegisterVM("10.0.0.1", na)
+	o.RegisterVM("10.0.0.2", nb)
+	// Move VM .2 to alpha without reconfiguration.
+	nb2 := net.Site("alpha").AddNode("host-a2", 1<<30)
+	o.VMMoved("10.0.0.2", nb2, false, nil)
+	if !o.RouteStale("beta", "10.0.0.2") {
+		t.Fatal("route should be stale after unreconfigured move")
+	}
+	delivered := true
+	o.Send("10.0.0.1", "10.0.0.2", 64, func(ok bool) { delivered = ok })
+	k.Run()
+	if delivered {
+		t.Fatal("stale route should drop the packet")
+	}
+}
+
+func TestMigrationWithReconfigConverges(t *testing.T) {
+	k, net, o, na, nb := federation()
+	o.RegisterVM("10.0.0.1", na)
+	o.RegisterVM("10.0.0.2", nb)
+	nb2 := net.Site("alpha").AddNode("host-a2", 1<<30)
+	var lat sim.Time
+	o.VMMoved("10.0.0.2", nb2, true, func(l sim.Time) { lat = l })
+	k.Run()
+	if o.RouteStale("beta", "10.0.0.2") || o.RouteStale("alpha", "10.0.0.2") {
+		t.Fatal("routes still stale after reconfiguration")
+	}
+	// Detection 100 ms + one WAN control message ~50 ms.
+	if lat < 100*sim.Millisecond || lat > 500*sim.Millisecond {
+		t.Fatalf("reconfiguration latency %v out of range", lat)
+	}
+	if o.Reconfigs != 1 {
+		t.Fatalf("reconfigs %d", o.Reconfigs)
+	}
+}
+
+func TestConnectionSurvivesReconfiguredMigration(t *testing.T) {
+	k, net, o, na, nb := federation()
+	o.RegisterVM("10.0.0.1", na)
+	o.RegisterVM("10.0.0.2", nb)
+	conn := NewConnection(o, "10.0.0.1", "10.0.0.2", 10*sim.Second, 200*sim.Millisecond)
+	// Migrate at t=5s with reconfiguration (outage ~150 ms << 10 s timeout).
+	k.Schedule(5*sim.Second, func() {
+		nb2 := net.Site("alpha").AddNode("host-a2", 1<<30)
+		o.VMMoved("10.0.0.2", nb2, true, nil)
+	})
+	k.RunUntil(20 * sim.Second)
+	conn.Close()
+	if conn.Broken {
+		t.Fatalf("connection broke despite reconfiguration: %v", conn)
+	}
+	if conn.ProbesSent == 0 {
+		t.Fatal("no probes sent")
+	}
+}
+
+func TestConnectionBreaksWithoutReconfig(t *testing.T) {
+	k, net, o, na, nb := federation()
+	o.RegisterVM("10.0.0.1", na)
+	o.RegisterVM("10.0.0.2", nb)
+	conn := NewConnection(o, "10.0.0.1", "10.0.0.2", 5*sim.Second, 200*sim.Millisecond)
+	k.Schedule(2*sim.Second, func() {
+		nb2 := net.Site("alpha").AddNode("host-a2", 1<<30)
+		o.VMMoved("10.0.0.2", nb2, false, nil)
+	})
+	k.RunUntil(30 * sim.Second)
+	if !conn.Broken {
+		t.Fatalf("connection survived an unreconfigured cross-site move: %v", conn)
+	}
+	if conn.BrokenAt < 7*sim.Second { // 2s move + 5s timeout
+		t.Fatalf("connection broke too early: %v", conn.BrokenAt)
+	}
+}
+
+func TestConnectionBreaksIfReconfigSlowerThanTimeout(t *testing.T) {
+	k, net, o, na, nb := federation()
+	o.DetectionDelay = 8 * sim.Second // pathologically slow detection
+	o.RegisterVM("10.0.0.1", na)
+	o.RegisterVM("10.0.0.2", nb)
+	conn := NewConnection(o, "10.0.0.1", "10.0.0.2", 2*sim.Second, 100*sim.Millisecond)
+	k.Schedule(sim.Second, func() {
+		nb2 := net.Site("alpha").AddNode("host-a2", 1<<30)
+		o.VMMoved("10.0.0.2", nb2, true, nil)
+	})
+	k.RunUntil(30 * sim.Second)
+	if !conn.Broken {
+		t.Fatal("connection should lose the reconfig-vs-timeout race")
+	}
+}
+
+func TestNewRouterLearnsExistingVMs(t *testing.T) {
+	k, net, o, na, _ := federation()
+	o.RegisterVM("10.0.0.1", na)
+	g := net.AddSite("gamma", 125*MB, 125*MB)
+	o.AddRouter(g.AddNode("vr-gamma", 1<<30))
+	ng := g.Node("vr-gamma")
+	_ = ng
+	if o.RouteStale("gamma", "10.0.0.1") {
+		t.Fatal("new VR did not learn existing VMs")
+	}
+	_ = k
+}
+
+func TestUnregister(t *testing.T) {
+	k, _, o, na, _ := federation()
+	o.RegisterVM("10.0.0.1", na)
+	o.Unregister("10.0.0.1")
+	if o.Lookup("10.0.0.1") != nil {
+		t.Fatal("unregistered VIP still resolves")
+	}
+	ok := true
+	o.Send("10.0.0.1", "10.0.0.1", 64, func(r bool) { ok = r })
+	k.Run()
+	if ok {
+		t.Fatal("send from unregistered VIP should fail")
+	}
+}
+
+func TestMaxOutageTracked(t *testing.T) {
+	k, net, o, na, nb := federation()
+	o.RegisterVM("10.0.0.1", na)
+	o.RegisterVM("10.0.0.2", nb)
+	conn := NewConnection(o, "10.0.0.1", "10.0.0.2", 60*sim.Second, 100*sim.Millisecond)
+	k.Schedule(2*sim.Second, func() {
+		nb2 := net.Site("alpha").AddNode("host-a2", 1<<30)
+		o.VMMoved("10.0.0.2", nb2, true, nil)
+	})
+	k.RunUntil(10 * sim.Second)
+	conn.Close()
+	if conn.Broken {
+		t.Fatal("unexpected break")
+	}
+	// The outage window (~150 ms reconfig) must be visible in MaxOutage.
+	if conn.MaxOutage < 150*sim.Millisecond {
+		t.Fatalf("MaxOutage %v did not capture the blackhole window", conn.MaxOutage)
+	}
+}

@@ -1,0 +1,121 @@
+package vm
+
+import "math/rand"
+
+// Workload dirties a VM's memory at a configurable rate with temporal
+// locality, emulating the guest applications whose behaviour determines
+// live-migration convergence. The migration engine advances workloads in
+// discrete spans: ApplyDirtying(mem, seconds) performs the writes the guest
+// would have issued during that span.
+type Workload struct {
+	// Name identifies the preset for reports.
+	Name string
+	// RatePagesPerSec is the page-write rate (writes, not distinct pages).
+	RatePagesPerSec float64
+	// HotFrac is the fraction of memory receiving HotBias of the writes.
+	HotFrac float64
+	// HotBias is the probability a write lands in the hot set.
+	HotBias float64
+	// RewriteShared is the probability a dirtied page is rewritten with a
+	// shared-pool value (e.g. buffer cache re-reading common files) rather
+	// than fresh unique data. High values keep pages dedupable after
+	// dirtying; low values defeat deduplication.
+	RewriteShared float64
+
+	model *ContentModel
+	rng   *rand.Rand
+	carry float64 // fractional writes carried between spans
+}
+
+// NewWorkload builds a workload bound to a content model and RNG seed.
+func NewWorkload(name string, rate, hotFrac, hotBias, rewriteShared float64, model *ContentModel, seed int64) *Workload {
+	if hotFrac <= 0 {
+		hotFrac = 1
+	}
+	if hotFrac > 1 {
+		hotFrac = 1
+	}
+	return &Workload{
+		Name:            name,
+		RatePagesPerSec: rate,
+		HotFrac:         hotFrac,
+		HotBias:         hotBias,
+		RewriteShared:   rewriteShared,
+		model:           model,
+		rng:             rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Workload presets used by the Shrinker experiments. Rates are in 4 KiB page
+// writes per second and follow the qualitative profiles of the workloads the
+// Shrinker research report evaluates.
+const (
+	idleRate        = 50    // background daemons only
+	webServerRate   = 2500  // moderate churn, strong locality
+	kernelBuildRate = 12000 // compiler churn, weak locality
+)
+
+// IdleWorkload models a mostly idle server.
+func IdleWorkload(model *ContentModel, seed int64) *Workload {
+	return NewWorkload("idle", idleRate, 0.05, 0.9, 0.5, model, seed)
+}
+
+// WebServerWorkload models a loaded web/app server: high locality, buffer
+// cache keeps many pages dedupable.
+func WebServerWorkload(model *ContentModel, seed int64) *Workload {
+	return NewWorkload("webserver", webServerRate, 0.15, 0.9, 0.4, model, seed)
+}
+
+// KernelBuildWorkload models a compilation job: fast, mostly unique writes.
+func KernelBuildWorkload(model *ContentModel, seed int64) *Workload {
+	return NewWorkload("kernelbuild", kernelBuildRate, 0.4, 0.7, 0.1, model, seed)
+}
+
+// Attach binds the workload to a VM so migration engines can find it.
+func (v *VM) Attach(w *Workload) { v.workload = w }
+
+// Workload returns the attached workload (nil if none).
+func (v *VM) Workload() *Workload { return v.workload }
+
+// ApplyDirtying performs the writes the guest would issue during a span of
+// the given length (in seconds) against mem. It returns the number of write
+// operations performed. Distinct-dirty-page counts emerge from sampling:
+// repeated writes to a hot page dirty it once per migration round.
+func (w *Workload) ApplyDirtying(mem *Memory, seconds float64) int {
+	if seconds <= 0 || w.RatePagesPerSec <= 0 {
+		return 0
+	}
+	exact := w.RatePagesPerSec*seconds + w.carry
+	writes := int(exact)
+	w.carry = exact - float64(writes)
+	n := mem.NumPages()
+	if n == 0 {
+		return 0
+	}
+	hotN := int(float64(n) * w.HotFrac)
+	if hotN < 1 {
+		hotN = 1
+	}
+	// Cap the sampling work: beyond ~4x memory size the distinct-page set
+	// saturates, so extra samples change nothing measurable.
+	sampled := writes
+	if max := 4 * n; sampled > max {
+		sampled = max
+	}
+	for i := 0; i < sampled; i++ {
+		var page int
+		if w.rng.Float64() < w.HotBias {
+			page = w.rng.Intn(hotN)
+		} else {
+			page = w.rng.Intn(n)
+		}
+		var c ContentID
+		if w.rng.Float64() < w.RewriteShared {
+			c = w.model.PoolEntry(w.rng.Intn(w.model.PoolSize))
+		} else {
+			c = w.model.FreshUnique()
+		}
+		mem.Write(page, c)
+	}
+	return writes
+}
