@@ -9,10 +9,13 @@
 package main
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -30,17 +33,55 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-func BenchmarkE1SkyComputingScaling(b *testing.B) { benchExperiment(b, "E1") }
-func BenchmarkE1cDataLocality(b *testing.B)       { benchExperiment(b, "E1c") }
-func BenchmarkE2ElasticCluster(b *testing.B)      { benchExperiment(b, "E2") }
-func BenchmarkE3aBroadcastChain(b *testing.B)     { benchExperiment(b, "E3a") }
-func BenchmarkE3bCoWStartup(b *testing.B)         { benchExperiment(b, "E3b") }
-func BenchmarkE4Shrinker(b *testing.B)            { benchExperiment(b, "E4") }
-func BenchmarkE5NetworkTransparency(b *testing.B) { benchExperiment(b, "E5") }
-func BenchmarkE6PatternDetection(b *testing.B)    { benchExperiment(b, "E6") }
-func BenchmarkE7AutonomicAdaptation(b *testing.B) { benchExperiment(b, "E7") }
-func BenchmarkE8ElasticMapReduce(b *testing.B)    { benchExperiment(b, "E8") }
-func BenchmarkE9MigratableSpot(b *testing.B)      { benchExperiment(b, "E9") }
-func BenchmarkA1RegistryScope(b *testing.B)       { benchExperiment(b, "A1") }
-func BenchmarkA2DirtyRateSweep(b *testing.B)      { benchExperiment(b, "A2") }
-func BenchmarkA3ChunkSize(b *testing.B)           { benchExperiment(b, "A3") }
+func BenchmarkE1SkyComputingScaling(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE1cDataLocality(b *testing.B)        { benchExperiment(b, "E1c") }
+func BenchmarkE2ElasticCluster(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3aBroadcastChain(b *testing.B)      { benchExperiment(b, "E3a") }
+func BenchmarkE3bCoWStartup(b *testing.B)          { benchExperiment(b, "E3b") }
+func BenchmarkE4Shrinker(b *testing.B)             { benchExperiment(b, "E4") }
+func BenchmarkE5NetworkTransparency(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6PatternDetection(b *testing.B)     { benchExperiment(b, "E6") }
+func BenchmarkE7AutonomicAdaptation(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8ElasticMapReduce(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9MigratableSpot(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkA1RegistryScope(b *testing.B)        { benchExperiment(b, "A1") }
+func BenchmarkA2DirtyRateSweep(b *testing.B)       { benchExperiment(b, "A2") }
+func BenchmarkA3ChunkSize(b *testing.B)            { benchExperiment(b, "A3") }
+func BenchmarkE10SchedulerContention(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkSchedulerCycle measures federation-scheduler throughput: 1000
+// queued jobs from four weighted tenants drain through four clouds on the
+// synthetic backend (every iteration runs the full queue to completion,
+// exercising fair-share ordering, placement scoring, and backfill).
+func BenchmarkSchedulerCycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(42)
+		sb := sched.NewSimBackend(k)
+		for c := 0; c < 4; c++ {
+			sb.AddCloud(fmt.Sprintf("cloud%d", c), 64, 1.0+0.25*float64(c), 0.08)
+		}
+		s := sched.New(sb, sched.Config{})
+		for t := 0; t < 4; t++ {
+			s.AddTenant(fmt.Sprintf("tenant%d", t), float64(t+1))
+		}
+		for j := 0; j < 1000; j++ {
+			spec := sched.JobSpec{
+				Tenant:          fmt.Sprintf("tenant%d", j%4),
+				Workers:         2,
+				CoresPerWorker:  2,
+				EstimateSeconds: float64(60 + j%120),
+			}
+			if j%17 == 0 {
+				spec.Workers = 16 // wide jobs force reservations + backfill
+			}
+			if _, err := s.Submit(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		k.Run()
+		if s.Completed != 1000 {
+			b.Fatalf("completed %d of 1000 jobs", s.Completed)
+		}
+	}
+}

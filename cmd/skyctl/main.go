@@ -8,6 +8,12 @@
 //	skyctl -clouds 3 -vms 24 -job blast -maps 256
 //	skyctl -clouds 2 -vms 8 -job sort -maps 64 -migrate-at 60s -migrate-to cloud1
 //	skyctl -clouds 2 -vms 8 -spot -spike-at 2m
+//
+// The sched subcommand drives the federation-wide job scheduler instead
+// (multi-tenant fair-share arbitration, backfill, locality-aware placement):
+//
+//	skyctl sched -clouds 2 -tenants gold=3,silver=1 -jobs 40 -until 15m
+//	skyctl sched -tenants a=1,b=1 -input-site cloud0 -random
 package main
 
 import (
@@ -26,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sched" {
+		runSched(os.Args[2:])
+		return
+	}
 	var (
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		nClouds   = flag.Int("clouds", 2, "number of clouds in the federation")

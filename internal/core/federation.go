@@ -15,6 +15,7 @@ import (
 	"repro/internal/migration"
 	"repro/internal/netmon"
 	"repro/internal/nimbus"
+	"repro/internal/sched"
 	"repro/internal/secure"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -35,6 +36,10 @@ type Federation struct {
 
 	monitor *netmon.Monitor
 	engine  *autonomic.Engine
+
+	// sched is the federation-wide job scheduler (see EnableScheduler).
+	sched        *sched.Scheduler
+	schedBackend *fedBackend
 
 	// Auth is the federation certificate authority; Broker establishes the
 	// §IV mutually authenticated channels between hypervisors before any

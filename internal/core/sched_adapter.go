@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/emr"
+	"repro/internal/mapreduce"
+	"repro/internal/netmon"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/vm"
+)
+
+// This file wires the federation-wide job scheduler (internal/sched) into
+// the federation: each dispatched job gets its own virtual cluster on the
+// chosen cloud, elastic grow/shrink goes through the cluster layer, spot
+// revocations are routed back to the scheduler as events, and emr deadline
+// jobs can be gated through the scheduler's fair-share queues instead of
+// launching directly.
+
+// SchedulerOptions configures EnableScheduler.
+type SchedulerOptions struct {
+	// Image is the base image for job workers; it must be in every member
+	// cloud's store. Empty means "debian".
+	Image string
+	// MemPagesPerWorker sizes worker VMs. Zero means 8192 (32 MiB), which
+	// keeps simulations fast.
+	MemPagesPerWorker int
+	// Sched tunes the scheduler itself.
+	Sched sched.Config
+}
+
+// fedBackend implements sched.Backend over the federation.
+type fedBackend struct {
+	f   *Federation
+	s   *sched.Scheduler
+	opt SchedulerOptions
+
+	// reserved holds cores committed to in-flight deployments, closing the
+	// window between dispatch and the nimbus layer actually placing VMs.
+	reserved map[string]int
+	// owner maps live worker VM names to their scheduler job, for spot
+	// revocation dispatch and traffic attribution.
+	owner map[string]*launchedJob
+}
+
+// launchedJob tracks one dispatched job's execution state.
+type launchedJob struct {
+	id     string
+	tenant string
+	cloud  string
+	vc     *VirtualCluster
+}
+
+// EnableScheduler creates the federation-wide job scheduler and starts its
+// elastic policy loop. Submit jobs with Scheduler().Submit and track them
+// with Scheduler().Poll.
+func (f *Federation) EnableScheduler(opt SchedulerOptions) *sched.Scheduler {
+	if f.sched != nil {
+		return f.sched
+	}
+	if opt.Image == "" {
+		opt.Image = "debian"
+	}
+	if opt.MemPagesPerWorker <= 0 {
+		opt.MemPagesPerWorker = 8192
+	}
+	b := &fedBackend{
+		f:        f,
+		opt:      opt,
+		reserved: make(map[string]int),
+		owner:    make(map[string]*launchedJob),
+	}
+	f.sched = sched.New(b, opt.Sched)
+	f.schedBackend = b
+	b.s = f.sched
+	f.sched.Start()
+	return f.sched
+}
+
+// Scheduler returns the federation scheduler (nil before EnableScheduler).
+func (f *Federation) Scheduler() *sched.Scheduler { return f.sched }
+
+// Kernel implements sched.Backend.
+func (b *fedBackend) Kernel() *sim.Kernel { return b.f.K }
+
+// Clouds implements sched.Backend: live capacity minus in-flight
+// reservations.
+func (b *fedBackend) Clouds() []sched.CloudInfo {
+	clouds := b.f.Clouds()
+	out := make([]sched.CloudInfo, 0, len(clouds))
+	for _, c := range clouds {
+		out = append(out, sched.CloudInfo{
+			Name:       c.Name,
+			FreeCores:  c.FreeCores() - b.reserved[c.Name],
+			TotalCores: c.TotalCores(),
+			Speed:      c.HostSpeed(),
+			Price:      b.f.PriceOf(c.Name),
+		})
+	}
+	return out
+}
+
+// Bandwidth implements sched.Backend: the bottleneck of source uplink and
+// destination downlink, straight from the simnet topology.
+func (b *fedBackend) Bandwidth(a, c string) float64 {
+	sa, sc := b.f.Net.Site(a), b.f.Net.Site(c)
+	if sa == nil || sc == nil {
+		return 0
+	}
+	if sa.Up.Capacity < sc.Down.Capacity {
+		return sa.Up.Capacity
+	}
+	return sc.Down.Capacity
+}
+
+// fedHandle implements sched.Handle over the job's virtual cluster.
+type fedHandle struct {
+	b  *fedBackend
+	lj *launchedJob
+}
+
+// Grow implements sched.Handle: on-demand workers (firm capacity — this is
+// the spot-replacement and deadline-chasing path).
+func (h *fedHandle) Grow(n int, onDone func(error)) {
+	if h.lj.vc == nil {
+		if onDone != nil {
+			h.b.f.K.Schedule(0, func() { onDone(fmt.Errorf("core: job cluster not up yet")) })
+		}
+		return
+	}
+	h.lj.vc.GrowOnDemand(h.lj.cloud, n, func(err error) {
+		if err == nil {
+			h.b.adopt(h.lj)
+		}
+		if onDone != nil {
+			onDone(err)
+		}
+	})
+}
+
+// Shrink implements sched.Handle.
+func (h *fedHandle) Shrink(n int) int {
+	if h.lj.vc == nil {
+		return 0
+	}
+	return h.lj.vc.Shrink(h.lj.cloud, n)
+}
+
+// Progress implements sched.Handle.
+func (h *fedHandle) Progress() (int, int, int, int) {
+	if h.lj.vc == nil {
+		return 0, 0, 0, 0
+	}
+	return h.lj.vc.MapReduce().Progress()
+}
+
+// adopt (re)registers every live VM of the job as owned, so revocations and
+// traffic attribution find it.
+func (b *fedBackend) adopt(lj *launchedJob) {
+	for _, v := range lj.vc.VMs() {
+		b.owner[v.Name] = lj
+	}
+}
+
+// release drops ownership of the job's VMs.
+func (b *fedBackend) release(lj *launchedJob) {
+	for name, o := range b.owner {
+		if o == lj {
+			delete(b.owner, name)
+		}
+	}
+}
+
+// Launch implements sched.Backend: provision a per-job virtual cluster on
+// the chosen cloud, run the MapReduce payload (streaming input from the
+// job's data site when non-local), then tear the cluster down.
+func (b *fedBackend) Launch(j *sched.Job, cloud string, onDone func(sched.Outcome)) (sched.Handle, error) {
+	cores := j.Spec.CoresPerWorker
+	if cores <= 0 {
+		cores = 1
+	}
+	workers := j.Spec.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	lj := &launchedJob{id: j.ID, tenant: j.Spec.Tenant, cloud: cloud}
+	need := workers * cores
+	b.reserved[cloud] += need
+	b.f.CreateCluster("sched-"+j.ID, ClusterSpec{
+		Image:    b.opt.Image,
+		Cores:    cores,
+		MemPages: b.opt.MemPagesPerWorker,
+		CoW:      true,
+		Spot:     j.Spec.Spot,
+		Bid:      j.Spec.Bid,
+		Distribution: map[string]int{
+			cloud: workers,
+		},
+	}, func(vc *VirtualCluster, err error) {
+		b.reserved[cloud] -= need
+		if err != nil {
+			onDone(sched.Outcome{Err: err})
+			return
+		}
+		lj.vc = vc
+		b.adopt(lj)
+		mr := j.Spec.MR
+		if mr.Splits == nil && j.Spec.InputSite != "" && j.Spec.InputBytes > 0 && mr.NumMaps > 0 {
+			mr.Splits = b.inputSplits(j.Spec.InputSite, mr.NumMaps, j.Spec.InputBytes)
+		}
+		finish := func(out sched.Outcome) {
+			b.release(lj)
+			vc.Terminate()
+			onDone(out)
+		}
+		if err := vc.RunJob(mr, func(res mapreduce.Result) {
+			finish(sched.Outcome{Result: res})
+		}); err != nil {
+			finish(sched.Outcome{Err: err})
+		}
+	})
+	return &fedHandle{b: b, lj: lj}, nil
+}
+
+// inputSplits binds each map task to the data-holding cloud's repository
+// node: site-local runs stream over the LAN, remote runs over the WAN —
+// the HDFS-locality signal the placement score optimises for.
+func (b *fedBackend) inputSplits(site string, nMaps int, bytes int64) []mapreduce.Split {
+	c := b.f.Cloud(site)
+	if c == nil {
+		return nil
+	}
+	per := bytes / int64(nMaps)
+	splits := make([]mapreduce.Split, nMaps)
+	for i := range splits {
+		splits[i] = mapreduce.Split{Bytes: per, Preferred: []*simnet.Node{c.RepoNode()}}
+	}
+	return splits
+}
+
+// WireSchedulerSpot installs scheduler-aware spot revocation on a cloud: a
+// revoked worker belonging to a scheduler job is removed from that job's
+// cluster and the scheduler is notified (which, by default, grows an
+// on-demand replacement — §IV's revocation resilience, scheduler-wide).
+// Non-scheduler VMs fall back to the classic kill.
+func (f *Federation) WireSchedulerSpot(cloud string) {
+	if f.schedBackend == nil {
+		panic("core: EnableScheduler before WireSchedulerSpot")
+	}
+	c := f.clouds[cloud]
+	if c == nil {
+		panic("core: unknown cloud " + cloud)
+	}
+	b := f.schedBackend
+	c.Spot.OnRevoke = func(v *vm.VM) {
+		f.SpotKills++
+		if lj := b.owner[v.Name]; lj != nil && lj.vc != nil {
+			lj.vc.mr.RemoveWorker(v.Name)
+			delete(b.owner, v.Name)
+			f.releaseVM(v)
+			b.s.Notify(sched.Event{Kind: sched.EventSpotRevoked, Job: lj.id, Cloud: cloud})
+			return
+		}
+		f.releaseVM(v)
+	}
+}
+
+// NotifySchedulerPatterns classifies each tenant's observed traffic (from
+// the attached netmon monitor) and forwards pattern events to the
+// scheduler — the §III-C monitoring pipeline feeding placement bias.
+// Returns the per-tenant patterns notified.
+func (f *Federation) NotifySchedulerPatterns() map[string]string {
+	if f.schedBackend == nil || f.monitor == nil {
+		return nil
+	}
+	b := f.schedBackend
+	nodeTenant := make(map[string]string)
+	for name, lj := range b.owner {
+		if c := f.CloudOf(name); c != nil {
+			if h := c.HostOf(name); h != nil {
+				nodeTenant[h.Node.ID] = lj.tenant
+			}
+		}
+	}
+	perTenant := make(map[string]netmon.Matrix)
+	for e, bytes := range f.monitor.Matrix() {
+		ts, td := nodeTenant[e[0]], nodeTenant[e[1]]
+		if ts == "" || ts != td {
+			continue
+		}
+		m := perTenant[ts]
+		if m == nil {
+			m = make(netmon.Matrix)
+			perTenant[ts] = m
+		}
+		m.Add(e[0], e[1], bytes)
+	}
+	out := make(map[string]string, len(perTenant))
+	for tenant, m := range perTenant {
+		p := sched.ClassifyMatrix(m)
+		out[tenant] = p
+		b.s.Notify(sched.Event{Kind: sched.EventPatternDetected, Tenant: tenant, Pattern: p})
+	}
+	return out
+}
+
+// EMRGate adapts the scheduler into an emr.Gate: deadline jobs submitted to
+// an emr.Service with this gate queue under the tenant's fair share instead
+// of launching directly on their cluster.
+func (f *Federation) EMRGate(tenant string) emr.Gate {
+	if f.sched == nil {
+		panic("core: EnableScheduler before EMRGate")
+	}
+	return emrGate{s: f.sched, tenant: tenant}
+}
+
+type emrGate struct {
+	s      *sched.Scheduler
+	tenant string
+}
+
+// Admit implements emr.Gate.
+func (g emrGate) Admit(tenant, name string, cores int, estimate sim.Time, run func(release func(error))) {
+	if tenant == "" {
+		tenant = g.tenant
+	}
+	if cores <= 0 {
+		cores = 1
+	}
+	_, err := g.s.Submit(sched.JobSpec{
+		Tenant:          tenant,
+		Name:            name,
+		Workers:         cores,
+		CoresPerWorker:  1,
+		EstimateSeconds: estimate.Seconds(),
+		Run:             run,
+	})
+	if err != nil {
+		// External jobs occupy caller-owned capacity; an unschedulable
+		// spec can only mean a missing tenant, which Submit auto-creates —
+		// run immediately rather than losing the job.
+		run(func(error) {})
+	}
+}

@@ -79,6 +79,18 @@ type Report struct {
 	ScaleUps     int
 	WorkersAdded int
 	Policy       SelectionPolicy
+	// Err is set when a gated job failed to start (gate-admitted jobs
+	// cannot report errors synchronously).
+	Err error
+}
+
+// Gate arbitrates when a job may start. Implemented by the federation
+// scheduler (core.Federation.EMRGate): jobs admitted through a gate queue
+// under the tenant's fair share instead of launching directly on their
+// cluster. run is invoked when the job may start and must call release
+// exactly once when the job finishes (with the start error, or nil).
+type Gate interface {
+	Admit(tenant, name string, cores int, estimate sim.Time, run func(release func(error)))
 }
 
 // Service is the elastic MapReduce front end.
@@ -90,6 +102,37 @@ type Service struct {
 	// Margin is slack subtracted from the deadline when deciding to scale
 	// (provisioning itself takes time). Default 90 s.
 	Margin sim.Time
+	// Gate, when set, routes jobs through the federation scheduler instead
+	// of launching them directly; Tenant names whose share they charge.
+	Gate   Gate
+	Tenant string
+
+	// Gated jobs are serialised: the cluster runs one job at a time, so an
+	// admitted job whose predecessor is still running waits its turn here
+	// instead of failing Cluster.Run.
+	gateBusy  bool
+	gateQueue []func()
+}
+
+// runGated executes start now if no gated job is in flight, else queues it.
+func (s *Service) runGated(start func()) {
+	if s.gateBusy {
+		s.gateQueue = append(s.gateQueue, start)
+		return
+	}
+	s.gateBusy = true
+	start()
+}
+
+// gateDone hands the slot to the next queued gated job.
+func (s *Service) gateDone() {
+	if len(s.gateQueue) == 0 {
+		s.gateBusy = false
+		return
+	}
+	next := s.gateQueue[0]
+	s.gateQueue = s.gateQueue[1:]
+	next()
 }
 
 // New returns a service with default tuning.
@@ -97,11 +140,43 @@ func New(p Provider, policy SelectionPolicy) *Service {
 	return &Service{Prov: p, Policy: policy, CheckInterval: 30 * sim.Second, Margin: 90 * sim.Second}
 }
 
-// Submit runs the job, scaling the cluster to chase the deadline.
+// Submit runs the job, scaling the cluster to chase the deadline. With a
+// Gate set, the job flows through the federation scheduler first: it queues
+// under the tenant's fair share and starts when admitted.
 func (s *Service) Submit(spec JobSpec, onDone func(Report)) error {
 	if spec.SlotsPerWorker <= 0 {
 		spec.SlotsPerWorker = 2
 	}
+	if s.Gate == nil {
+		return s.start(spec, onDone, func(error) {})
+	}
+	cores := len(s.Prov.Cluster().Workers()) * spec.SlotsPerWorker
+	capacity := s.Prov.WorkerCapacity()
+	if capacity <= 0 {
+		capacity = 1
+	}
+	job := spec.Job
+	est := sim.FromSeconds(job.SerialWork() / capacity)
+	s.Gate.Admit(s.Tenant, job.Name, cores, est, func(release func(error)) {
+		s.runGated(func() {
+			done := func(err error) {
+				s.gateDone()
+				release(err)
+			}
+			if err := s.start(spec, onDone, done); err != nil {
+				done(err)
+				if onDone != nil {
+					onDone(Report{Job: job.Name, Deadline: spec.Deadline, Policy: s.Policy, Err: err})
+				}
+			}
+		})
+	})
+	return nil
+}
+
+// start launches the job immediately; release is invoked at completion
+// (the gate's hand-back).
+func (s *Service) start(spec JobSpec, onDone func(Report), release func(error)) error {
 	k := s.Prov.Kernel()
 	rep := Report{Job: spec.Job.Name, Deadline: spec.Deadline, Policy: s.Policy}
 	finished := false
@@ -110,6 +185,7 @@ func (s *Service) Submit(spec JobSpec, onDone func(Report)) error {
 		rep.Result = r
 		rep.FinishedAt = k.Now()
 		rep.MetDeadline = k.Now() <= spec.Deadline
+		release(nil)
 		if onDone != nil {
 			onDone(rep)
 		}
@@ -163,7 +239,7 @@ func (s *Service) predictETA(spec JobSpec) sim.Time {
 		return sim.Time(math.MaxInt64 / 2)
 	}
 	job := spec.Job
-	mapWork := float64(mapsTotal-mapsDone) * (job.MapCPU + float64(job.MapInputBytes)/(100<<20))
+	mapWork := float64(mapsTotal-mapsDone) * job.MapTaskCost()
 	reduceWork := float64(reducesTotal-reducesDone) * job.ReduceCPU
 	// Shuffle adds a latency-ish tail we approximate with its serialised
 	// volume over a conservative 10 MB/s effective per-reduce rate.

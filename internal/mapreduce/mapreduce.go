@@ -78,6 +78,19 @@ func SortJob(nMaps, nReduces int) Job {
 
 const diskBW = 100 << 20 // local disk read bandwidth, bytes/sec
 
+// MapTaskCost returns one map task's seconds on a speed-1 core, including
+// the local input read. Shared by every layer that estimates job runtime
+// (emr ETA prediction, scheduler reservations) so the cost model lives in
+// one place.
+func (j Job) MapTaskCost() float64 {
+	return j.MapCPU + float64(j.MapInputBytes)/float64(diskBW)
+}
+
+// SerialWork returns the job's total task-seconds on a speed-1 core.
+func (j Job) SerialWork() float64 {
+	return float64(j.NumMaps)*j.MapTaskCost() + float64(j.NumReduces)*j.ReduceCPU
+}
+
 // Result reports a finished job.
 type Result struct {
 	Job      string

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// EASY backfilling: when the next entitled job cannot be placed, it gets a
+// reservation — the earliest time enough cores free up on some cloud, taken
+// from running jobs' estimated completions — and later queue entries may
+// start now only if they cannot delay that reserved start: either they run
+// on a different cloud, finish (by estimate) before the reservation, or
+// leave the reserved cores intact at the reservation time.
+
+// reservation is the blocked head job's future claim.
+type reservation struct {
+	job   string
+	cloud string
+	at    sim.Time
+	need  int
+}
+
+// coreRelease is one running job's estimated hand-back of cores.
+type coreRelease struct {
+	at    sim.Time
+	cores int
+	cloud string
+	job   string
+}
+
+// pendingReleases lists running jobs' estimated completions, ordered by
+// time then job ID for determinism. Overdue jobs are assumed to finish one
+// second from now (the standard EASY treatment of blown estimates).
+// Computed once per scheduling cycle — reservation and backfill checks
+// share the snapshot.
+func (s *Scheduler) pendingReleases() []coreRelease {
+	now := s.K.Now()
+	var out []coreRelease
+	for id, j := range s.jobs {
+		if j.State != Running || j.Spec.External() {
+			continue
+		}
+		eta := j.Started + j.estDuration
+		if eta <= now {
+			eta = now + sim.Second
+		}
+		out = append(out, coreRelease{at: eta, cores: j.Cores(), cloud: j.Cloud, job: id})
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].at != out[k].at {
+			return out[i].at < out[k].at
+		}
+		return out[i].job < out[k].job
+	})
+	return out
+}
+
+// reserve computes the blocked job's earliest feasible start: per cloud,
+// walk estimated releases until free + released covers the demand; keep the
+// earliest such instant across clouds. ok is false when even a fully
+// drained federation cannot fit the job.
+func (s *Scheduler) reserve(j *Job, free map[string]int, releases []coreRelease) (reservation, bool) {
+	best := reservation{job: j.ID, need: j.Cores()}
+	found := false
+	for _, c := range s.B.Clouds() {
+		avail := free[c.Name]
+		if c.TotalCores < j.Cores() {
+			continue
+		}
+		var at sim.Time
+		ok := avail >= j.Cores()
+		if !ok {
+			for _, r := range releases {
+				if r.cloud != c.Name {
+					continue
+				}
+				avail += r.cores
+				if avail >= j.Cores() {
+					at, ok = r.at, true
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !found || at < best.at || (at == best.at && c.Name < best.cloud) {
+			best.cloud, best.at = c.Name, at
+			found = true
+		}
+	}
+	return best, found
+}
+
+// availableAt returns the cores free on a cloud at time t, assuming running
+// jobs release at their estimates.
+func availableAt(cloud string, t sim.Time, free map[string]int, releases []coreRelease) int {
+	avail := free[cloud]
+	for _, r := range releases {
+		if r.cloud == cloud && r.at <= t {
+			avail += r.cores
+		}
+	}
+	return avail
+}
+
+// backfillOK reports whether starting job b on cloud now cannot delay the
+// reservation.
+func (s *Scheduler) backfillOK(b *Job, cloud string, resv *reservation, free map[string]int, releases []coreRelease) bool {
+	if cloud != resv.cloud {
+		return true
+	}
+	speed := 1.0
+	for _, c := range s.B.Clouds() {
+		if c.Name == cloud && c.Speed > 0 {
+			speed = c.Speed
+			break
+		}
+	}
+	finish := s.K.Now() + sim.FromSeconds(s.estimateAt(b, cloud, speed))
+	if finish <= resv.at {
+		return true
+	}
+	// Still running at the reservation: the reserved cloud must retain
+	// enough cores with b's demand subtracted.
+	return availableAt(cloud, resv.at, free, releases)-b.Cores() >= resv.need
+}

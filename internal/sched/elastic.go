@@ -1,0 +1,65 @@
+package sched
+
+import "repro/internal/sim"
+
+// The elastic policy hook: a periodic pass over running jobs that requests
+// cluster grow/shrink through the backend handle (core.Federation performs
+// the actual provisioning). Growth chases deadlines the way the emr service
+// does, but federation-wide and fair-share-aware; shrink returns elastic
+// extras to the pool once the map phase drains, so backfilled and queued
+// jobs see the capacity.
+
+// elasticTick evaluates every running job once.
+func (s *Scheduler) elasticTick() {
+	for _, id := range s.Jobs() {
+		j := s.jobs[id]
+		if j.State != Running || j.handle == nil {
+			continue
+		}
+		md, mt, rd, rt := j.handle.Progress()
+		if j.Spec.Deadline > 0 {
+			eta := s.predictETA(j, md, mt, rd, rt)
+			if eta > j.Spec.Deadline-s.cfg.DeadlineMargin &&
+				(j.Spec.MaxExtraWorkers == 0 || j.deadlineGrown < j.Spec.MaxExtraWorkers) {
+				j.deadlineGrown++
+				s.GrowRequests++
+				s.growOne(j, &j.deadlineGrown)
+			}
+		}
+		// Map phase drained: deadline-chasing extras are idle relative to
+		// the reduce tail — hand them back. Spot replacements stay: they
+		// restore the job's entitled size, not surplus.
+		if j.deadlineGrown > 0 && !j.shrunk && mt > 0 && md >= mt && rt > 0 {
+			j.shrunk = true
+			if n := j.handle.Shrink(j.deadlineGrown); n > 0 {
+				s.ShrinkRequests++
+				s.kick()
+			}
+		}
+	}
+}
+
+// growOne requests one extra on-demand worker, rolling the given counter
+// (and the public total) back if the backend cannot provision it.
+func (s *Scheduler) growOne(j *Job, counter *int) {
+	j.GrewBy++
+	h := j.handle
+	h.Grow(1, func(err error) {
+		if err != nil {
+			j.GrewBy--
+			*counter--
+		}
+	})
+}
+
+// predictETA projects completion from observed progress (elapsed divided by
+// the completed-task fraction), falling back to the dispatch estimate while
+// nothing has finished.
+func (s *Scheduler) predictETA(j *Job, md, mt, rd, rt int) sim.Time {
+	done, total := md+rd, mt+rt
+	if total <= 0 || done <= 0 {
+		return j.Started + j.estDuration
+	}
+	elapsed := s.K.Now() - j.Started
+	return j.Started + sim.Time(float64(elapsed)*float64(total)/float64(done))
+}

@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Tenant is one share-holder in the federation: a weighted queue of jobs
+// plus the usage accounting that drives arbitration.
+type Tenant struct {
+	Name   string
+	Weight float64
+
+	queue []*Job
+	// usage is charged core-seconds: an estimate is charged at dispatch
+	// (so one tenant cannot capture the whole federation within a single
+	// cycle) and trued up to actual duration at completion.
+	usage float64
+	// delivered is actual core-seconds of finished work, the quantity
+	// Shares reports.
+	delivered float64
+}
+
+// AddTenant registers a tenant with the given weight (replacing the weight
+// if the tenant exists). Weight <= 0 is treated as 1.
+func (s *Scheduler) AddTenant(name string, weight float64) *Tenant {
+	if weight <= 0 {
+		weight = 1
+	}
+	t := s.tenants[name]
+	if t == nil {
+		t = &Tenant{Name: name}
+		s.tenants[name] = t
+	}
+	t.Weight = weight
+	return t
+}
+
+// Tenants returns tenant names, sorted.
+func (s *Scheduler) Tenants() []string {
+	out := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TenantQueueLen returns the number of queued jobs for one tenant.
+func (s *Scheduler) TenantQueueLen(name string) int {
+	if t := s.tenants[name]; t != nil {
+		return len(t.queue)
+	}
+	return 0
+}
+
+// nextTenant picks the tenant with the lowest usage-per-weight among those
+// with an unexamined queued job (idx tracks this cycle's scan position).
+// Ties break by name for determinism.
+func (s *Scheduler) nextTenant(idx map[string]int) *Tenant {
+	var best *Tenant
+	var bestKey float64
+	for name, t := range s.tenants {
+		if idx[name] >= len(t.queue) {
+			continue
+		}
+		key := t.usage / t.Weight
+		if best == nil || key < bestKey || (key == bestKey && name < best.Name) {
+			best, bestKey = t, key
+		}
+	}
+	return best
+}
+
+// charge books the dispatch-time estimate against the tenant's share.
+// Elastic growth (deadline chasing, spot replacement) is deliberately not
+// charged: replacement capacity restores the job's entitlement, and
+// deadline growth is the tenant trading cloud cost for time — it is billed
+// by the cloud, not by the share.
+func (s *Scheduler) charge(t *Tenant, j *Job, estSeconds float64) {
+	j.charged = float64(j.Cores()) * estSeconds
+	t.usage += j.charged
+}
+
+// trueUp replaces the dispatch estimate with the actual core-seconds.
+func (s *Scheduler) trueUp(t *Tenant, j *Job, now sim.Time) {
+	actual := float64(j.Cores()) * (now - j.Started).Seconds()
+	t.usage += actual - j.charged
+	t.delivered += actual
+}
+
+// Shares returns each tenant's fraction of delivered core-seconds
+// (including running jobs' elapsed time), the quantity that converges to
+// the configured weights under saturation.
+func (s *Scheduler) Shares() map[string]float64 {
+	now := s.K.Now()
+	raw := make(map[string]float64, len(s.tenants))
+	for name, t := range s.tenants {
+		raw[name] = t.delivered
+	}
+	for _, j := range s.jobs {
+		if j.State == Running {
+			raw[j.Spec.Tenant] += float64(j.Cores()) * (now - j.Started).Seconds()
+		}
+	}
+	var total float64
+	for _, v := range raw {
+		total += v
+	}
+	out := make(map[string]float64, len(raw))
+	for name, v := range raw {
+		if total > 0 {
+			out[name] = v / total
+		} else {
+			out[name] = 0
+		}
+	}
+	return out
+}
+
+// EntitledShares returns the weight-proportional target shares.
+func (s *Scheduler) EntitledShares() map[string]float64 {
+	var total float64
+	for _, t := range s.tenants {
+		total += t.Weight
+	}
+	out := make(map[string]float64, len(s.tenants))
+	for name, t := range s.tenants {
+		if total > 0 {
+			out[name] = t.Weight / total
+		}
+	}
+	return out
+}
+
+// DeliveredCoreSeconds returns a tenant's finished core-seconds.
+func (s *Scheduler) DeliveredCoreSeconds(name string) float64 {
+	if t := s.tenants[name]; t != nil {
+		return t.delivered
+	}
+	return 0
+}

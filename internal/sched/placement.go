@@ -1,0 +1,87 @@
+package sched
+
+// PlacementPolicy chooses the cloud a job's workers are provisioned on.
+// free is the cycle's working copy of free cores (the backend snapshot
+// minus what this cycle already dispatched); "" means nothing fits.
+type PlacementPolicy interface {
+	Name() string
+	Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) string
+}
+
+// Score rates one candidate cloud for a job, or -1 when the job does not
+// fit. Three terms, per the federation design:
+//
+//   - data locality: running at the cloud that holds the job's HDFS input
+//     keeps the map-input stream off the WAN;
+//   - free capacity: headroom as a fraction of the cloud's size, so load
+//     spreads when locality is indifferent;
+//   - inter-site bandwidth: for non-local placements, the bottleneck
+//     bandwidth from the input site (taken from the simnet topology),
+//     soft-normalised by RefBandwidth. Tenants with a detected
+//     communication-heavy traffic pattern get this term boosted, biasing
+//     them toward better-connected clouds.
+func (s *Scheduler) Score(j *Job, c CloudInfo, freeCores int) float64 {
+	if freeCores < j.Cores() {
+		return -1
+	}
+	score := s.cfg.CapacityWeight * float64(freeCores) / float64(c.TotalCores)
+	if j.Spec.InputSite != "" {
+		if c.Name == j.Spec.InputSite {
+			score += s.cfg.LocalityWeight
+		} else {
+			w := s.cfg.BandwidthWeight
+			if p := s.patternOf[j.Spec.Tenant]; p == PatternAllToAll || p == PatternRing {
+				w *= s.cfg.PatternBoost
+			}
+			bw := s.B.Bandwidth(j.Spec.InputSite, c.Name)
+			score += w * bw / (bw + s.cfg.RefBandwidth)
+		}
+	}
+	return score
+}
+
+// BestScore is the default locality-aware policy: highest Score wins, ties
+// break by lower price then name.
+type BestScore struct{}
+
+// Name implements PlacementPolicy.
+func (BestScore) Name() string { return "best-score" }
+
+// Choose implements PlacementPolicy.
+func (BestScore) Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) string {
+	best := ""
+	bestScore, bestPrice := -1.0, 0.0
+	for _, c := range clouds {
+		sc := s.Score(j, c, free[c.Name])
+		if sc < 0 {
+			continue
+		}
+		if best == "" || sc > bestScore ||
+			(sc == bestScore && (c.Price < bestPrice || (c.Price == bestPrice && c.Name < best))) {
+			best, bestScore, bestPrice = c.Name, sc, c.Price
+		}
+	}
+	return best
+}
+
+// RandomPlacement is the locality-oblivious baseline: a uniformly random
+// cloud among those with room, drawn from the kernel RNG (deterministic per
+// seed).
+type RandomPlacement struct{}
+
+// Name implements PlacementPolicy.
+func (RandomPlacement) Name() string { return "random" }
+
+// Choose implements PlacementPolicy.
+func (RandomPlacement) Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) string {
+	var fitting []string
+	for _, c := range clouds {
+		if free[c.Name] >= j.Cores() {
+			fitting = append(fitting, c.Name)
+		}
+	}
+	if len(fitting) == 0 {
+		return ""
+	}
+	return fitting[s.K.Rand().Intn(len(fitting))]
+}

@@ -1,0 +1,612 @@
+// Package sched is a federation-wide elastic job scheduler: the layer that
+// decides which tenant's job runs where and when across the sky-computing
+// federation's clouds (§II). It combines
+//
+//   - multi-tenant job queues with weighted fair-share arbitration
+//     (fairshare.go): tenants are served in order of charged usage divided
+//     by weight, so delivered core-seconds converge to configured weights
+//     under contention;
+//   - locality-aware placement (placement.go): candidate clouds are scored
+//     by HDFS data locality, free capacity, and inter-site bandwidth taken
+//     from the simnet topology;
+//   - EASY backfilling (backfill.go): when the next entitled job cannot fit,
+//     it receives a reservation computed from running jobs' estimated
+//     completions, and smaller jobs may slide past it as long as they do not
+//     delay the reserved start;
+//   - an elastic policy hook (elastic.go): running jobs that slip past their
+//     deadline grow through the backend (core.Federation cluster growth),
+//     shrink their extras once the map phase drains, and spot-revocation and
+//     pattern-detection events from the nimbus and autonomic layers feed
+//     back into replacement capacity and placement bias (events.go).
+//
+// The scheduler is deliberately backend-agnostic: core.Federation implements
+// Backend for real federated execution (per-job virtual clusters running
+// MapReduce), and SimBackend provides a lightweight synthetic backend for
+// tests and benchmarks.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+)
+
+// State is a job's lifecycle position.
+type State int
+
+// Job states.
+const (
+	Queued State = iota
+	Running
+	Done
+	Failed
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	}
+	return "failed"
+}
+
+// JobSpec describes a job submitted to the scheduler.
+type JobSpec struct {
+	Tenant string
+	Name   string
+	// MR is the MapReduce payload executed by the backend.
+	MR mapreduce.Job
+	// Workers is the number of VMs to provision for the job.
+	Workers int
+	// CoresPerWorker sizes each VM (zero means 1).
+	CoresPerWorker int
+	// InputSite names the cloud holding the job's HDFS input ("" = none);
+	// placement scores clouds by locality to it, and non-local runs stream
+	// InputBytes over the inter-site links.
+	InputSite  string
+	InputBytes int64
+	// Deadline is an absolute completion target (0 = none). Late jobs grow
+	// through the elastic hook.
+	Deadline sim.Time
+	// MaxExtraWorkers bounds elastic growth (0 = unbounded, as in emr).
+	MaxExtraWorkers int
+	// Spot provisions revocable spot workers at Bid.
+	Spot bool
+	Bid  float64
+	// EstimateSeconds is the runtime estimate on speed-1 hardware used for
+	// backfill reservations and fair-share charging. Zero derives it from
+	// the MR payload.
+	EstimateSeconds float64
+	// Run, when set, makes this an external job: the scheduler arbitrates
+	// its start under the tenant's share (charging Workers*CoresPerWorker
+	// cores) but execution happens on capacity the caller already owns —
+	// the path emr deadline jobs take through the gate. Run must invoke
+	// done exactly once, with the execution error or nil.
+	Run func(done func(error))
+}
+
+// External reports whether the job executes outside scheduler-provisioned
+// capacity.
+func (s JobSpec) External() bool { return s.Run != nil }
+
+// Outcome reports a finished job.
+type Outcome struct {
+	Result mapreduce.Result
+	Err    error
+}
+
+// Job is the scheduler's record of one submission.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	State     State
+	Cloud     string
+	Submitted sim.Time
+	Started   sim.Time
+	Finished  sim.Time
+	// Backfilled marks a job that slid past a blocked reservation.
+	Backfilled bool
+	// GrewBy counts elastic workers added (deadline growth + spot
+	// replacements).
+	GrewBy int
+	// Revocations counts spot workers lost mid-job.
+	Revocations int
+	Outcome     Outcome
+
+	seq         int
+	handle      Handle
+	charged     float64  // core-seconds charged at dispatch (estimate)
+	estDuration sim.Time // estimate at the chosen cloud's speed
+	dispatched  bool
+	// deadlineGrown counts only deadline-chasing extras — the shrinkable
+	// part of GrewBy (spot replacements restore the job's entitled size
+	// and are kept; they are tracked in spotReplaced).
+	deadlineGrown int
+	spotReplaced  int
+	shrunk        bool
+}
+
+// Cores returns the job's core demand (workers x cores each).
+func (j *Job) Cores() int {
+	c := j.Spec.CoresPerWorker
+	if c <= 0 {
+		c = 1
+	}
+	w := j.Spec.Workers
+	if w <= 0 {
+		w = 1
+	}
+	return w * c
+}
+
+// Wait returns how long the job queued: up to now while queued, up to the
+// start for dispatched jobs, and up to the failure instant for jobs that
+// died in the queue.
+func (j *Job) Wait(now sim.Time) sim.Time {
+	switch {
+	case j.State == Queued:
+		return now - j.Submitted
+	case j.dispatched:
+		return j.Started - j.Submitted
+	default: // failed without ever starting
+		return j.Finished - j.Submitted
+	}
+}
+
+// estimate returns the speed-1 runtime estimate in seconds, excluding any
+// input-streaming penalty (see Scheduler.estimateAt).
+func (j *Job) estimate() float64 {
+	if j.Spec.EstimateSeconds > 0 {
+		return j.Spec.EstimateSeconds
+	}
+	work := j.Spec.MR.SerialWork()
+	if work <= 0 {
+		work = 1
+	}
+	return work / float64(j.Cores())
+}
+
+// estimateAt returns the runtime estimate in seconds for running on the
+// named cloud at the given speed, including the time to stream non-local
+// input over the inter-site link — backfill reservations would otherwise
+// systematically undershoot remote-input jobs' runtimes.
+func (s *Scheduler) estimateAt(j *Job, cloud string, speed float64) float64 {
+	if speed <= 0 {
+		speed = 1
+	}
+	est := j.estimate() / speed
+	if j.Spec.InputSite != "" && j.Spec.InputSite != cloud && j.Spec.InputBytes > 0 {
+		if bw := s.B.Bandwidth(j.Spec.InputSite, cloud); bw > 0 {
+			est += float64(j.Spec.InputBytes) / bw
+		}
+	}
+	return est
+}
+
+// JobInfo is the poll-API view of a job.
+type JobInfo struct {
+	ID, Tenant, Name, Cloud string
+	State                   State
+	Submitted               sim.Time
+	Started                 sim.Time
+	Finished                sim.Time
+	Wait                    sim.Time
+	Backfilled              bool
+	GrewBy                  int
+	Revocations             int
+	Result                  mapreduce.Result
+	Err                     error
+}
+
+// CloudInfo is the backend's capacity snapshot for one cloud.
+type CloudInfo struct {
+	Name       string
+	FreeCores  int
+	TotalCores int
+	Speed      float64
+	Price      float64
+}
+
+// Backend executes scheduler decisions. core.Federation implements it for
+// real federated execution; SimBackend for tests.
+type Backend interface {
+	Kernel() *sim.Kernel
+	// Clouds snapshots current capacity (free cores must account for
+	// in-flight provisioning the backend has committed to).
+	Clouds() []CloudInfo
+	// Bandwidth returns the bottleneck inter-site bandwidth in bytes/sec
+	// between two clouds (used by the placement score).
+	Bandwidth(a, b string) float64
+	// Launch provisions the job's workers on the chosen cloud, runs the
+	// payload, releases the workers, and reports the outcome. The returned
+	// handle drives elastic grow/shrink while the job runs.
+	Launch(j *Job, cloud string, onDone func(Outcome)) (Handle, error)
+}
+
+// Handle controls one running job's capacity.
+type Handle interface {
+	// Grow adds n on-demand workers (elastic growth or spot replacement).
+	Grow(n int, onDone func(error))
+	// Shrink releases up to n workers, returning how many were removed.
+	Shrink(n int) int
+	// Progress mirrors mapreduce.Cluster.Progress for the job.
+	Progress() (mapsDone, mapsTotal, reducesDone, reducesTotal int)
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// Placement policy; nil means BestScore (locality-aware).
+	Placement PlacementPolicy
+	// LocalityWeight scores running at the cloud holding the job's input.
+	// Zero means 1.0.
+	LocalityWeight float64
+	// CapacityWeight scores free-capacity headroom. Zero means 0.25.
+	CapacityWeight float64
+	// BandwidthWeight scores the link from the input site for non-local
+	// placements. Zero means 0.5.
+	BandwidthWeight float64
+	// RefBandwidth normalises the bandwidth term (bw/(bw+ref)). Zero means
+	// 125 MB/s (a GbE NIC).
+	RefBandwidth float64
+	// PatternBoost multiplies the bandwidth term for tenants with a
+	// detected communication-heavy pattern. Zero means 2.0.
+	PatternBoost float64
+	// DisableBackfill falls back to strict FIFO-within-fair-share: nothing
+	// may pass a blocked job.
+	DisableBackfill bool
+	// ElasticInterval is the elastic policy evaluation period. Zero means
+	// 15 s.
+	ElasticInterval sim.Time
+	// DeadlineMargin is slack subtracted from deadlines when deciding to
+	// grow. Zero means 30 s.
+	DeadlineMargin sim.Time
+	// DisableSpotReplacement stops the scheduler from growing an on-demand
+	// replacement when a spot worker is revoked mid-job.
+	DisableSpotReplacement bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Placement == nil {
+		c.Placement = BestScore{}
+	}
+	if c.LocalityWeight == 0 {
+		c.LocalityWeight = 1.0
+	}
+	if c.CapacityWeight == 0 {
+		c.CapacityWeight = 0.25
+	}
+	if c.BandwidthWeight == 0 {
+		c.BandwidthWeight = 0.5
+	}
+	if c.RefBandwidth == 0 {
+		c.RefBandwidth = 125 << 20
+	}
+	if c.PatternBoost == 0 {
+		c.PatternBoost = 2.0
+	}
+	if c.ElasticInterval == 0 {
+		c.ElasticInterval = 15 * sim.Second
+	}
+	if c.DeadlineMargin == 0 {
+		c.DeadlineMargin = 30 * sim.Second
+	}
+	return c
+}
+
+// Scheduler is the federation-wide arbiter.
+type Scheduler struct {
+	K   *sim.Kernel
+	B   Backend
+	cfg Config
+
+	tenants map[string]*Tenant
+	jobs    map[string]*Job
+	seq     int
+
+	cyclePending  bool
+	elasticOn     bool
+	cancelElastic func()
+	patternOf     map[string]string // tenant -> detected pattern
+
+	// Stats.
+	Cycles           int
+	Dispatched       int
+	Backfills        int
+	Completed        int
+	Failures         int
+	GrowRequests     int
+	ShrinkRequests   int
+	SpotRevocations  int
+	SpotReplacements int
+	PatternEvents    int
+}
+
+// New builds a scheduler over the backend. Call Start to enable the elastic
+// policy loop; submission and dispatch work without it.
+func New(b Backend, cfg Config) *Scheduler {
+	return &Scheduler{
+		K:         b.Kernel(),
+		B:         b,
+		cfg:       cfg.withDefaults(),
+		tenants:   make(map[string]*Tenant),
+		jobs:      make(map[string]*Job),
+		patternOf: make(map[string]string),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Start enables the elastic policy loop. The underlying ticker runs only
+// while jobs are active, so an idle scheduler does not keep the simulation
+// alive.
+func (s *Scheduler) Start() {
+	s.elasticOn = true
+	s.ensureElastic()
+}
+
+// Stop disables the elastic loop.
+func (s *Scheduler) Stop() {
+	s.elasticOn = false
+	if s.cancelElastic != nil {
+		s.cancelElastic()
+		s.cancelElastic = nil
+	}
+}
+
+// ensureElastic arms the ticker when elastic is enabled and work exists.
+func (s *Scheduler) ensureElastic() {
+	if !s.elasticOn || s.cancelElastic != nil || !s.hasActiveJobs() {
+		return
+	}
+	s.cancelElastic = s.K.Ticker(s.cfg.ElasticInterval, func() {
+		s.elasticTick()
+		if !s.hasActiveJobs() {
+			s.cancelElastic()
+			s.cancelElastic = nil
+		}
+	})
+}
+
+// hasActiveJobs reports whether any job is queued or running.
+func (s *Scheduler) hasActiveJobs() bool {
+	for _, j := range s.jobs {
+		if j.State == Queued || j.State == Running {
+			return true
+		}
+	}
+	return false
+}
+
+// Submit queues a job and returns its ID. Unknown tenants are created with
+// weight 1.
+func (s *Scheduler) Submit(spec JobSpec) (string, error) {
+	if spec.Tenant == "" {
+		return "", fmt.Errorf("sched: job needs a tenant")
+	}
+	t := s.tenants[spec.Tenant]
+	if t == nil {
+		t = s.AddTenant(spec.Tenant, 1)
+	}
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("J%d", s.seq),
+		seq:       s.seq,
+		Spec:      spec,
+		State:     Queued,
+		Submitted: s.K.Now(),
+	}
+	if !spec.External() {
+		if fits, maxName := s.fitsAnywhere(j); !fits {
+			return "", fmt.Errorf("sched: job needs %d cores; largest cloud (%s) is smaller", j.Cores(), maxName)
+		}
+	}
+	s.jobs[j.ID] = j
+	t.queue = append(t.queue, j)
+	s.ensureElastic()
+	s.kick()
+	return j.ID, nil
+}
+
+// fitsAnywhere checks the job's demand against total cloud capacities.
+func (s *Scheduler) fitsAnywhere(j *Job) (bool, string) {
+	maxName, maxCores := "", -1
+	for _, c := range s.B.Clouds() {
+		if c.TotalCores > maxCores {
+			maxName, maxCores = c.Name, c.TotalCores
+		}
+		if c.TotalCores >= j.Cores() {
+			return true, c.Name
+		}
+	}
+	return false, maxName
+}
+
+// Poll returns the current view of a job.
+func (s *Scheduler) Poll(id string) (JobInfo, bool) {
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return JobInfo{
+		ID: j.ID, Tenant: j.Spec.Tenant, Name: j.Spec.Name, Cloud: j.Cloud,
+		State: j.State, Submitted: j.Submitted, Started: j.Started,
+		Finished: j.Finished, Wait: j.Wait(s.K.Now()),
+		Backfilled: j.Backfilled, GrewBy: j.GrewBy, Revocations: j.Revocations,
+		Result: j.Outcome.Result, Err: j.Outcome.Err,
+	}, true
+}
+
+// Jobs returns all job IDs, sorted by submission order.
+func (s *Scheduler) Jobs() []string {
+	out := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, k int) bool { return s.jobs[out[i]].seq < s.jobs[out[k]].seq })
+	return out
+}
+
+// QueueLen returns the total number of queued jobs.
+func (s *Scheduler) QueueLen() int {
+	n := 0
+	for _, t := range s.tenants {
+		n += len(t.queue)
+	}
+	return n
+}
+
+// kick schedules one coalesced scheduling cycle at the current instant.
+func (s *Scheduler) kick() {
+	if s.cyclePending {
+		return
+	}
+	s.cyclePending = true
+	s.K.Schedule(0, s.cycle)
+}
+
+// cycle is the scheduling pass: serve tenants in fair-share order, place and
+// dispatch what fits, reserve for the first blocked job, and backfill behind
+// it.
+func (s *Scheduler) cycle() {
+	s.cyclePending = false
+	s.Cycles++
+	snap := s.B.Clouds()
+	free := make(map[string]int, len(snap))
+	for _, c := range snap {
+		free[c.Name] = c.FreeCores
+	}
+	idx := make(map[string]int)
+	var resv *reservation
+	var releases []coreRelease // running-job ETA snapshot, built on first block
+	for {
+		t := s.nextTenant(idx)
+		if t == nil {
+			break
+		}
+		j := t.queue[idx[t.Name]]
+		if j.Spec.External() {
+			s.dispatchExternal(t, j, idx)
+			continue
+		}
+		cloud := s.cfg.Placement.Choose(s, j, snap, free)
+		if cloud != "" {
+			if resv != nil && !s.backfillOK(j, cloud, resv, free, releases) {
+				idx[t.Name]++
+				continue
+			}
+			s.dispatch(t, j, cloud, resv != nil, idx, snap)
+			free[cloud] -= j.Cores()
+			continue
+		}
+		if resv == nil {
+			releases = s.pendingReleases()
+			r, ok := s.reserve(j, free, releases)
+			if !ok {
+				// Even with every running job drained the demand never
+				// fits (capacity shrank since submit) — fail it.
+				s.failQueued(t, j, idx, fmt.Errorf("sched: no cloud can ever fit %d cores", j.Cores()))
+				continue
+			}
+			resv = &r
+			if s.cfg.DisableBackfill {
+				break
+			}
+		}
+		idx[t.Name]++
+	}
+}
+
+// dispatch starts a placed job through the backend.
+func (s *Scheduler) dispatch(t *Tenant, j *Job, cloud string, backfilled bool, idx map[string]int, snap []CloudInfo) {
+	s.popQueued(t, j, idx)
+	speed := 1.0
+	for _, c := range snap {
+		if c.Name == cloud {
+			if c.Speed > 0 {
+				speed = c.Speed
+			}
+			break
+		}
+	}
+	now := s.K.Now()
+	est := s.estimateAt(j, cloud, speed)
+	j.State = Running
+	j.Cloud = cloud
+	j.Started = now
+	j.dispatched = true
+	j.Backfilled = backfilled
+	j.estDuration = sim.FromSeconds(est)
+	s.charge(t, j, est)
+	s.Dispatched++
+	if backfilled {
+		s.Backfills++
+	}
+	h, err := s.B.Launch(j, cloud, func(out Outcome) { s.complete(j, out) })
+	if err != nil {
+		s.complete(j, Outcome{Err: err})
+		return
+	}
+	j.handle = h
+}
+
+// dispatchExternal starts an external (gate-admitted) job: fair-share
+// ordering applies, capacity accounting is the caller's.
+func (s *Scheduler) dispatchExternal(t *Tenant, j *Job, idx map[string]int) {
+	s.popQueued(t, j, idx)
+	j.State = Running
+	j.Started = s.K.Now()
+	j.dispatched = true
+	j.estDuration = sim.FromSeconds(j.estimate())
+	s.charge(t, j, j.estimate())
+	s.Dispatched++
+	run := j.Spec.Run
+	s.K.Schedule(0, func() { run(func(err error) { s.complete(j, Outcome{Err: err}) }) })
+}
+
+// popQueued removes j (at idx) from the tenant queue.
+func (s *Scheduler) popQueued(t *Tenant, j *Job, idx map[string]int) {
+	i := idx[t.Name]
+	if i >= len(t.queue) || t.queue[i] != j {
+		panic("sched: queue index out of sync")
+	}
+	t.queue = append(t.queue[:i], t.queue[i+1:]...)
+}
+
+// complete finalises a job: true-up the fair-share charge and trigger the
+// next cycle for the freed capacity.
+func (s *Scheduler) complete(j *Job, out Outcome) {
+	if j.State != Running {
+		return
+	}
+	t := s.tenants[j.Spec.Tenant]
+	now := s.K.Now()
+	j.Finished = now
+	j.Outcome = out
+	j.handle = nil
+	s.trueUp(t, j, now)
+	if out.Err != nil {
+		j.State = Failed
+		s.Failures++
+	} else {
+		j.State = Done
+		s.Completed++
+	}
+	s.kick()
+}
+
+// failQueued fails a job still in the queue.
+func (s *Scheduler) failQueued(t *Tenant, j *Job, idx map[string]int, err error) {
+	s.popQueued(t, j, idx)
+	j.State = Failed
+	j.Finished = s.K.Now()
+	j.Outcome = Outcome{Err: err}
+	s.Failures++
+}

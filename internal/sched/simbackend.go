@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+)
+
+// SimBackend is a lightweight synthetic Backend for unit tests and
+// benchmarks: clouds are bare core counters, a launched job completes after
+// its estimate (scaled by cloud speed, plus streaming time for non-local
+// input), and grow/shrink only move the core ledger. It exercises every
+// scheduler code path without the nimbus/migration stack underneath.
+type SimBackend struct {
+	k      *sim.Kernel
+	clouds []*SimCloud
+	bw     map[[2]string]float64
+
+	// DefaultBandwidth is returned for unset site pairs. Zero means
+	// 100 MB/s.
+	DefaultBandwidth float64
+
+	// Launches counts Launch calls.
+	Launches int
+}
+
+// SimCloud is one synthetic cloud.
+type SimCloud struct {
+	Name  string
+	Total int
+	Speed float64
+	Price float64
+
+	used int
+}
+
+// Free returns currently unallocated cores.
+func (c *SimCloud) Free() int { return c.Total - c.used }
+
+// NewSimBackend returns an empty synthetic backend on the kernel.
+func NewSimBackend(k *sim.Kernel) *SimBackend {
+	return &SimBackend{k: k, bw: make(map[[2]string]float64)}
+}
+
+// AddCloud registers a synthetic cloud.
+func (b *SimBackend) AddCloud(name string, cores int, speed, price float64) *SimCloud {
+	if speed <= 0 {
+		speed = 1
+	}
+	c := &SimCloud{Name: name, Total: cores, Speed: speed, Price: price}
+	b.clouds = append(b.clouds, c)
+	sort.Slice(b.clouds, func(i, j int) bool { return b.clouds[i].Name < b.clouds[j].Name })
+	return c
+}
+
+// SetBandwidth sets the symmetric inter-site bandwidth in bytes/sec.
+func (b *SimBackend) SetBandwidth(a, c string, bw float64) {
+	b.bw[[2]string{a, c}] = bw
+	b.bw[[2]string{c, a}] = bw
+}
+
+// Cloud returns a synthetic cloud by name, or nil.
+func (b *SimBackend) Cloud(name string) *SimCloud {
+	for _, c := range b.clouds {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Kernel implements Backend.
+func (b *SimBackend) Kernel() *sim.Kernel { return b.k }
+
+// Clouds implements Backend.
+func (b *SimBackend) Clouds() []CloudInfo {
+	out := make([]CloudInfo, 0, len(b.clouds))
+	for _, c := range b.clouds {
+		out = append(out, CloudInfo{
+			Name: c.Name, FreeCores: c.Free(), TotalCores: c.Total,
+			Speed: c.Speed, Price: c.Price,
+		})
+	}
+	return out
+}
+
+// Bandwidth implements Backend.
+func (b *SimBackend) Bandwidth(a, c string) float64 {
+	if bw, ok := b.bw[[2]string{a, c}]; ok {
+		return bw
+	}
+	if b.DefaultBandwidth > 0 {
+		return b.DefaultBandwidth
+	}
+	return 100 << 20
+}
+
+// SimHandle is the synthetic job handle; exported so tests can assert on
+// grow/shrink traffic.
+type SimHandle struct {
+	b     *SimBackend
+	j     *Job
+	cloud *SimCloud
+
+	started  sim.Time
+	duration sim.Time
+	extra    int
+	finished bool
+
+	GrowCalls   int
+	ShrinkCalls int
+}
+
+// Grow implements Handle: extra workers take cores immediately (error when
+// the cloud is full) and are released with the job.
+func (h *SimHandle) Grow(n int, onDone func(error)) {
+	h.GrowCalls++
+	per := h.j.Spec.CoresPerWorker
+	if per <= 0 {
+		per = 1
+	}
+	need := n * per
+	var err error
+	if h.cloud.Free() >= need {
+		h.cloud.used += need
+		h.extra += need
+	} else {
+		err = fmt.Errorf("sched: %s full", h.cloud.Name)
+	}
+	if onDone != nil {
+		h.b.k.Schedule(0, func() { onDone(err) })
+	}
+}
+
+// Shrink implements Handle: releases elastic extras only.
+func (h *SimHandle) Shrink(n int) int {
+	h.ShrinkCalls++
+	per := h.j.Spec.CoresPerWorker
+	if per <= 0 {
+		per = 1
+	}
+	give := n * per
+	if give > h.extra {
+		give = h.extra
+	}
+	h.extra -= give
+	h.cloud.used -= give
+	return give / per
+}
+
+// Progress implements Handle with a two-phase linear model: maps complete
+// over the first 70% of the runtime, reduces over the tail (so the elastic
+// shrink path sees a drained map phase before completion).
+func (h *SimHandle) Progress() (int, int, int, int) {
+	mt := h.j.Spec.MR.NumMaps
+	if mt <= 0 {
+		mt = 100
+	}
+	rt := h.j.Spec.MR.NumReduces
+	frac := 1.0
+	if h.duration > 0 {
+		frac = float64(h.b.k.Now()-h.started) / float64(h.duration)
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	const mapPhase = 0.7
+	mfrac := frac / mapPhase
+	if mfrac > 1 {
+		mfrac = 1
+	}
+	md := int(mfrac * float64(mt))
+	rd := 0
+	if frac > mapPhase {
+		rd = int((frac - mapPhase) / (1 - mapPhase) * float64(rt))
+	}
+	return md, mt, rd, rt
+}
+
+// Launch implements Backend.
+func (b *SimBackend) Launch(j *Job, cloud string, onDone func(Outcome)) (Handle, error) {
+	c := b.Cloud(cloud)
+	if c == nil {
+		return nil, fmt.Errorf("sched: unknown cloud %q", cloud)
+	}
+	need := j.Cores()
+	if c.Free() < need {
+		return nil, fmt.Errorf("sched: %s has %d free cores, job needs %d", cloud, c.Free(), need)
+	}
+	b.Launches++
+	c.used += need
+	secs := j.estimate() / c.Speed
+	if j.Spec.InputSite != "" && j.Spec.InputSite != cloud && j.Spec.InputBytes > 0 {
+		secs += float64(j.Spec.InputBytes) / b.Bandwidth(j.Spec.InputSite, cloud)
+	}
+	h := &SimHandle{b: b, j: j, cloud: c, started: b.k.Now(), duration: sim.FromSeconds(secs)}
+	b.k.Schedule(h.duration, func() {
+		if h.finished {
+			return
+		}
+		h.finished = true
+		c.used -= need + h.extra
+		h.extra = 0
+		onDone(Outcome{Result: mapreduce.Result{Job: j.Spec.Name, Makespan: h.duration}})
+	})
+	return h, nil
+}
