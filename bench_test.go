@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/mapreduce"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -48,6 +49,7 @@ func BenchmarkA1RegistryScope(b *testing.B)        { benchExperiment(b, "A1") }
 func BenchmarkA2DirtyRateSweep(b *testing.B)       { benchExperiment(b, "A2") }
 func BenchmarkA3ChunkSize(b *testing.B)            { benchExperiment(b, "A3") }
 func BenchmarkE10SchedulerContention(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11GangPlacement(b *testing.B)       { benchExperiment(b, "E11") }
 
 // BenchmarkSchedulerCycle measures federation-scheduler throughput: 1000
 // queued jobs from four weighted tenants drain through four clouds on the
@@ -82,6 +84,50 @@ func BenchmarkSchedulerCycle(b *testing.B) {
 		k.Run()
 		if s.Completed != 1000 {
 			b.Fatalf("completed %d of 1000 jobs", s.Completed)
+		}
+	}
+}
+
+// BenchmarkGangPlacement measures the plan-based placement pipeline under a
+// spanning-heavy load: 300 jobs from two tenants on four 64-core clouds
+// with heterogeneous pipes, every fifth job too wide for any single cloud
+// (forcing the gang path: anchor selection, greedy member extension, plan
+// scoring with the shuffle term, multi-cloud reservations).
+func BenchmarkGangPlacement(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(42)
+		sb := sched.NewSimBackend(k)
+		for c := 0; c < 4; c++ {
+			sb.AddCloud(fmt.Sprintf("cloud%d", c), 64, 1.0, 0.06+0.02*float64(c))
+		}
+		sb.SetBandwidth("cloud0", "cloud1", 100<<20)
+		sb.SetBandwidth("cloud0", "cloud2", 10<<20)
+		sb.SetBandwidth("cloud0", "cloud3", 40<<20)
+		s := sched.New(sb, sched.Config{})
+		s.AddTenant("a", 2)
+		s.AddTenant("b", 1)
+		for j := 0; j < 300; j++ {
+			spec := sched.JobSpec{
+				Tenant:          []string{"a", "b"}[j%2],
+				Workers:         8,
+				CoresPerWorker:  2,
+				EstimateSeconds: float64(60 + j%90),
+			}
+			if j%5 == 0 {
+				spec.Workers = 40 // 80 cores: wider than any 64-core cloud
+				spec.MR = mapreduce.Job{NumMaps: 80, NumReduces: 4, ShuffleBytesPerMapPerReduce: 1 << 20}
+			}
+			if _, err := s.Submit(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		k.Run()
+		if s.Completed != 300 {
+			b.Fatalf("completed %d of 300 jobs", s.Completed)
+		}
+		if s.SpanningDispatched == 0 {
+			b.Fatal("no spanning plans dispatched")
 		}
 	}
 }

@@ -136,6 +136,7 @@ func runSched(args []string) {
 	st := metrics.NewTable("scheduler counters", "metric", "value")
 	st.AddRowf("cycles", s.Cycles)
 	st.AddRowf("dispatched", s.Dispatched)
+	st.AddRowf("spanning plans", s.SpanningDispatched)
 	st.AddRowf("backfilled", s.Backfills)
 	st.AddRowf("completed", s.Completed)
 	st.AddRowf("grow requests", s.GrowRequests)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/emr"
 	"repro/internal/mapreduce"
@@ -49,8 +50,15 @@ type fedBackend struct {
 type launchedJob struct {
 	id     string
 	tenant string
-	cloud  string
-	vc     *VirtualCluster
+	// plan is the gang placement: one spanning virtual cluster whose
+	// workers are distributed over the member clouds and contextualize
+	// over the ViNe overlay.
+	plan sched.Plan
+	cpw  int
+	vc   *VirtualCluster
+	// extras lists the clouds hosting elastically grown workers, one entry
+	// per worker in grow order; Shrink releases from the end.
+	extras []string
 }
 
 // EnableScheduler creates the federation-wide job scheduler and starts its
@@ -122,7 +130,9 @@ type fedHandle struct {
 }
 
 // Grow implements sched.Handle: on-demand workers (firm capacity — this is
-// the spot-replacement and deadline-chasing path).
+// the spot-replacement and deadline-chasing path). The gang grows in place
+// first — member clouds in plan order — and only when every member is full
+// does it spill onto the non-member cloud with the most free cores.
 func (h *fedHandle) Grow(n int, onDone func(error)) {
 	if h.lj.vc == nil {
 		if onDone != nil {
@@ -130,22 +140,92 @@ func (h *fedHandle) Grow(n int, onDone func(error)) {
 		}
 		return
 	}
-	h.lj.vc.GrowOnDemand(h.lj.cloud, n, func(err error) {
-		if err == nil {
-			h.b.adopt(h.lj)
-		}
+	alloc, ok := h.planGrow(n)
+	if !ok {
 		if onDone != nil {
-			onDone(err)
+			h.b.f.K.Schedule(0, func() { onDone(fmt.Errorf("core: no clouds can host %d more workers", n)) })
 		}
-	})
+		return
+	}
+	clouds := make([]string, 0, len(alloc))
+	for c := range alloc {
+		clouds = append(clouds, c)
+	}
+	sort.Strings(clouds)
+	pending := len(clouds)
+	var firstErr error
+	for _, cloud := range clouds {
+		cloud, cnt := cloud, alloc[cloud]
+		h.lj.vc.GrowOnDemand(cloud, cnt, func(err error) {
+			if err == nil {
+				for i := 0; i < cnt; i++ {
+					h.lj.extras = append(h.lj.extras, cloud)
+				}
+				h.b.adopt(h.lj)
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			pending--
+			if pending == 0 && onDone != nil {
+				onDone(firstErr)
+			}
+		})
+	}
 }
 
-// Shrink implements sched.Handle.
+// planGrow assigns n extra workers to clouds, worker by worker against a
+// working copy of free capacity: plan members in order first, then the
+// non-member with the most free cores (ties by name) — so a multi-worker
+// grow can spread across clouds instead of demanding one cloud fit it all.
+// ok is false when the federation cannot host all n.
+func (h *fedHandle) planGrow(n int) (map[string]int, bool) {
+	free := make(map[string]int)
+	for _, c := range h.b.f.Clouds() {
+		free[c.Name] = c.FreeCores() - h.b.reserved[c.Name]
+	}
+	alloc := make(map[string]int, 1)
+	for i := 0; i < n; i++ {
+		cloud := ""
+		for _, m := range h.lj.plan.Members {
+			if free[m.Cloud] >= h.lj.cpw {
+				cloud = m.Cloud
+				break
+			}
+		}
+		if cloud == "" {
+			for _, c := range h.b.f.Clouds() {
+				if h.lj.plan.WorkersOn(c.Name) > 0 || free[c.Name] < h.lj.cpw {
+					continue
+				}
+				if cloud == "" || free[c.Name] > free[cloud] {
+					cloud = c.Name
+				}
+			}
+		}
+		if cloud == "" {
+			return nil, false
+		}
+		alloc[cloud]++
+		free[cloud] -= h.lj.cpw
+	}
+	return alloc, true
+}
+
+// Shrink implements sched.Handle: elastic extras come back newest-first.
 func (h *fedHandle) Shrink(n int) int {
 	if h.lj.vc == nil {
 		return 0
 	}
-	return h.lj.vc.Shrink(h.lj.cloud, n)
+	removed := 0
+	for removed < n && len(h.lj.extras) > 0 {
+		cloud := h.lj.extras[len(h.lj.extras)-1]
+		if h.lj.vc.Shrink(cloud, 1) == 0 {
+			break
+		}
+		h.lj.extras = h.lj.extras[:len(h.lj.extras)-1]
+		removed++
+	}
+	return removed
 }
 
 // Progress implements sched.Handle.
@@ -173,33 +253,34 @@ func (b *fedBackend) release(lj *launchedJob) {
 	}
 }
 
-// Launch implements sched.Backend: provision a per-job virtual cluster on
-// the chosen cloud, run the MapReduce payload (streaming input from the
-// job's data site when non-local), then tear the cluster down.
-func (b *fedBackend) Launch(j *sched.Job, cloud string, onDone func(sched.Outcome)) (sched.Handle, error) {
+// Launch implements sched.Backend: provision one per-job virtual cluster
+// spanning every plan member (the gang contextualizes over the ViNe
+// overlay), run the MapReduce payload (streaming input from the job's data
+// site when non-local), then tear the cluster down. The reservation ledger
+// is debited per member cloud for the dispatch-to-placement window.
+func (b *fedBackend) Launch(j *sched.Job, plan sched.Plan, onDone func(sched.Outcome)) (sched.Handle, error) {
 	cores := j.Spec.CoresPerWorker
 	if cores <= 0 {
 		cores = 1
 	}
-	workers := j.Spec.Workers
-	if workers <= 0 {
-		workers = 1
+	lj := &launchedJob{id: j.ID, tenant: j.Spec.Tenant, plan: plan, cpw: cores}
+	dist := make(map[string]int, len(plan.Members))
+	for _, m := range plan.Members {
+		dist[m.Cloud] = m.Workers
+		b.reserved[m.Cloud] += m.Workers * cores
 	}
-	lj := &launchedJob{id: j.ID, tenant: j.Spec.Tenant, cloud: cloud}
-	need := workers * cores
-	b.reserved[cloud] += need
 	b.f.CreateCluster("sched-"+j.ID, ClusterSpec{
-		Image:    b.opt.Image,
-		Cores:    cores,
-		MemPages: b.opt.MemPagesPerWorker,
-		CoW:      true,
-		Spot:     j.Spec.Spot,
-		Bid:      j.Spec.Bid,
-		Distribution: map[string]int{
-			cloud: workers,
-		},
+		Image:        b.opt.Image,
+		Cores:        cores,
+		MemPages:     b.opt.MemPagesPerWorker,
+		CoW:          true,
+		Spot:         j.Spec.Spot,
+		Bid:          j.Spec.Bid,
+		Distribution: dist,
 	}, func(vc *VirtualCluster, err error) {
-		b.reserved[cloud] -= need
+		for _, m := range plan.Members {
+			b.reserved[m.Cloud] -= m.Workers * cores
+		}
 		if err != nil {
 			onDone(sched.Outcome{Err: err})
 			return

@@ -74,6 +74,45 @@ func TestFederationSchedulerRunsJobs(t *testing.T) {
 	}
 }
 
+// TestFederationSchedulerGangSpansClouds: a job wider than any single
+// cloud runs as one virtual cluster spanning both clouds over the overlay,
+// pays real cross-site shuffle traffic, and tears down cleanly.
+func TestFederationSchedulerGangSpansClouds(t *testing.T) {
+	f, s := schedFederation(t, 17, 2, 2, sched.Config{})
+	s.AddTenant("a", 1)
+	// 2 clouds x 2 hosts x 4 cores = 8 cores each; 6 workers x 2 cores = 12
+	// cores needs both.
+	id, err := s.Submit(sched.JobSpec{
+		Tenant: "a", Name: "wide", Workers: 6, CoresPerWorker: 2,
+		MR: mapreduce.Job{Name: "sort", NumMaps: 12, NumReduces: 2, MapCPU: 5,
+			ReduceCPU: 2, ShuffleBytesPerMapPerReduce: 4 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.K.Run()
+	ji, _ := s.Poll(id)
+	if ji.State != sched.Done {
+		t.Fatalf("wide job state %v err %v", ji.State, ji.Err)
+	}
+	if !ji.Plan.Spanning() || ji.Plan.Workers() != 6 {
+		t.Fatalf("plan %v: want a 6-worker plan spanning both clouds", ji.Plan)
+	}
+	if s.SpanningDispatched != 1 {
+		t.Errorf("SpanningDispatched = %d, want 1", s.SpanningDispatched)
+	}
+	// The gang's shuffle really crossed the WAN.
+	if ji.Result.CrossSiteShuffleBytes == 0 {
+		t.Error("spanning job recorded no cross-site shuffle bytes")
+	}
+	if f.Net.TotalWANBytes() == 0 {
+		t.Error("no WAN traffic despite a spanning cluster")
+	}
+	if n := len(f.VMNames()); n != 0 {
+		t.Errorf("%d VMs leaked after the spanning job finished", n)
+	}
+}
+
 // TestFederationSchedulerSpotRevocation: a price spike revokes a running
 // job's spot workers; the scheduler replaces them on-demand and the job
 // still completes with its work preserved.

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/sched"
 )
 
 // TestAllExperimentsProduceTables smoke-runs every experiment at a fixed
@@ -60,5 +62,35 @@ func TestE5SurvivalShape(t *testing.T) {
 	out := tables[0].String()
 	if !strings.Contains(out, "off (state of the art)") || !strings.Contains(out, "on (§III-B)") {
 		t.Fatalf("E5 table malformed:\n%s", out)
+	}
+}
+
+// TestE11GangShape pins the gang-placement acceptance claims: (1) a job
+// wider than any single cloud completes under a spanning plan while the
+// single-cloud policy leaves it queued; (2) the shuffle-cost-aware scorer
+// achieves strictly lower makespan than bandwidth-oblivious spanning on a
+// heterogeneous-bandwidth topology.
+func TestE11GangShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := E11GangPlacement(7)
+	out := tables[0].String()
+	for _, want := range []string{"best-score", "done", "random", "queued", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E11a table missing %q:\n%s", want, out)
+		}
+	}
+	aware, _ := gangShuffleRun(7, sched.Config{})
+	oblivious, _ := gangShuffleRun(7, sched.Config{DisableShuffleCost: true})
+	if !aware.Plan.Spanning() || !oblivious.Plan.Spanning() {
+		t.Fatalf("plans not spanning: aware=%v oblivious=%v", aware.Plan, oblivious.Plan)
+	}
+	if aware.Plan.WorkersOn("thin") != 0 {
+		t.Errorf("shuffle-aware plan %v used the thin pipe", aware.Plan)
+	}
+	if aware.Result.Makespan >= oblivious.Result.Makespan {
+		t.Fatalf("shuffle-aware makespan %v not strictly below oblivious %v",
+			aware.Result.Makespan, oblivious.Result.Makespan)
 	}
 }

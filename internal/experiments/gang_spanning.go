@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// E11GangPlacement evaluates plan-based gang placement (jobs spanning
+// clouds over the overlay):
+//
+//   - E11a: a job needing 1.5x any single cloud's cores completes via a
+//     two-cloud spanning plan, while the single-cloud baseline leaves it
+//     queued forever;
+//   - E11b: on a heterogeneous-bandwidth topology, the shuffle-cost-aware
+//     scorer picks the fat-pipe partner and beats bandwidth-oblivious
+//     spanning (which tie-breaks to the cheaper, thin-pipe cloud) on
+//     makespan and WAN traffic.
+func E11GangPlacement(seed int64) []*metrics.Table {
+	return []*metrics.Table{
+		gangSpanVsQueueTable(seed),
+		gangShuffleAwareTable(seed),
+	}
+}
+
+// gangFederation builds a federation for the gang experiments; wan maps
+// cloud name to its WAN up/down capacity (heterogeneous pipes).
+func gangFederation(seed int64, cfg sched.Config, prices map[string]float64, wan map[string]float64) (*core.Federation, *sched.Scheduler) {
+	f := core.NewFederation(seed)
+	names := make([]string, 0, len(prices))
+	for name := range prices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		cc := cloudConfig(name, 4, prices[name], 1.0)
+		cc.WANUp, cc.WANDown = wan[name], wan[name]
+		c := f.AddCloud(cc)
+		m := vm.NewContentModel(seed+int64(i)*17, "debian", 0.1, 0.5, 2048)
+		c.PutImage(vm.NewDiskImage("debian", 1024, 65536, m))
+	}
+	s := f.EnableScheduler(core.SchedulerOptions{Sched: cfg})
+	return f, s
+}
+
+func gangSpanVsQueueTable(seed int64) *metrics.Table {
+	t := metrics.NewTable(
+		"E11a: 48-core job on two 32-core clouds — gang placement vs single-cloud (horizon 2 h)",
+		"placement", "state", "plan", "makespan (s)", "cross-site shuffle", "WAN bytes")
+	for _, policy := range []sched.PlacementPolicy{sched.BestScore{}, sched.RandomPlacement{}} {
+		f, s := gangFederation(seed, sched.Config{Placement: policy},
+			map[string]float64{"cloud0": 0.08, "cloud1": 0.12},
+			map[string]float64{"cloud0": 60 * mb, "cloud1": 60 * mb})
+		id, err := s.Submit(sched.JobSpec{
+			Tenant: "big", Name: "wide", Workers: 24, CoresPerWorker: 2,
+			MR: mapreduce.Job{Name: "wide", NumMaps: 48, NumReduces: 2,
+				MapCPU: 30, ReduceCPU: 2, ShuffleBytesPerMapPerReduce: mb},
+		})
+		if err != nil {
+			panic(err)
+		}
+		f.K.RunUntil(2 * sim.Hour)
+		ji, _ := s.Poll(id)
+		makespan := "-"
+		if ji.State == sched.Done {
+			makespan = fmt.Sprintf("%.1f", ji.Result.Makespan.Seconds())
+		}
+		t.AddRowf(policy.Name(), ji.State.String(), ji.Plan.String(), makespan,
+			metrics.FmtBytes(ji.Result.CrossSiteShuffleBytes), metrics.FmtBytes(f.Net.TotalWANBytes()))
+	}
+	return t
+}
+
+// gangShuffleRun executes the E11b scenario — a 48-core job spanning from
+// "anchor" with a fat-pipe and a cheap thin-pipe partner on offer — under
+// the given scheduler config, returning the job view and WAN bytes.
+func gangShuffleRun(seed int64, cfg sched.Config) (sched.JobInfo, int64) {
+	f, s := gangFederation(seed, cfg,
+		map[string]float64{"anchor": 0.08, "fat": 0.12, "thin": 0.05},
+		map[string]float64{"anchor": 100 * mb, "fat": 100 * mb, "thin": 5 * mb})
+	id, err := s.Submit(sched.JobSpec{
+		Tenant: "span", Name: "sorty", Workers: 24, CoresPerWorker: 2,
+		InputSite: "anchor", InputBytes: 256 * mb,
+		MR: mapreduce.Job{Name: "sorty", NumMaps: 48, NumReduces: 8,
+			MapCPU: 10, ReduceCPU: 4, ShuffleBytesPerMapPerReduce: 2 * mb},
+	})
+	if err != nil {
+		panic(err)
+	}
+	f.K.Run()
+	ji, _ := s.Poll(id)
+	return ji, f.Net.TotalWANBytes()
+}
+
+func gangShuffleAwareTable(seed int64) *metrics.Table {
+	t := metrics.NewTable(
+		"E11b: spanning partner choice on heterogeneous pipes (anchor-fat 100 MB/s, anchor-thin 5 MB/s, thin cheapest)",
+		"plan scorer", "plan", "makespan (s)", "cross-site shuffle", "WAN bytes", "vs shuffle-aware")
+	type row struct {
+		label    string
+		plan     string
+		makespan float64
+		cross    int64
+		wan      int64
+	}
+	var rows []row
+	for _, variant := range []struct {
+		label string
+		cfg   sched.Config
+	}{
+		{"shuffle-aware", sched.Config{}},
+		{"bandwidth-oblivious", sched.Config{DisableShuffleCost: true}},
+	} {
+		ji, wan := gangShuffleRun(seed, variant.cfg)
+		if ji.State != sched.Done {
+			panic(fmt.Sprintf("E11b: %s job state %v err %v", variant.label, ji.State, ji.Err))
+		}
+		rows = append(rows, row{variant.label, ji.Plan.String(),
+			ji.Result.Makespan.Seconds(), ji.Result.CrossSiteShuffleBytes, wan})
+	}
+	base := rows[0].makespan
+	for _, r := range rows {
+		t.AddRowf(r.label, r.plan, r.makespan, metrics.FmtBytes(r.cross), metrics.FmtBytes(r.wan),
+			fmt.Sprintf("%.2fx", r.makespan/base))
+	}
+	return t
+}

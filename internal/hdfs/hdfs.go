@@ -345,6 +345,47 @@ func MapSplits(f *File) []mapreduce.Split {
 	return out
 }
 
+// LocalityFraction returns the fraction of the file's bytes with at least
+// one replica on the named site — the per-block locality signal the
+// federation scheduler's plan scorer consumes (a cloud holding 60% of a
+// file's blocks is 0.6 local, not 0 or 1 as whole-file residency would
+// claim). A nil file is 0.
+func LocalityFraction(f *File, site string) float64 {
+	fracs := LocalityFractions(f)
+	return fracs[site]
+}
+
+// LocalityFractions returns, for every site holding replicas, the fraction
+// of the file's bytes with a replica there — the value to feed
+// sched.JobSpec.InputFractions. Fractions may sum to more than 1 because
+// replication places the same block on several sites.
+func LocalityFractions(f *File) map[string]float64 {
+	if f == nil || len(f.Blocks) == 0 {
+		return nil
+	}
+	var total int64
+	bySite := make(map[string]int64)
+	for _, b := range f.Blocks {
+		total += b.Bytes
+		seen := make(map[string]bool, len(b.Replicas))
+		for _, r := range b.Replicas {
+			if r == nil || seen[r.Site.Name] {
+				continue
+			}
+			seen[r.Site.Name] = true
+			bySite[r.Site.Name] += b.Bytes
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(bySite))
+	for site, bytes := range bySite {
+		out[site] = float64(bytes) / float64(total)
+	}
+	return out
+}
+
 // ReplicationFactor returns the minimum live replica count across a file's
 // blocks (0 if any block is lost).
 func (fs *FileSystem) ReplicationFactor(name string) int {

@@ -243,3 +243,52 @@ func TestSplitMismatchRejected(t *testing.T) {
 		t.Fatal("split/maps mismatch must be rejected")
 	}
 }
+
+// TestLocalityFractions: per-block fractions reflect where replicas
+// actually sit, per site, weighted by block bytes.
+func TestLocalityFractions(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	sa := net.AddSite("siteA", 125*MB, 125*MB)
+	sb := net.AddSite("siteB", 125*MB, 125*MB)
+	a1, a2 := sa.AddNode("a1", 125*MB), sa.AddNode("a2", 125*MB)
+	b1 := sb.AddNode("b1", 125*MB)
+	f := &File{Name: "x", Bytes: 30 * MB, Blocks: []*Block{
+		{ID: "blk1", Bytes: 10 * MB, Replicas: []*simnet.Node{a1, a2}}, // A only
+		{ID: "blk2", Bytes: 10 * MB, Replicas: []*simnet.Node{a1, b1}}, // both
+		{ID: "blk3", Bytes: 10 * MB, Replicas: []*simnet.Node{b1}},     // B only
+	}}
+	fr := LocalityFractions(f)
+	if got := fr["siteA"]; got < 0.66 || got > 0.67 {
+		t.Errorf("siteA fraction %v, want 2/3", got)
+	}
+	if got := fr["siteB"]; got < 0.66 || got > 0.67 {
+		t.Errorf("siteB fraction %v, want 2/3", got)
+	}
+	if got := LocalityFraction(f, "siteA"); got != fr["siteA"] {
+		t.Errorf("LocalityFraction = %v, want %v", got, fr["siteA"])
+	}
+	if got := LocalityFraction(f, "nowhere"); got != 0 {
+		t.Errorf("unknown site fraction %v, want 0", got)
+	}
+	if LocalityFractions(nil) != nil || LocalityFraction(nil, "siteA") != 0 {
+		t.Error("nil file must yield no fractions")
+	}
+}
+
+// TestLocalityFractionsFromWrittenFile: fractions from a real Write cover
+// the writer's site fully (first replica lands with the writer).
+func TestLocalityFractionsFromWrittenFile(t *testing.T) {
+	k, _, fs, dns := testFS(t, 5, 3)
+	var f *File
+	fs.Write("input", 40*MB, dns[0], func(file *File, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		f = file
+	})
+	k.Run()
+	if got := LocalityFraction(f, "cloud"); got != 1 {
+		t.Errorf("single-site file locality %v, want 1", got)
+	}
+}

@@ -326,11 +326,11 @@ func (c *Cluster) pump() {
 	}
 	if e.reduces != nil {
 		for len(e.reduceQueue) > 0 {
-			w := freeWorker(workers)
+			rid := e.reduceQueue[0]
+			w := freeWorkerForReduce(workers, e.reduces[rid])
 			if w == nil {
 				break
 			}
-			rid := e.reduceQueue[0]
 			e.reduceQueue = e.reduceQueue[1:]
 			e.startReduce(e.reduces[rid], w)
 		}
@@ -346,6 +346,37 @@ func freeWorker(ws []*Worker) *Worker {
 			continue
 		}
 		if best == nil || w.busy < best.busy {
+			best = w
+		}
+	}
+	return best
+}
+
+// freeWorkerForReduce places a reduce task shuffle-aware: among free
+// workers, prefer the site holding the most of this reduce's unfetched
+// map-output bytes, then the least-loaded worker; remaining ties keep the
+// earliest entry of ws, which pump passes ID-sorted. On a cluster spanning
+// clouds this keeps the bulk of the shuffle off the WAN, so spanning jobs
+// pay only for the output that genuinely has to cross sites. Single-site
+// clusters degrade to the plain least-loaded pick.
+func freeWorkerForReduce(ws []*Worker, r *reduceExec) *Worker {
+	siteBytes := make(map[*simnet.Site]int64, 2)
+	for src, bytes := range r.pendingSources {
+		if n := r.sourceNodes[src]; n != nil {
+			siteBytes[n.Site] += bytes
+		}
+	}
+	var best *Worker
+	for _, w := range ws {
+		if !w.alive || w.busy >= w.Slots {
+			continue
+		}
+		if best == nil {
+			best = w
+			continue
+		}
+		wb, bb := siteBytes[w.Node.Site], siteBytes[best.Node.Site]
+		if wb > bb || (wb == bb && w.busy < best.busy) {
 			best = w
 		}
 	}

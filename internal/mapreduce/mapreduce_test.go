@@ -320,3 +320,35 @@ func TestPeakWorkersTracked(t *testing.T) {
 		t.Fatalf("peak workers %d, want 3", res.PeakWorkers)
 	}
 }
+
+// TestReducePlacementPrefersMapOutputSite: on a spanning cluster the
+// reduce lands on the site holding most of the map output, so only the
+// minority site's output crosses the WAN. Worker IDs are chosen so the old
+// least-loaded/lowest-ID pick would have chosen the minority site.
+func TestReducePlacementPrefersMapOutputSite(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	big := net.AddSite("big", 125*MB, 125*MB)
+	small := net.AddSite("small", 125*MB, 125*MB)
+	c := NewCluster(net)
+	// IDs on the minority site sort first: a naive ID tie-break would put
+	// the reduce there.
+	c.AddWorker("a0", small.AddNode("a0", 125*MB), 1, 1)
+	c.AddWorker("a1", small.AddNode("a1", 125*MB), 1, 1)
+	for i := 0; i < 4; i++ {
+		id := workerID(i)
+		c.AddWorker(id, big.AddNode(id, 125*MB), 1, 1)
+	}
+	var res Result
+	if err := c.Run(Job{Name: "j", NumMaps: 6, NumReduces: 1, MapCPU: 1, ReduceCPU: 1,
+		ShuffleBytesPerMapPerReduce: MB}, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	// 6 maps on 6 single-slot workers: 4 outputs on "big", 2 on "small".
+	// The reduce must run on "big", shuffling exactly the 2 minority
+	// outputs across sites.
+	if res.CrossSiteShuffleBytes != 2*MB {
+		t.Fatalf("cross-site shuffle %d bytes, want 2 MiB (reduce at the output-heavy site)", res.CrossSiteShuffleBytes)
+	}
+}

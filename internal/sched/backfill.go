@@ -6,22 +6,24 @@ import (
 	"repro/internal/sim"
 )
 
-// EASY backfilling: when the next entitled job cannot be placed, it gets a
-// reservation — the earliest time enough cores free up on some cloud, taken
-// from running jobs' estimated completions — and later queue entries may
-// start now only if they cannot delay that reserved start: either they run
-// on a different cloud, finish (by estimate) before the reservation, or
-// leave the reserved cores intact at the reservation time.
+// EASY backfilling, gang-aware: when the next entitled job cannot be
+// placed, it gets a reservation — the earliest instant at which the
+// placement policy can produce a plan for it, given running jobs' estimated
+// completions. The reservation is itself a plan (a multi-cloud capacity
+// vector, not a single cloud), and later queue entries may start now only
+// if they cannot delay that reserved start: either their plan shares no
+// cloud with the reservation, they finish (by estimate) before it, or they
+// leave every reserved member's cores intact at the reservation time.
 
 // reservation is the blocked head job's future claim.
 type reservation struct {
-	job   string
-	cloud string
-	at    sim.Time
-	need  int
+	job  string
+	plan Plan
+	at   sim.Time
 }
 
-// coreRelease is one running job's estimated hand-back of cores.
+// coreRelease is one running job's estimated hand-back of cores on one
+// member cloud (a spanning job contributes one release per member).
 type coreRelease struct {
 	at    sim.Time
 	cores int
@@ -45,52 +47,47 @@ func (s *Scheduler) pendingReleases() []coreRelease {
 		if eta <= now {
 			eta = now + sim.Second
 		}
-		out = append(out, coreRelease{at: eta, cores: j.Cores(), cloud: j.Cloud, job: id})
+		cpw := j.coresPerWorker()
+		for _, m := range j.Plan.Members {
+			out = append(out, coreRelease{at: eta, cores: m.Workers * cpw, cloud: m.Cloud, job: id})
+		}
 	}
 	sort.Slice(out, func(i, k int) bool {
 		if out[i].at != out[k].at {
 			return out[i].at < out[k].at
 		}
-		return out[i].job < out[k].job
+		if out[i].job != out[k].job {
+			return out[i].job < out[k].job
+		}
+		return out[i].cloud < out[k].cloud
 	})
 	return out
 }
 
-// reserve computes the blocked job's earliest feasible start: per cloud,
-// walk estimated releases until free + released covers the demand; keep the
-// earliest such instant across clouds. ok is false when even a fully
-// drained federation cannot fit the job.
-func (s *Scheduler) reserve(j *Job, free map[string]int, releases []coreRelease) (reservation, bool) {
-	best := reservation{job: j.ID, need: j.Cores()}
-	found := false
-	for _, c := range s.B.Clouds() {
-		avail := free[c.Name]
-		if c.TotalCores < j.Cores() {
-			continue
+// reserve computes the blocked job's earliest feasible start: walk the
+// estimated release instants in order and, at each, ask the placement
+// policy whether a plan exists with the capacity available by then. The
+// first instant that yields a plan becomes the reservation. ok is false
+// when even a fully drained federation yields no plan (either capacity
+// shrank below the gang, or a single-cloud policy faces a spanning-only
+// job).
+func (s *Scheduler) reserve(j *Job, free map[string]int, releases []coreRelease, snap []CloudInfo) (reservation, bool) {
+	avail := make(map[string]int, len(free))
+	for name, n := range free {
+		avail[name] = n
+	}
+	i := 0
+	for i < len(releases) {
+		at := releases[i].at
+		for i < len(releases) && releases[i].at == at {
+			avail[releases[i].cloud] += releases[i].cores
+			i++
 		}
-		var at sim.Time
-		ok := avail >= j.Cores()
-		if !ok {
-			for _, r := range releases {
-				if r.cloud != c.Name {
-					continue
-				}
-				avail += r.cores
-				if avail >= j.Cores() {
-					at, ok = r.at, true
-					break
-				}
-			}
-		}
-		if !ok {
-			continue
-		}
-		if !found || at < best.at || (at == best.at && c.Name < best.cloud) {
-			best.cloud, best.at = c.Name, at
-			found = true
+		if plan := s.cfg.Placement.Choose(s, j, snap, avail); !plan.Empty() {
+			return reservation{job: j.ID, plan: plan, at: at}, true
 		}
 	}
-	return best, found
+	return reservation{}, false
 }
 
 // availableAt returns the cores free on a cloud at time t, assuming running
@@ -105,24 +102,38 @@ func availableAt(cloud string, t sim.Time, free map[string]int, releases []coreR
 	return avail
 }
 
-// backfillOK reports whether starting job b on cloud now cannot delay the
+// backfillOK reports whether starting job b under plan now cannot delay the
 // reservation.
-func (s *Scheduler) backfillOK(b *Job, cloud string, resv *reservation, free map[string]int, releases []coreRelease) bool {
-	if cloud != resv.cloud {
-		return true
-	}
-	speed := 1.0
-	for _, c := range s.B.Clouds() {
-		if c.Name == cloud && c.Speed > 0 {
-			speed = c.Speed
+func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, free map[string]int, releases []coreRelease, snap []CloudInfo) bool {
+	shared := false
+	for _, m := range plan.Members {
+		if resv.plan.WorkersOn(m.Cloud) > 0 {
+			shared = true
 			break
 		}
 	}
-	finish := s.K.Now() + sim.FromSeconds(s.estimateAt(b, cloud, speed))
+	if !shared {
+		return true
+	}
+	finish := s.K.Now() + sim.FromSeconds(s.estimateAt(b, plan, snap))
 	if finish <= resv.at {
 		return true
 	}
-	// Still running at the reservation: the reserved cloud must retain
-	// enough cores with b's demand subtracted.
-	return availableAt(cloud, resv.at, free, releases)-b.Cores() >= resv.need
+	// Still running at the reservation: every shared member cloud must
+	// retain enough cores with b's slice subtracted.
+	bcpw := b.coresPerWorker()
+	rcpw := 1
+	if rj := s.jobs[resv.job]; rj != nil {
+		rcpw = rj.coresPerWorker()
+	}
+	for _, m := range plan.Members {
+		need := resv.plan.WorkersOn(m.Cloud) * rcpw
+		if need == 0 {
+			continue
+		}
+		if availableAt(m.Cloud, resv.at, free, releases)-m.Workers*bcpw < need {
+			return false
+		}
+	}
+	return true
 }

@@ -33,6 +33,7 @@ func (s *Scheduler) elasticTick() {
 			j.shrunk = true
 			if n := j.handle.Shrink(j.deadlineGrown); n > 0 {
 				s.ShrinkRequests++
+				s.resize(j, -n*j.coresPerWorker())
 				s.kick()
 			}
 		}
@@ -40,7 +41,8 @@ func (s *Scheduler) elasticTick() {
 }
 
 // growOne requests one extra on-demand worker, rolling the given counter
-// (and the public total) back if the backend cannot provision it.
+// (and the public total) back if the backend cannot provision it; on
+// success the delivered-capacity ledger records the size change.
 func (s *Scheduler) growOne(j *Job, counter *int) {
 	j.GrewBy++
 	h := j.handle
@@ -48,6 +50,10 @@ func (s *Scheduler) growOne(j *Job, counter *int) {
 		if err != nil {
 			j.GrewBy--
 			*counter--
+			return
+		}
+		if j.State == Running {
+			s.resize(j, j.coresPerWorker())
 		}
 	})
 }

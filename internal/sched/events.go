@@ -48,6 +48,11 @@ func (s *Scheduler) Notify(ev Event) {
 		}
 		j.Revocations++
 		s.SpotRevocations++
+		if j.State == Running {
+			// The worker is gone: the delivered-capacity ledger shrinks at
+			// this instant (a replacement, if any, re-grows it on arrival).
+			s.resize(j, -j.coresPerWorker())
+		}
 		if j.State == Running && j.handle != nil && !s.cfg.DisableSpotReplacement {
 			j.spotReplaced++
 			s.SpotReplacements++

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/sim"
@@ -15,11 +16,30 @@ type Tenant struct {
 	queue []*Job
 	// usage is charged core-seconds: an estimate is charged at dispatch
 	// (so one tenant cannot capture the whole federation within a single
-	// cycle) and trued up to actual duration at completion.
+	// cycle) and trued up to actual duration at completion. With
+	// Config.UsageHalfLife set it decays exponentially (see decay), so the
+	// arbiter weighs recent consumption, not all of history.
 	usage float64
+	// usageAt is the instant usage was last decayed to.
+	usageAt sim.Time
 	// delivered is actual core-seconds of finished work, the quantity
 	// Shares reports.
 	delivered float64
+}
+
+// decay brings the tenant's charged usage forward to now under the
+// configured half-life: usage halves every UsageHalfLife of wall time, so a
+// tenant idle for several half-lives returns near parity instead of with a
+// banked deficit that would let it monopolize the next cycles.
+func (s *Scheduler) decay(t *Tenant) {
+	now := s.K.Now()
+	hl := s.cfg.UsageHalfLife
+	if hl > 0 && now > t.usageAt && t.usage != 0 {
+		// Decay magnitude regardless of sign, so a (transient) negative
+		// balance also relaxes toward parity instead of freezing.
+		t.usage *= math.Exp2(-float64(now-t.usageAt) / float64(hl))
+	}
+	t.usageAt = now
 }
 
 // AddTenant registers a tenant with the given weight (replacing the weight
@@ -65,6 +85,7 @@ func (s *Scheduler) nextTenant(idx map[string]int) *Tenant {
 		if idx[name] >= len(t.queue) {
 			continue
 		}
+		s.decay(t)
 		key := t.usage / t.Weight
 		if best == nil || key < bestKey || (key == bestKey && name < best.Name) {
 			best, bestKey = t, key
@@ -79,20 +100,32 @@ func (s *Scheduler) nextTenant(idx map[string]int) *Tenant {
 // deadline growth is the tenant trading cloud cost for time — it is billed
 // by the cloud, not by the share.
 func (s *Scheduler) charge(t *Tenant, j *Job, estSeconds float64) {
+	s.decay(t)
 	j.charged = float64(j.Cores()) * estSeconds
 	t.usage += j.charged
 }
 
-// trueUp replaces the dispatch estimate with the actual core-seconds.
+// trueUp replaces the dispatch estimate with the actual core-seconds the
+// job held over time: the per-resize ledger (runCoreSeconds) accounts
+// grow/shrink at the size the job had when the time elapsed, instead of
+// retroactively applying the final size to the whole runtime. Under decay
+// the charge has itself decayed inside t.usage since dispatch, so the
+// amount backed out is the charge's decayed remainder — subtracting the
+// full original would drive usage permanently negative.
 func (s *Scheduler) trueUp(t *Tenant, j *Job, now sim.Time) {
-	actual := float64(j.Cores()) * (now - j.Started).Seconds()
-	t.usage += actual - j.charged
+	s.decay(t)
+	charged := j.charged
+	if hl := s.cfg.UsageHalfLife; hl > 0 && now > j.Started {
+		charged *= math.Exp2(-float64(now-j.Started) / float64(hl))
+	}
+	actual := j.runCoreSeconds(now)
+	t.usage += actual - charged
 	t.delivered += actual
 }
 
 // Shares returns each tenant's fraction of delivered core-seconds
-// (including running jobs' elapsed time), the quantity that converges to
-// the configured weights under saturation.
+// (including running jobs' elapsed time at the sizes they actually held),
+// the quantity that converges to the configured weights under saturation.
 func (s *Scheduler) Shares() map[string]float64 {
 	now := s.K.Now()
 	raw := make(map[string]float64, len(s.tenants))
@@ -101,7 +134,7 @@ func (s *Scheduler) Shares() map[string]float64 {
 	}
 	for _, j := range s.jobs {
 		if j.State == Running {
-			raw[j.Spec.Tenant] += float64(j.Cores()) * (now - j.Started).Seconds()
+			raw[j.Spec.Tenant] += j.runCoreSeconds(now)
 		}
 	}
 	var total float64

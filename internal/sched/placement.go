@@ -1,79 +1,379 @@
 package sched
 
-// PlacementPolicy chooses the cloud a job's workers are provisioned on.
-// free is the cycle's working copy of free cores (the backend snapshot
-// minus what this cycle already dispatched); "" means nothing fits.
-type PlacementPolicy interface {
-	Name() string
-	Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) string
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Gang placement: a job's workers may span clouds (over the ViNe overlay)
+// when no single cloud can hold them. Policies return a Plan — an ordered
+// set of {cloud, workers} members plus the cost breakdown that justified
+// it — instead of a single cloud name. Single-cloud plans remain the common
+// case and score exactly as the pre-plan scorer did, so established results
+// (E10) are preserved; spanning is attempted only when no single cloud fits.
+
+// Member is one cloud's slice of a gang placement.
+type Member struct {
+	Cloud   string
+	Workers int
 }
 
-// Score rates one candidate cloud for a job, or -1 when the job does not
-// fit. Three terms, per the federation design:
-//
-//   - data locality: running at the cloud that holds the job's HDFS input
-//     keeps the map-input stream off the WAN;
-//   - free capacity: headroom as a fraction of the cloud's size, so load
-//     spreads when locality is indifferent;
-//   - inter-site bandwidth: for non-local placements, the bottleneck
-//     bandwidth from the input site (taken from the simnet topology),
-//     soft-normalised by RefBandwidth. Tenants with a detected
-//     communication-heavy traffic pattern get this term boosted, biasing
-//     them toward better-connected clouds.
-func (s *Scheduler) Score(j *Job, c CloudInfo, freeCores int) float64 {
-	if freeCores < j.Cores() {
-		return -1
+// Plan is a (possibly multi-cloud) placement for one job: ordered members —
+// the first is the anchor, where elastic growth is tried first — plus the
+// scored cost breakdown.
+type Plan struct {
+	Members []Member
+
+	// Cost breakdown (see Scheduler.ScorePlan).
+	Locality float64 // fractional input residency covered by members
+	Capacity float64 // cores-weighted free-capacity headroom
+	Input    float64 // inter-site bandwidth term for uncovered input
+	Shuffle  float64 // cross-site shuffle penalty (subtracted)
+	Score    float64
+}
+
+// Empty reports whether the plan places nothing.
+func (p Plan) Empty() bool { return len(p.Members) == 0 }
+
+// Feasible reports whether the plan fits the free cores it was scored
+// against. A feasible plan's Score may still be negative (a heavy shuffle
+// penalty) — infeasibility is marked by a -Inf score, not by sign.
+func (p Plan) Feasible() bool { return !p.Empty() && !math.IsInf(p.Score, -1) }
+
+// Spanning reports whether the plan crosses cloud boundaries.
+func (p Plan) Spanning() bool { return len(p.Members) > 1 }
+
+// Workers returns the total workers placed.
+func (p Plan) Workers() int {
+	n := 0
+	for _, m := range p.Members {
+		n += m.Workers
 	}
-	score := s.cfg.CapacityWeight * float64(freeCores) / float64(c.TotalCores)
-	if j.Spec.InputSite != "" {
-		if c.Name == j.Spec.InputSite {
-			score += s.cfg.LocalityWeight
-		} else {
-			w := s.cfg.BandwidthWeight
-			if p := s.patternOf[j.Spec.Tenant]; p == PatternAllToAll || p == PatternRing {
-				w *= s.cfg.PatternBoost
-			}
-			bw := s.B.Bandwidth(j.Spec.InputSite, c.Name)
-			score += w * bw / (bw + s.cfg.RefBandwidth)
+	return n
+}
+
+// Primary returns the anchor cloud ("" for an empty plan).
+func (p Plan) Primary() string {
+	if len(p.Members) == 0 {
+		return ""
+	}
+	return p.Members[0].Cloud
+}
+
+// WorkersOn returns the workers placed on one cloud.
+func (p Plan) WorkersOn(cloud string) int {
+	for _, m := range p.Members {
+		if m.Cloud == cloud {
+			return m.Workers
 		}
 	}
-	return score
+	return 0
 }
 
-// BestScore is the default locality-aware policy: highest Score wins, ties
-// break by lower price then name.
+// String renders "cloud0:16+cloud1:8".
+func (p Plan) String() string {
+	if p.Empty() {
+		return "<none>"
+	}
+	parts := make([]string, len(p.Members))
+	for i, m := range p.Members {
+		parts[i] = fmt.Sprintf("%s:%d", m.Cloud, m.Workers)
+	}
+	return strings.Join(parts, "+")
+}
+
+// SingleCloudPlan wraps one cloud and worker count as a Plan (no scoring).
+func SingleCloudPlan(cloud string, workers int) Plan {
+	return Plan{Members: []Member{{Cloud: cloud, Workers: workers}}}
+}
+
+// PlacementPolicy chooses the placement plan for a job's workers. free is
+// the cycle's working copy of free cores (the backend snapshot minus what
+// this cycle already dispatched); an empty plan means nothing fits.
+type PlacementPolicy interface {
+	Name() string
+	Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) Plan
+}
+
+// inputFractions returns the job's per-cloud input residency: the explicit
+// per-block map (hdfs.LocalityFractions) when set, else the whole-file
+// InputSite as fraction 1.
+func (j *Job) inputFractions() map[string]float64 {
+	if j.Spec.InputFractions != nil {
+		return j.Spec.InputFractions
+	}
+	if j.Spec.InputSite != "" {
+		return map[string]float64{j.Spec.InputSite: 1}
+	}
+	return nil
+}
+
+// ScorePlan rates a candidate plan for a job, returning the plan with its
+// cost breakdown filled in; a plan that does not fit the given free cores
+// comes back infeasible (Score = -Inf; check Plan.Feasible, not the sign —
+// a feasible shuffle-heavy plan can legitimately score below zero). Four
+// terms, per the federation design:
+//
+//   - fractional data locality: the fraction of the job's input bytes with
+//     a replica on some member cloud (from hdfs.File block replica maps via
+//     JobSpec.InputFractions; whole-file InputSite counts as fraction 1) —
+//     input covered by a member stays off the WAN;
+//   - free capacity: cores-weighted headroom across members, so load
+//     spreads when locality is indifferent;
+//   - inter-site input bandwidth: the uncovered input fraction streams over
+//     the bottleneck link from the input site, soft-normalised by
+//     RefBandwidth. Tenants with a detected communication-heavy traffic
+//     pattern get this term boosted, biasing them toward better-connected
+//     clouds;
+//   - cross-site shuffle cost (spanning plans only): the job's map-output
+//     volume crossing cloud boundaries (all-to-all during the shuffle
+//     phase: fraction 1 - Σ shareᵢ²) over the bottleneck bandwidth between
+//     members, normalised by RefShuffleSeconds and boosted by detected
+//     patterns — this is what makes a fat-pipe partner beat a cheap
+//     thin-pipe one.
+//
+// Single-member plans have zero shuffle cost and score identically to the
+// pre-plan single-cloud scorer.
+func (s *Scheduler) ScorePlan(j *Job, members []Member, clouds []CloudInfo, free map[string]int) Plan {
+	p := Plan{Members: members, Score: math.Inf(-1)}
+	if len(members) == 0 {
+		return p
+	}
+	info := make(map[string]CloudInfo, len(clouds))
+	for _, c := range clouds {
+		info[c.Name] = c
+	}
+	cpw := j.coresPerWorker()
+	totalCores := 0
+	for _, m := range members {
+		c, ok := info[m.Cloud]
+		if !ok || m.Workers <= 0 || free[m.Cloud] < m.Workers*cpw || c.TotalCores <= 0 {
+			return p
+		}
+		totalCores += m.Workers * cpw
+	}
+	boost := 1.0
+	if pt := s.patternOf[j.Spec.Tenant]; pt == PatternAllToAll || pt == PatternRing {
+		boost = s.cfg.PatternBoost
+	}
+	fracs := j.inputFractions()
+	for _, m := range members {
+		c := info[m.Cloud]
+		share := float64(m.Workers*cpw) / float64(totalCores)
+		p.Capacity += s.cfg.CapacityWeight * share * float64(free[m.Cloud]) / float64(c.TotalCores)
+		p.Locality += fracs[m.Cloud]
+	}
+	if p.Locality > 1 {
+		p.Locality = 1
+	}
+	uncovered := 1 - p.Locality
+	p.Locality *= s.cfg.LocalityWeight
+	if j.Spec.InputSite != "" && uncovered > 0 {
+		// The uncovered input streams from the input site; each member pays
+		// its cores-weighted share of the bandwidth term.
+		for _, m := range members {
+			share := float64(m.Workers*cpw) / float64(totalCores)
+			if m.Cloud == j.Spec.InputSite {
+				continue
+			}
+			bw := s.B.Bandwidth(j.Spec.InputSite, m.Cloud)
+			p.Input += s.cfg.BandwidthWeight * boost * uncovered * share * bw / (bw + s.cfg.RefBandwidth)
+		}
+	}
+	if len(members) > 1 && !s.cfg.DisableShuffleCost {
+		if secs := crossShuffleSeconds(s.B, j, members); secs > 0 {
+			p.Shuffle = s.cfg.ShuffleWeight * boost * secs / (secs + s.cfg.RefShuffleSeconds)
+		}
+	}
+	p.Score = p.Locality + p.Capacity + p.Input - p.Shuffle
+	return p
+}
+
+// crossShuffleSeconds estimates the time a plan spends moving map output
+// across cloud boundaries: with workers split share₁..shareₙ and shuffle
+// traffic all-to-all, the fraction 1 - Σ shareᵢ² of the job's map-output
+// volume crosses sites, through the bottleneck link between members. One
+// model shared by plan scoring (ScorePlan) and runtime estimation
+// (planEstimateSeconds), so reservations agree with the scores that made
+// them.
+func crossShuffleSeconds(b Backend, j *Job, members []Member) float64 {
+	volume := float64(j.Spec.MR.NumMaps) * float64(j.Spec.MR.NumReduces) *
+		float64(j.Spec.MR.ShuffleBytesPerMapPerReduce)
+	cpw := j.coresPerWorker()
+	totalCores := 0
+	for _, m := range members {
+		totalCores += m.Workers * cpw
+	}
+	if volume <= 0 || totalCores <= 0 {
+		return 0
+	}
+	crossFrac := 1.0
+	for _, m := range members {
+		share := float64(m.Workers*cpw) / float64(totalCores)
+		crossFrac -= share * share
+	}
+	if crossFrac <= 0 {
+		return 0
+	}
+	minBW := 0.0
+	for i, a := range members {
+		for _, m := range members[i+1:] {
+			bw := b.Bandwidth(a.Cloud, m.Cloud)
+			if bw <= 0 {
+				continue
+			}
+			if minBW == 0 || bw < minBW {
+				minBW = bw
+			}
+		}
+	}
+	if minBW <= 0 {
+		return 0
+	}
+	return volume * crossFrac / minBW
+}
+
+// planPrice returns the per-core-hour cost of the plan (the tie-breaker:
+// cheaper capacity wins among equal scores).
+func planPrice(members []Member, clouds []CloudInfo, cpw int) float64 {
+	price := 0.0
+	for _, m := range members {
+		for _, c := range clouds {
+			if c.Name == m.Cloud {
+				price += float64(m.Workers*cpw) * c.Price
+				break
+			}
+		}
+	}
+	return price
+}
+
+// betterPlan reports whether candidate a beats b: higher score, then lower
+// price, then lexicographic member rendering for determinism.
+func betterPlan(a, b Plan, aPrice, bPrice float64) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if aPrice != bPrice {
+		return aPrice < bPrice
+	}
+	return a.String() < b.String()
+}
+
+// BestScore is the default locality- and shuffle-aware policy. It prefers
+// the best-scoring single cloud with room for the whole gang (ties break by
+// lower price then name — identical to the pre-plan policy); only when no
+// single cloud fits does it assemble a spanning plan: from every viable
+// anchor it greedily adds the member that maximises the plan score (which
+// penalises thin inter-member pipes through the shuffle term) until the
+// worker demand is covered, then keeps the best complete candidate.
 type BestScore struct{}
 
 // Name implements PlacementPolicy.
 func (BestScore) Name() string { return "best-score" }
 
 // Choose implements PlacementPolicy.
-func (BestScore) Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) string {
-	best := ""
-	bestScore, bestPrice := -1.0, 0.0
+func (BestScore) Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) Plan {
+	workers := j.workers()
+	cpw := j.coresPerWorker()
+	// Single-cloud fast path: the common case, scored exactly as before.
+	var best Plan
+	bestPrice := 0.0
 	for _, c := range clouds {
-		sc := s.Score(j, c, free[c.Name])
-		if sc < 0 {
+		if free[c.Name] < workers*cpw {
 			continue
 		}
-		if best == "" || sc > bestScore ||
-			(sc == bestScore && (c.Price < bestPrice || (c.Price == bestPrice && c.Name < best))) {
-			best, bestScore, bestPrice = c.Name, sc, c.Price
+		p := s.ScorePlan(j, []Member{{Cloud: c.Name, Workers: workers}}, clouds, free)
+		if !p.Feasible() {
+			continue
+		}
+		price := planPrice(p.Members, clouds, cpw)
+		if best.Empty() || betterPlan(p, best, price, bestPrice) {
+			best, bestPrice = p, price
+		}
+	}
+	if !best.Empty() {
+		return best
+	}
+	// Gang path: grow a plan from each viable anchor.
+	for _, anchor := range clouds {
+		if free[anchor.Name] < cpw {
+			continue
+		}
+		p, ok := s.growPlan(j, anchor.Name, workers, cpw, clouds, free)
+		if !ok {
+			continue
+		}
+		price := planPrice(p.Members, clouds, cpw)
+		if best.Empty() || betterPlan(p, best, price, bestPrice) {
+			best, bestPrice = p, price
 		}
 	}
 	return best
 }
 
-// RandomPlacement is the locality-oblivious baseline: a uniformly random
-// cloud among those with room, drawn from the kernel RNG (deterministic per
-// seed).
+// growPlan assembles a spanning plan anchored at the given cloud: the
+// anchor takes as many workers as it can host, then members are appended
+// greedily — each step adds the cloud that maximises the partial plan's
+// score — until the demand is met. ok is false when even all clouds
+// together cannot host the gang.
+func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, clouds []CloudInfo, free map[string]int) (Plan, bool) {
+	take := func(cloud string, remaining int) int {
+		n := free[cloud] / cpw
+		if n > remaining {
+			n = remaining
+		}
+		return n
+	}
+	members := []Member{{Cloud: anchor, Workers: take(anchor, workers)}}
+	remaining := workers - members[0].Workers
+	used := map[string]bool{anchor: true}
+	for remaining > 0 {
+		var bestExt Plan
+		bestPrice := 0.0
+		bestTake := 0
+		for _, c := range clouds {
+			if used[c.Name] {
+				continue
+			}
+			n := take(c.Name, remaining)
+			if n <= 0 {
+				continue
+			}
+			cand := append(append([]Member(nil), members...), Member{Cloud: c.Name, Workers: n})
+			p := s.ScorePlan(j, cand, clouds, free)
+			if !p.Feasible() {
+				continue
+			}
+			price := planPrice(p.Members, clouds, cpw)
+			if bestExt.Empty() || betterPlan(p, bestExt, price, bestPrice) {
+				bestExt, bestPrice, bestTake = p, price, n
+			}
+		}
+		if bestExt.Empty() {
+			return Plan{}, false
+		}
+		members = bestExt.Members
+		used[members[len(members)-1].Cloud] = true
+		remaining -= bestTake
+	}
+	return s.ScorePlan(j, members, clouds, free), true
+}
+
+// RandomPlacement is the locality-oblivious, single-cloud baseline: a
+// uniformly random cloud among those with room for the whole gang, drawn
+// from the kernel RNG (deterministic per seed: the same seed yields the
+// same plan sequence). It never spans, so jobs wider than every single
+// cloud stay queued — the E11 contrast case.
 type RandomPlacement struct{}
 
 // Name implements PlacementPolicy.
 func (RandomPlacement) Name() string { return "random" }
 
 // Choose implements PlacementPolicy.
-func (RandomPlacement) Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) string {
+func (RandomPlacement) Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) Plan {
 	var fitting []string
 	for _, c := range clouds {
 		if free[c.Name] >= j.Cores() {
@@ -81,7 +381,8 @@ func (RandomPlacement) Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map
 		}
 	}
 	if len(fitting) == 0 {
-		return ""
+		return Plan{}
 	}
-	return fitting[s.K.Rand().Intn(len(fitting))]
+	sort.Strings(fitting)
+	return SingleCloudPlan(fitting[s.K.Rand().Intn(len(fitting))], j.workers())
 }

@@ -71,6 +71,11 @@ type JobSpec struct {
 	// InputBytes over the inter-site links.
 	InputSite  string
 	InputBytes int64
+	// InputFractions optionally refines InputSite with per-block locality:
+	// for each cloud, the fraction of the input's bytes with a replica
+	// there (hdfs.LocalityFractions). Fractions may overlap (replication);
+	// nil falls back to {InputSite: 1}.
+	InputFractions map[string]float64
 	// Deadline is an absolute completion target (0 = none). Late jobs grow
 	// through the elastic hook.
 	Deadline sim.Time
@@ -106,8 +111,11 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
-	State     State
+	State State
+	// Cloud is the plan's anchor cloud (kept for the common single-cloud
+	// case; Plan carries the full gang placement).
 	Cloud     string
+	Plan      Plan
 	Submitted sim.Time
 	Started   sim.Time
 	Finished  sim.Time
@@ -123,8 +131,15 @@ type Job struct {
 	seq         int
 	handle      Handle
 	charged     float64  // core-seconds charged at dispatch (estimate)
-	estDuration sim.Time // estimate at the chosen cloud's speed
+	estDuration sim.Time // estimate at the chosen plan's speed
 	dispatched  bool
+	// Delivered-capacity integration: coresNow is the core count the job
+	// holds right now; accrued is core-seconds banked at resize events
+	// (grow/shrink/revocation), so Shares attributes elapsed time at the
+	// size the job actually held, not its final size.
+	coresNow int
+	resizeAt sim.Time
+	accrued  float64
 	// deadlineGrown counts only deadline-chasing extras — the shrinkable
 	// part of GrewBy (spot replacements restore the job's entitled size
 	// and are kept; they are tracked in spotReplaced).
@@ -133,17 +148,45 @@ type Job struct {
 	shrunk        bool
 }
 
+// coresPerWorker returns the normalised per-worker core count.
+func (j *Job) coresPerWorker() int {
+	if j.Spec.CoresPerWorker <= 0 {
+		return 1
+	}
+	return j.Spec.CoresPerWorker
+}
+
+// workers returns the normalised worker count.
+func (j *Job) workers() int {
+	if j.Spec.Workers <= 0 {
+		return 1
+	}
+	return j.Spec.Workers
+}
+
 // Cores returns the job's core demand (workers x cores each).
-func (j *Job) Cores() int {
-	c := j.Spec.CoresPerWorker
-	if c <= 0 {
-		c = 1
+func (j *Job) Cores() int { return j.workers() * j.coresPerWorker() }
+
+// resize banks the core-seconds accrued at the current size and applies a
+// delta (elastic growth, shrink, or spot revocation) — the resize-event
+// ledger behind Shares.
+func (s *Scheduler) resize(j *Job, deltaCores int) {
+	now := s.K.Now()
+	j.accrued += float64(j.coresNow) * (now - j.resizeAt).Seconds()
+	j.coresNow += deltaCores
+	if j.coresNow < 0 {
+		j.coresNow = 0
 	}
-	w := j.Spec.Workers
-	if w <= 0 {
-		w = 1
+	j.resizeAt = now
+}
+
+// runCoreSeconds returns the core-seconds the job has actually held up to
+// now, accounting every resize at the instant it happened.
+func (j *Job) runCoreSeconds(now sim.Time) float64 {
+	if !j.dispatched {
+		return 0
 	}
-	return w * c
+	return j.accrued + float64(j.coresNow)*(now-j.resizeAt).Seconds()
 }
 
 // Wait returns how long the job queued: up to now while queued, up to the
@@ -173,19 +216,64 @@ func (j *Job) estimate() float64 {
 	return work / float64(j.Cores())
 }
 
-// estimateAt returns the runtime estimate in seconds for running on the
-// named cloud at the given speed, including the time to stream non-local
-// input over the inter-site link — backfill reservations would otherwise
-// systematically undershoot remote-input jobs' runtimes.
-func (s *Scheduler) estimateAt(j *Job, cloud string, speed float64) float64 {
-	if speed <= 0 {
-		speed = 1
+// estimateAt returns the runtime estimate in seconds for running under the
+// given plan, including the time to stream uncovered input over the
+// inter-site links and, for spanning plans, the cross-site shuffle time —
+// backfill reservations would otherwise systematically undershoot
+// remote-input and spanning jobs' runtimes. Shared with SimBackend so the
+// synthetic backend's runtimes agree with the reservations made against
+// them.
+func (s *Scheduler) estimateAt(j *Job, plan Plan, clouds []CloudInfo) float64 {
+	return planEstimateSeconds(s.B, j, plan, clouds)
+}
+
+// planEstimateSeconds is the plan-level cost model: base estimate at the
+// slowest member's speed, plus WAN streaming of the input fraction no
+// member holds, plus the cross-site shuffle bottleneck time.
+func planEstimateSeconds(b Backend, j *Job, plan Plan, clouds []CloudInfo) float64 {
+	speed := 1.0
+	for i, m := range plan.Members {
+		for _, c := range clouds {
+			if c.Name == m.Cloud && c.Speed > 0 {
+				if i == 0 || c.Speed < speed {
+					speed = c.Speed
+				}
+				break
+			}
+		}
 	}
 	est := j.estimate() / speed
-	if j.Spec.InputSite != "" && j.Spec.InputSite != cloud && j.Spec.InputBytes > 0 {
-		if bw := s.B.Bandwidth(j.Spec.InputSite, cloud); bw > 0 {
-			est += float64(j.Spec.InputBytes) / bw
+	// Input streaming: the fraction of input resident on no member crosses
+	// the WAN through the thinnest input-site link among the members.
+	if j.Spec.InputSite != "" && j.Spec.InputBytes > 0 {
+		covered := 0.0
+		for _, m := range plan.Members {
+			covered += j.inputFractions()[m.Cloud]
 		}
+		if covered > 1 {
+			covered = 1
+		}
+		if uncovered := 1 - covered; uncovered > 0 {
+			minBW := 0.0
+			for _, m := range plan.Members {
+				if m.Cloud == j.Spec.InputSite {
+					continue
+				}
+				bw := b.Bandwidth(j.Spec.InputSite, m.Cloud)
+				if bw <= 0 {
+					continue
+				}
+				if minBW == 0 || bw < minBW {
+					minBW = bw
+				}
+			}
+			if minBW > 0 {
+				est += uncovered * float64(j.Spec.InputBytes) / minBW
+			}
+		}
+	}
+	if plan.Spanning() {
+		est += crossShuffleSeconds(b, j, plan.Members)
 	}
 	return est
 }
@@ -193,16 +281,18 @@ func (s *Scheduler) estimateAt(j *Job, cloud string, speed float64) float64 {
 // JobInfo is the poll-API view of a job.
 type JobInfo struct {
 	ID, Tenant, Name, Cloud string
-	State                   State
-	Submitted               sim.Time
-	Started                 sim.Time
-	Finished                sim.Time
-	Wait                    sim.Time
-	Backfilled              bool
-	GrewBy                  int
-	Revocations             int
-	Result                  mapreduce.Result
-	Err                     error
+	// Plan is the full gang placement (Cloud is its anchor).
+	Plan        Plan
+	State       State
+	Submitted   sim.Time
+	Started     sim.Time
+	Finished    sim.Time
+	Wait        sim.Time
+	Backfilled  bool
+	GrewBy      int
+	Revocations int
+	Result      mapreduce.Result
+	Err         error
 }
 
 // CloudInfo is the backend's capacity snapshot for one cloud.
@@ -224,10 +314,11 @@ type Backend interface {
 	// Bandwidth returns the bottleneck inter-site bandwidth in bytes/sec
 	// between two clouds (used by the placement score).
 	Bandwidth(a, b string) float64
-	// Launch provisions the job's workers on the chosen cloud, runs the
-	// payload, releases the workers, and reports the outcome. The returned
-	// handle drives elastic grow/shrink while the job runs.
-	Launch(j *Job, cloud string, onDone func(Outcome)) (Handle, error)
+	// Launch provisions the job's workers per the plan (one virtual
+	// cluster spanning every member cloud), runs the payload, releases the
+	// workers, and reports the outcome. The returned handle drives elastic
+	// grow/shrink while the job runs.
+	Launch(j *Job, plan Plan, onDone func(Outcome)) (Handle, error)
 }
 
 // Handle controls one running job's capacity.
@@ -258,6 +349,19 @@ type Config struct {
 	// PatternBoost multiplies the bandwidth term for tenants with a
 	// detected communication-heavy pattern. Zero means 2.0.
 	PatternBoost float64
+	// ShuffleWeight scores the cross-site shuffle penalty of spanning
+	// plans. Zero means 1.0.
+	ShuffleWeight float64
+	// RefShuffleSeconds normalises the shuffle penalty
+	// (secs/(secs+ref)). Zero means 30 s.
+	RefShuffleSeconds float64
+	// DisableShuffleCost drops the cross-site shuffle term from plan
+	// scoring — the bandwidth-oblivious spanning baseline (E11).
+	DisableShuffleCost bool
+	// UsageHalfLife exponentially decays tenants' charged usage, so a
+	// long-idle tenant cannot bank an unbounded deficit and starve others
+	// on return. Zero disables decay (cumulative usage, as before).
+	UsageHalfLife sim.Time
 	// DisableBackfill falls back to strict FIFO-within-fair-share: nothing
 	// may pass a blocked job.
 	DisableBackfill bool
@@ -291,6 +395,12 @@ func (c Config) withDefaults() Config {
 	if c.PatternBoost == 0 {
 		c.PatternBoost = 2.0
 	}
+	if c.ShuffleWeight == 0 {
+		c.ShuffleWeight = 1.0
+	}
+	if c.RefShuffleSeconds == 0 {
+		c.RefShuffleSeconds = 30
+	}
 	if c.ElasticInterval == 0 {
 		c.ElasticInterval = 15 * sim.Second
 	}
@@ -316,16 +426,17 @@ type Scheduler struct {
 	patternOf     map[string]string // tenant -> detected pattern
 
 	// Stats.
-	Cycles           int
-	Dispatched       int
-	Backfills        int
-	Completed        int
-	Failures         int
-	GrowRequests     int
-	ShrinkRequests   int
-	SpotRevocations  int
-	SpotReplacements int
-	PatternEvents    int
+	Cycles             int
+	Dispatched         int
+	SpanningDispatched int
+	Backfills          int
+	Completed          int
+	Failures           int
+	GrowRequests       int
+	ShrinkRequests     int
+	SpotRevocations    int
+	SpotReplacements   int
+	PatternEvents      int
 }
 
 // New builds a scheduler over the backend. Call Start to enable the elastic
@@ -404,8 +515,8 @@ func (s *Scheduler) Submit(spec JobSpec) (string, error) {
 		Submitted: s.K.Now(),
 	}
 	if !spec.External() {
-		if fits, maxName := s.fitsAnywhere(j); !fits {
-			return "", fmt.Errorf("sched: job needs %d cores; largest cloud (%s) is smaller", j.Cores(), maxName)
+		if fits, have := s.fitsFederation(j); !fits {
+			return "", fmt.Errorf("sched: job needs %d cores; the whole federation can gang at most %d", j.Cores(), have)
 		}
 	}
 	s.jobs[j.ID] = j
@@ -415,18 +526,17 @@ func (s *Scheduler) Submit(spec JobSpec) (string, error) {
 	return j.ID, nil
 }
 
-// fitsAnywhere checks the job's demand against total cloud capacities.
-func (s *Scheduler) fitsAnywhere(j *Job) (bool, string) {
-	maxName, maxCores := "", -1
+// fitsFederation checks the job's demand against the federation-wide gang
+// capacity: whole workers per cloud, summed across clouds (a spanning plan
+// can use them all). Jobs wider than any single cloud are accepted — under
+// a single-cloud policy they simply stay queued.
+func (s *Scheduler) fitsFederation(j *Job) (bool, int) {
+	cpw := j.coresPerWorker()
+	slots := 0
 	for _, c := range s.B.Clouds() {
-		if c.TotalCores > maxCores {
-			maxName, maxCores = c.Name, c.TotalCores
-		}
-		if c.TotalCores >= j.Cores() {
-			return true, c.Name
-		}
+		slots += c.TotalCores / cpw
 	}
-	return false, maxName
+	return slots >= j.workers(), slots * cpw
 }
 
 // Poll returns the current view of a job.
@@ -437,6 +547,7 @@ func (s *Scheduler) Poll(id string) (JobInfo, bool) {
 	}
 	return JobInfo{
 		ID: j.ID, Tenant: j.Spec.Tenant, Name: j.Spec.Name, Cloud: j.Cloud,
+		Plan:  j.Plan,
 		State: j.State, Submitted: j.Submitted, Started: j.Started,
 		Finished: j.Finished, Wait: j.Wait(s.K.Now()),
 		Backfilled: j.Backfilled, GrewBy: j.GrewBy, Revocations: j.Revocations,
@@ -496,23 +607,34 @@ func (s *Scheduler) cycle() {
 			s.dispatchExternal(t, j, idx)
 			continue
 		}
-		cloud := s.cfg.Placement.Choose(s, j, snap, free)
-		if cloud != "" {
-			if resv != nil && !s.backfillOK(j, cloud, resv, free, releases) {
+		plan := s.cfg.Placement.Choose(s, j, snap, free)
+		if !plan.Empty() {
+			if resv != nil && !s.backfillOK(j, plan, resv, free, releases, snap) {
 				idx[t.Name]++
 				continue
 			}
-			s.dispatch(t, j, cloud, resv != nil, idx, snap)
-			free[cloud] -= j.Cores()
+			s.dispatch(t, j, plan, resv != nil, idx, snap)
+			cpw := j.coresPerWorker()
+			for _, m := range plan.Members {
+				free[m.Cloud] -= m.Workers * cpw
+			}
 			continue
 		}
 		if resv == nil {
 			releases = s.pendingReleases()
-			r, ok := s.reserve(j, free, releases)
+			r, ok := s.reserve(j, free, releases, snap)
 			if !ok {
-				// Even with every running job drained the demand never
-				// fits (capacity shrank since submit) — fail it.
-				s.failQueued(t, j, idx, fmt.Errorf("sched: no cloud can ever fit %d cores", j.Cores()))
+				if fits, _ := s.fitsFederation(j); !fits {
+					// Even with every running job drained the demand never
+					// fits (capacity shrank since submit) — fail it.
+					s.failQueued(t, j, idx, fmt.Errorf("sched: no plan can ever fit %d cores", j.Cores()))
+					continue
+				}
+				// The federation could host the gang but the policy will
+				// never place it (e.g. a single-cloud policy facing a
+				// wider-than-any-cloud job): leave it queued without
+				// blocking the jobs behind it.
+				idx[t.Name]++
 				continue
 			}
 			resv = &r
@@ -525,31 +647,28 @@ func (s *Scheduler) cycle() {
 }
 
 // dispatch starts a placed job through the backend.
-func (s *Scheduler) dispatch(t *Tenant, j *Job, cloud string, backfilled bool, idx map[string]int, snap []CloudInfo) {
+func (s *Scheduler) dispatch(t *Tenant, j *Job, plan Plan, backfilled bool, idx map[string]int, snap []CloudInfo) {
 	s.popQueued(t, j, idx)
-	speed := 1.0
-	for _, c := range snap {
-		if c.Name == cloud {
-			if c.Speed > 0 {
-				speed = c.Speed
-			}
-			break
-		}
-	}
 	now := s.K.Now()
-	est := s.estimateAt(j, cloud, speed)
+	est := s.estimateAt(j, plan, snap)
 	j.State = Running
-	j.Cloud = cloud
+	j.Plan = plan
+	j.Cloud = plan.Primary()
 	j.Started = now
 	j.dispatched = true
 	j.Backfilled = backfilled
 	j.estDuration = sim.FromSeconds(est)
+	j.coresNow = j.Cores()
+	j.resizeAt = now
 	s.charge(t, j, est)
 	s.Dispatched++
 	if backfilled {
 		s.Backfills++
 	}
-	h, err := s.B.Launch(j, cloud, func(out Outcome) { s.complete(j, out) })
+	if plan.Spanning() {
+		s.SpanningDispatched++
+	}
+	h, err := s.B.Launch(j, plan, func(out Outcome) { s.complete(j, out) })
 	if err != nil {
 		s.complete(j, Outcome{Err: err})
 		return
@@ -564,6 +683,8 @@ func (s *Scheduler) dispatchExternal(t *Tenant, j *Job, idx map[string]int) {
 	j.State = Running
 	j.Started = s.K.Now()
 	j.dispatched = true
+	j.coresNow = j.Cores()
+	j.resizeAt = j.Started
 	j.estDuration = sim.FromSeconds(j.estimate())
 	s.charge(t, j, j.estimate())
 	s.Dispatched++

@@ -194,15 +194,19 @@ func TestLocalityScoring(t *testing.T) {
 	}
 }
 
-// TestScoreRejectsOverCapacity: a cloud without room scores negative.
+// TestScoreRejectsOverCapacity: a plan that overcommits a cloud scores
+// negative.
 func TestScoreRejectsOverCapacity(t *testing.T) {
 	k := sim.NewKernel(1)
 	b := saturatedBackend(k)
 	s := New(b, Config{})
 	s.AddTenant("t", 1)
 	j := &Job{Spec: JobSpec{Tenant: "t", Workers: 8, CoresPerWorker: 2}}
-	if sc := s.Score(j, s.B.Clouds()[0], 8); sc >= 0 {
-		t.Fatalf("Score = %v for a 16-core job on 8 free cores, want < 0", sc)
+	clouds := s.B.Clouds()
+	free := map[string]int{"c0": 8}
+	p := s.ScorePlan(j, []Member{{Cloud: "c0", Workers: 8}}, clouds, free)
+	if p.Score >= 0 {
+		t.Fatalf("ScorePlan = %v for a 16-core plan slice on 8 free cores, want < 0", p.Score)
 	}
 }
 
@@ -493,12 +497,12 @@ func TestPatternBiasesPlacement(t *testing.T) {
 	j := &Job{Spec: JobSpec{Tenant: "t", Workers: 2, CoresPerWorker: 2,
 		InputSite: "data", InputBytes: 1 << 30}}
 	score := func(name string) float64 {
-		for _, c := range s.B.Clouds() {
-			if c.Name == name {
-				return s.Score(j, c, c.FreeCores)
-			}
+		clouds := s.B.Clouds()
+		free := make(map[string]int)
+		for _, c := range clouds {
+			free[c.Name] = c.FreeCores
 		}
-		return -1
+		return s.ScorePlan(j, []Member{{Cloud: name, Workers: 2}}, clouds, free).Score
 	}
 	beforeBig, beforeFat := score("big"), score("fat")
 	s.Notify(Event{Kind: EventPatternDetected, Tenant: "t", Pattern: PatternAllToAll})

@@ -10,9 +10,11 @@ import (
 
 // SimBackend is a lightweight synthetic Backend for unit tests and
 // benchmarks: clouds are bare core counters, a launched job completes after
-// its estimate (scaled by cloud speed, plus streaming time for non-local
-// input), and grow/shrink only move the core ledger. It exercises every
-// scheduler code path without the nimbus/migration stack underneath.
+// its estimate (scaled by the plan's slowest member, plus streaming time
+// for uncovered input and cross-site shuffle time for spanning plans), and
+// grow/shrink only move the core ledger. It exercises every scheduler code
+// path — including gang placement — without the nimbus/migration stack
+// underneath.
 type SimBackend struct {
 	k      *sim.Kernel
 	clouds []*SimCloud
@@ -100,54 +102,85 @@ func (b *SimBackend) Bandwidth(a, c string) float64 {
 // SimHandle is the synthetic job handle; exported so tests can assert on
 // grow/shrink traffic.
 type SimHandle struct {
-	b     *SimBackend
-	j     *Job
-	cloud *SimCloud
-
+	b    *SimBackend
+	j    *Job
+	plan Plan
+	// base holds the plan's debited cores per member cloud; extraOn lists
+	// the clouds hosting elastic extras, one entry per extra worker, in
+	// grow order (shrink releases from the end).
+	base     map[*SimCloud]int
+	extraOn  []*SimCloud
 	started  sim.Time
 	duration sim.Time
-	extra    int
 	finished bool
 
 	GrowCalls   int
 	ShrinkCalls int
 }
 
-// Grow implements Handle: extra workers take cores immediately (error when
-// the cloud is full) and are released with the job.
+// Grow implements Handle: each extra worker takes cores immediately,
+// preferring the plan's member clouds in order and only then spilling onto
+// a new cloud (chosen by most free cores, then name) — the gang extends in
+// place before gaining a member. Errors when no cloud has room.
 func (h *SimHandle) Grow(n int, onDone func(error)) {
 	h.GrowCalls++
-	per := h.j.Spec.CoresPerWorker
-	if per <= 0 {
-		per = 1
-	}
-	need := n * per
+	per := h.j.coresPerWorker()
 	var err error
-	if h.cloud.Free() >= need {
-		h.cloud.used += need
-		h.extra += need
-	} else {
-		err = fmt.Errorf("sched: %s full", h.cloud.Name)
+	placed := 0
+	for i := 0; i < n; i++ {
+		c := h.growTarget(per)
+		if c == nil {
+			err = fmt.Errorf("sched: no cloud can host another worker")
+			break
+		}
+		c.used += per
+		h.extraOn = append(h.extraOn, c)
+		placed++
+	}
+	if err != nil { // all-or-nothing, as before
+		for ; placed > 0; placed-- {
+			c := h.extraOn[len(h.extraOn)-1]
+			h.extraOn = h.extraOn[:len(h.extraOn)-1]
+			c.used -= per
+		}
 	}
 	if onDone != nil {
 		h.b.k.Schedule(0, func() { onDone(err) })
 	}
 }
 
-// Shrink implements Handle: releases elastic extras only.
+// growTarget picks the cloud for one extra worker: members first (plan
+// order), then the non-member with the most free cores (ties by name).
+func (h *SimHandle) growTarget(per int) *SimCloud {
+	for _, m := range h.plan.Members {
+		if c := h.b.Cloud(m.Cloud); c != nil && c.Free() >= per {
+			return c
+		}
+	}
+	var best *SimCloud
+	for _, c := range h.b.clouds {
+		if h.plan.WorkersOn(c.Name) > 0 || c.Free() < per {
+			continue
+		}
+		if best == nil || c.Free() > best.Free() || (c.Free() == best.Free() && c.Name < best.Name) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Shrink implements Handle: releases elastic extras only, newest first.
 func (h *SimHandle) Shrink(n int) int {
 	h.ShrinkCalls++
-	per := h.j.Spec.CoresPerWorker
-	if per <= 0 {
-		per = 1
+	per := h.j.coresPerWorker()
+	given := 0
+	for given < n && len(h.extraOn) > 0 {
+		c := h.extraOn[len(h.extraOn)-1]
+		h.extraOn = h.extraOn[:len(h.extraOn)-1]
+		c.used -= per
+		given++
 	}
-	give := n * per
-	if give > h.extra {
-		give = h.extra
-	}
-	h.extra -= give
-	h.cloud.used -= give
-	return give / per
+	return given
 }
 
 // Progress implements Handle with a two-phase linear model: maps complete
@@ -179,30 +212,41 @@ func (h *SimHandle) Progress() (int, int, int, int) {
 	return md, mt, rd, rt
 }
 
-// Launch implements Backend.
-func (b *SimBackend) Launch(j *Job, cloud string, onDone func(Outcome)) (Handle, error) {
-	c := b.Cloud(cloud)
-	if c == nil {
-		return nil, fmt.Errorf("sched: unknown cloud %q", cloud)
-	}
-	need := j.Cores()
-	if c.Free() < need {
-		return nil, fmt.Errorf("sched: %s has %d free cores, job needs %d", cloud, c.Free(), need)
+// Launch implements Backend: debit every member cloud, run for the
+// plan-level estimate (slowest member speed + uncovered-input streaming +
+// cross-site shuffle), release everything at completion.
+func (b *SimBackend) Launch(j *Job, plan Plan, onDone func(Outcome)) (Handle, error) {
+	per := j.coresPerWorker()
+	base := make(map[*SimCloud]int, len(plan.Members))
+	for _, m := range plan.Members {
+		c := b.Cloud(m.Cloud)
+		if c == nil {
+			return nil, fmt.Errorf("sched: unknown cloud %q", m.Cloud)
+		}
+		need := m.Workers * per
+		if c.Free() < need {
+			return nil, fmt.Errorf("sched: %s has %d free cores, plan slice needs %d", m.Cloud, c.Free(), need)
+		}
+		base[c] += need
 	}
 	b.Launches++
-	c.used += need
-	secs := j.estimate() / c.Speed
-	if j.Spec.InputSite != "" && j.Spec.InputSite != cloud && j.Spec.InputBytes > 0 {
-		secs += float64(j.Spec.InputBytes) / b.Bandwidth(j.Spec.InputSite, cloud)
+	for c, need := range base {
+		c.used += need
 	}
-	h := &SimHandle{b: b, j: j, cloud: c, started: b.k.Now(), duration: sim.FromSeconds(secs)}
+	secs := planEstimateSeconds(b, j, plan, b.Clouds())
+	h := &SimHandle{b: b, j: j, plan: plan, base: base, started: b.k.Now(), duration: sim.FromSeconds(secs)}
 	b.k.Schedule(h.duration, func() {
 		if h.finished {
 			return
 		}
 		h.finished = true
-		c.used -= need + h.extra
-		h.extra = 0
+		for c, need := range h.base {
+			c.used -= need
+		}
+		for _, c := range h.extraOn {
+			c.used -= per
+		}
+		h.extraOn = nil
 		onDone(Outcome{Result: mapreduce.Result{Job: j.Spec.Name, Makespan: h.duration}})
 	})
 	return h, nil
