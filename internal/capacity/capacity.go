@@ -1,0 +1,388 @@
+// Package capacity is the federation's unified core-accounting ledger: one
+// per-cloud, time-indexed record of where cores are and where they are
+// promised, shared by every layer that makes capacity decisions. Before it
+// existed the repo answered "does this cloud have room?" in three
+// disagreeing places — nimbus committed cores only when image propagation
+// ended, the federation scheduler backend kept a private in-flight
+// reservation map to paper over that window, and the scheduler's backfill
+// rebuilt free-core vectors from scratch every cycle — which let an elastic
+// grow race a reserved gang start. The ledger replaces all three with one
+// account per cloud holding three kinds of claim:
+//
+//   - committed cores: placed VMs, held indefinitely until released
+//     (nimbus host placement double-enters here);
+//   - held leases: cores taken now by an in-flight admission or a running
+//     job, optionally carrying an estimated release instant (backends with
+//     runtime estimates set it, so future probes see the hand-back);
+//   - reserved leases: future claims starting at a known instant — the
+//     scheduler's backfill reservation lives here between cycles, visible
+//     to every grower.
+//
+// Admission (Acquire) enforces the physical invariant committed + held ≤
+// total; reservations are advisory claims that gate policy decisions
+// through Probe, which answers "could an indefinite claim of n cores
+// starting at t ever oversubscribe this cloud?" honoring held leases'
+// estimated ends and reservations' start instants.
+package capacity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind distinguishes a lease's claim class.
+type Kind int
+
+const (
+	// Held cores are taken now: an in-flight admission or a running job.
+	Held Kind = iota
+	// Reserved cores are a future claim starting at the lease's At instant.
+	Reserved
+)
+
+func (k Kind) String() string {
+	if k == Reserved {
+		return "reserved"
+	}
+	return "held"
+}
+
+// Lease is one claim on a cloud's cores. Lifecycle: Acquire/Reserve creates
+// it, Commit retires it into the committed aggregate (a held in-flight
+// admission whose VMs landed, or a reservation whose gang is starting), and
+// Release drops it. Both Commit and Release are terminal; Release is
+// idempotent.
+type Lease struct {
+	l *Ledger
+
+	id    int
+	Cloud string
+	Cores int
+	Kind  Kind
+	// At is the reservation's future start instant (load-bearing: Probe
+	// counts the reservation only from At onward). Always zero for held
+	// leases, which claim cores from acquisition until release.
+	At sim.Time
+	// End is the estimated release instant (0 = unknown/indefinite). Probes
+	// at t ≥ End treat the cores as handed back — estimates, not promises;
+	// the holder still must Release.
+	End sim.Time
+
+	closed bool
+}
+
+// Active reports whether the lease still claims cores (not yet committed or
+// released).
+func (le *Lease) Active() bool { return !le.closed }
+
+// account is one cloud's ledger entry. held and reserved cache the active
+// lease cores per kind (maintained at lease create/commit/release), so the
+// hot-path aggregates (Free, every Acquire check) are O(1) instead of
+// walking the lease map.
+type account struct {
+	name      string
+	total     int
+	committed int
+	held      int
+	reserved  int
+	leases    map[int]*Lease
+}
+
+func (a *account) kindCores(k Kind) *int {
+	if k == Reserved {
+		return &a.reserved
+	}
+	return &a.held
+}
+
+// Ledger is the shared capacity ledger. One instance spans a federation
+// (every nimbus cloud plus the scheduler see the same accounts); backends
+// without a federation (SimBackend, standalone nimbus clouds) own private
+// instances with identical semantics.
+type Ledger struct {
+	seq      int
+	accounts map[string]*account
+	order    []string
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{accounts: make(map[string]*account)}
+}
+
+// AddCloud registers a cloud's total core capacity. Re-adding an existing
+// cloud only updates its total.
+func (l *Ledger) AddCloud(name string, totalCores int) {
+	if a, ok := l.accounts[name]; ok {
+		a.total = totalCores
+		return
+	}
+	l.accounts[name] = &account{name: name, total: totalCores, leases: make(map[int]*Lease)}
+	l.order = append(l.order, name)
+	sort.Strings(l.order)
+}
+
+// SetTotal updates a cloud's capacity (backends whose clouds resize).
+func (l *Ledger) SetTotal(name string, totalCores int) { l.AddCloud(name, totalCores) }
+
+// Clouds returns the registered cloud names, sorted.
+func (l *Ledger) Clouds() []string { return append([]string(nil), l.order...) }
+
+// Total returns a cloud's core capacity (0 for unknown clouds).
+func (l *Ledger) Total(cloud string) int {
+	if a := l.accounts[cloud]; a != nil {
+		return a.total
+	}
+	return 0
+}
+
+// Committed returns the cores of placed VMs on a cloud.
+func (l *Ledger) Committed(cloud string) int {
+	if a := l.accounts[cloud]; a != nil {
+		return a.committed
+	}
+	return 0
+}
+
+// Held returns the cores of active held leases on a cloud.
+func (l *Ledger) Held(cloud string) int {
+	if a := l.accounts[cloud]; a != nil {
+		return a.held
+	}
+	return 0
+}
+
+// Reserved returns the cores of active future reservations on a cloud.
+func (l *Ledger) Reserved(cloud string) int {
+	if a := l.accounts[cloud]; a != nil {
+		return a.reserved
+	}
+	return 0
+}
+
+// Free returns the cores available right now: total minus committed minus
+// held. Future reservations do not reduce Free — they gate policy decisions
+// through Probe, not physical admission.
+func (l *Ledger) Free(cloud string) int {
+	a := l.accounts[cloud]
+	if a == nil {
+		return 0
+	}
+	return a.total - a.committed - a.held
+}
+
+// Headroom returns the cores a new indefinite claim could take at time
+// `at` without ever oversubscribing the cloud — the largest n for which
+// Probe(cloud, n, at) holds. Growers rank spill targets by it.
+func (l *Ledger) Headroom(cloud string, at sim.Time) int {
+	a := l.accounts[cloud]
+	if a == nil {
+		return 0
+	}
+	head := a.total - a.loadAt(at)
+	for _, le := range a.leases {
+		if le.Kind == Reserved && le.At > at {
+			if h := a.total - a.loadAt(le.At); h < head {
+				head = h
+			}
+		}
+	}
+	if head < 0 {
+		return 0
+	}
+	return head
+}
+
+// PickGrowTarget chooses the cloud for one extra worker of `cores` cores —
+// the grow-target policy shared by the federation backend (fedHandle) and
+// SimBackend, so the two cannot drift: plan member clouds in order first
+// (the gang extends in place), then the spill candidate with the most
+// reservation-aware headroom (candidates must be pre-sorted; ties keep the
+// earliest). Every choice is vetted with Probe at `at` — so growth is
+// denied cores an outstanding reservation will need — AND against Free, so
+// the pick is acquirable at the call instant: Probe trusts a held lease's
+// estimated end, but an overdue lease (End ≤ at, holder hasn't released)
+// still physically holds its cores, and without the Free gate a slipped
+// estimate would steer the grow onto a cloud where Acquire must fail
+// instead of spilling to one with real room. alloc counts cores already
+// assigned per cloud by the same multi-worker grow but not yet acquired
+// (nil when the caller acquires incrementally). Returns "" when no cloud
+// qualifies.
+func (l *Ledger) PickGrowTarget(members, spill []string, cores int, at sim.Time, alloc map[string]int) string {
+	for _, m := range members {
+		need := alloc[m] + cores
+		if l.Free(m) >= need && l.Probe(m, need, at) {
+			return m
+		}
+	}
+	best, bestHead := "", 0
+	for _, c := range spill {
+		need := alloc[c] + cores
+		if l.Free(c) < need {
+			continue
+		}
+		head := l.Headroom(c, at) - alloc[c]
+		if head < cores {
+			continue
+		}
+		if best == "" || head > bestHead {
+			best, bestHead = c, head
+		}
+	}
+	return best
+}
+
+// loadAt returns the cores claimed at instant t: committed (indefinite),
+// held leases not yet past their estimated end, and reservations whose
+// start has arrived by t.
+func (a *account) loadAt(t sim.Time) int {
+	n := a.committed
+	for _, le := range a.leases {
+		if le.Kind == Reserved && le.At > t {
+			continue
+		}
+		if le.End != 0 && le.End <= t {
+			continue
+		}
+		n += le.Cores
+	}
+	return n
+}
+
+// Probe reports whether a new indefinite claim of `cores` starting at `at`
+// could be admitted without driving the cloud over capacity at any instant
+// from `at` onward — exactly Headroom(cloud, at) ≥ cores. Held leases with
+// estimated ends hand their cores back at those instants; reservations add
+// theirs at their start instants — so an elastic grow probing "now" is
+// denied when it would eat cores a backfill reservation needs at its future
+// start, even though the cloud has room today.
+func (l *Ledger) Probe(cloud string, cores int, at sim.Time) bool {
+	if l.accounts[cloud] == nil {
+		return false
+	}
+	if cores <= 0 {
+		return true
+	}
+	return l.Headroom(cloud, at) >= cores
+}
+
+// Acquire claims cores held from now — the admission gate. Fails when the
+// physical invariant committed + held + cores ≤ total would break. Future
+// reservations do not block acquisition (a backfilled job legitimately
+// starts "under" a reservation it will outlive-proof via Probe/backfill
+// policy); policy layers must Probe first when their claim is indefinite.
+func (l *Ledger) Acquire(cloud string, cores int) (*Lease, error) {
+	return l.AcquireUntil(cloud, cores, 0)
+}
+
+// AcquireUntil is Acquire with an estimated release instant (0 = unknown),
+// letting future probes see the hand-back.
+func (l *Ledger) AcquireUntil(cloud string, cores int, end sim.Time) (*Lease, error) {
+	a := l.accounts[cloud]
+	if a == nil {
+		return nil, fmt.Errorf("capacity: unknown cloud %q", cloud)
+	}
+	if cores < 0 {
+		return nil, fmt.Errorf("capacity: negative acquisition of %d cores on %s", cores, cloud)
+	}
+	if free := l.Free(cloud); free < cores {
+		return nil, fmt.Errorf("capacity: %s has %d free cores, need %d", cloud, free, cores)
+	}
+	return l.newLease(a, cores, Held, 0, end), nil
+}
+
+// Reserve records a future claim of cores starting at `at`. Reservations
+// are advisory — they are not bounded by current free cores (the cloud
+// being full now is exactly why a claim must wait for `at`) — but they are
+// first-class ledger state: Probe charges them to every overlapping
+// indefinite claim until the holder commits or releases.
+func (l *Ledger) Reserve(cloud string, cores int, at sim.Time) (*Lease, error) {
+	a := l.accounts[cloud]
+	if a == nil {
+		return nil, fmt.Errorf("capacity: unknown cloud %q", cloud)
+	}
+	if cores < 0 {
+		return nil, fmt.Errorf("capacity: negative reservation of %d cores on %s", cores, cloud)
+	}
+	return l.newLease(a, cores, Reserved, at, 0), nil
+}
+
+func (l *Ledger) newLease(a *account, cores int, k Kind, at, end sim.Time) *Lease {
+	l.seq++
+	le := &Lease{l: l, id: l.seq, Cloud: a.name, Cores: cores, Kind: k, At: at, End: end}
+	a.leases[le.id] = le
+	*a.kindCores(k) += cores
+	return le
+}
+
+// Commit retires the lease into the committed aggregate: a held in-flight
+// admission whose VMs have been placed, or a reservation whose gang starts
+// now. Committing a reservation re-checks the physical invariant (the
+// cores move from advisory to held-equivalent); committing a held lease
+// cannot fail. Commit on a closed lease is a no-op.
+func (le *Lease) Commit() error {
+	if le.closed {
+		return nil
+	}
+	a := le.l.accounts[le.Cloud]
+	if le.Kind == Reserved {
+		if free := le.l.Free(le.Cloud); free < le.Cores {
+			return fmt.Errorf("capacity: committing reservation of %d cores on %s with %d free",
+				le.Cores, le.Cloud, free)
+		}
+	}
+	le.closed = true
+	delete(a.leases, le.id)
+	*a.kindCores(le.Kind) -= le.Cores
+	a.committed += le.Cores
+	return nil
+}
+
+// Release drops the lease's claim. Idempotent: releasing a committed or
+// already-released lease does nothing (the committed cores are returned
+// through Ledger.Uncommit when their VMs terminate).
+func (le *Lease) Release() {
+	if le.closed {
+		return
+	}
+	le.closed = true
+	a := le.l.accounts[le.Cloud]
+	delete(a.leases, le.id)
+	*a.kindCores(le.Kind) -= le.Cores
+}
+
+// Uncommit returns committed cores to the pool (VM termination, shrink,
+// revocation, migration away). Clamps at zero rather than going negative so
+// double releases cannot mint capacity.
+func (l *Ledger) Uncommit(cloud string, cores int) {
+	a := l.accounts[cloud]
+	if a == nil {
+		return
+	}
+	a.committed -= cores
+	if a.committed < 0 {
+		a.committed = 0
+	}
+}
+
+// CommitNow acquires and immediately commits cores — single-step admission
+// for placements with no in-flight window (an inbound migrated VM).
+func (l *Ledger) CommitNow(cloud string, cores int) error {
+	le, err := l.Acquire(cloud, cores)
+	if err != nil {
+		return err
+	}
+	return le.Commit()
+}
+
+// String renders one line per cloud for debugging and logs.
+func (l *Ledger) String() string {
+	out := ""
+	for _, name := range l.order {
+		out += fmt.Sprintf("%s: total=%d committed=%d held=%d reserved=%d free=%d\n",
+			name, l.Total(name), l.Committed(name), l.Held(name), l.Reserved(name), l.Free(name))
+	}
+	return out
+}

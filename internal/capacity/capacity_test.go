@@ -1,0 +1,279 @@
+package capacity
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func ledger2() *Ledger {
+	l := New()
+	l.AddCloud("a", 8)
+	l.AddCloud("b", 16)
+	return l
+}
+
+func TestAcquireRespectsCapacity(t *testing.T) {
+	l := ledger2()
+	le, err := l.Acquire("a", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Free("a") != 2 || l.Held("a") != 6 {
+		t.Fatalf("free=%d held=%d after acquire", l.Free("a"), l.Held("a"))
+	}
+	if _, err := l.Acquire("a", 3); err == nil {
+		t.Fatal("acquire beyond capacity succeeded")
+	}
+	if err := le.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Free("a") != 2 || l.Held("a") != 0 || l.Committed("a") != 6 {
+		t.Fatalf("free=%d held=%d committed=%d after commit", l.Free("a"), l.Held("a"), l.Committed("a"))
+	}
+	l.Uncommit("a", 6)
+	if l.Free("a") != 8 {
+		t.Fatalf("free=%d after uncommit", l.Free("a"))
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	l := ledger2()
+	le, _ := l.Acquire("a", 4)
+	le.Release()
+	le.Release()
+	le.Release()
+	if l.Free("a") != 8 {
+		t.Fatalf("double release minted capacity: free=%d", l.Free("a"))
+	}
+	// Release after Commit must not touch the committed aggregate.
+	le2, _ := l.Acquire("a", 4)
+	if err := le2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	le2.Release()
+	if l.Committed("a") != 4 || l.Free("a") != 4 {
+		t.Fatalf("release after commit corrupted accounts: committed=%d free=%d",
+			l.Committed("a"), l.Free("a"))
+	}
+}
+
+// TestProbeSeesReservation: the grow-vs-reservation core case — a cloud
+// with room today must refuse an indefinite claim that would eat cores a
+// future reservation needs.
+func TestProbeSeesReservation(t *testing.T) {
+	l := ledger2()
+	// 6 of 8 cores busy until t=200 (estimated), then an 8-core reservation
+	// starts at t=200.
+	running, _ := l.AcquireUntil("a", 6, 200*sim.Second)
+	resv, _ := l.Reserve("a", 8, 200*sim.Second)
+	// 2 cores are free right now, but an indefinite claim would still hold
+	// them at t=200 when the reservation needs all 8.
+	if l.Probe("a", 2, 0) {
+		t.Fatal("probe admitted an indefinite claim across a full reservation")
+	}
+	// A claim on the other cloud is unaffected.
+	if !l.Probe("b", 16, 0) {
+		t.Fatal("probe denied an unrelated cloud")
+	}
+	// Once the reservation is released, the claim fits (running's estimated
+	// end frees its cores for any probe at t >= 200).
+	resv.Release()
+	if !l.Probe("a", 2, 0) {
+		t.Fatal("probe denied after reservation release")
+	}
+	running.Release()
+}
+
+// TestProbeHonorsEstimatedEnds: a held lease with an estimated end does not
+// block claims probed at or after that end.
+func TestProbeHonorsEstimatedEnds(t *testing.T) {
+	l := ledger2()
+	l.AcquireUntil("a", 8, 100*sim.Second)
+	if l.Probe("a", 4, 50*sim.Second) {
+		t.Fatal("probe admitted a claim overlapping a full cloud")
+	}
+	if !l.Probe("a", 8, 100*sim.Second) {
+		t.Fatal("probe denied a claim starting at the estimated hand-back")
+	}
+}
+
+// TestPickGrowTargetOverdueLease: a held lease whose estimated end has
+// passed but which was never released still physically holds its cores, so
+// the grow policy must not steer a grow onto that cloud (where Acquire
+// would fail and abort the whole grow) — it spills to a cloud with real
+// free cores instead.
+func TestPickGrowTargetOverdueLease(t *testing.T) {
+	l := ledger2()
+	// 6 of a's 8 cores held with an estimate of t=100 — but the holder has
+	// slipped: at t=100 the lease is still active.
+	l.AcquireUntil("a", 6, 100*sim.Second)
+	got := l.PickGrowTarget([]string{"a"}, []string{"b"}, 4, 100*sim.Second, nil)
+	if got != "b" {
+		t.Fatalf("grow target = %q, want spill to b (a's overdue lease still holds 6 cores)", got)
+	}
+	if _, err := l.Acquire(got, 4); err != nil {
+		t.Fatalf("picked target not acquirable: %v", err)
+	}
+	// A worker small enough for a's genuinely free cores still extends in
+	// place.
+	if got := l.PickGrowTarget([]string{"a"}, []string{"b"}, 2, 100*sim.Second, nil); got != "a" {
+		t.Fatalf("grow target = %q, want member a (2 cores genuinely free)", got)
+	}
+}
+
+// TestProbePartialReservation: growth may take exactly the cores the
+// reservation leaves over, and no more.
+func TestProbePartialReservation(t *testing.T) {
+	l := ledger2()
+	l.Reserve("b", 10, 300*sim.Second)
+	if !l.Probe("b", 6, 0) {
+		t.Fatal("probe denied the cores the reservation leaves over")
+	}
+	if l.Probe("b", 7, 0) {
+		t.Fatal("probe admitted into reserved cores")
+	}
+	if l.Headroom("b", 0) != 6 {
+		t.Fatalf("headroom=%d, want 6", l.Headroom("b", 0))
+	}
+}
+
+// TestCommitReservationChecksCapacity: a reservation can only convert to
+// committed cores when the cloud physically has them.
+func TestCommitReservationChecksCapacity(t *testing.T) {
+	l := ledger2()
+	held, _ := l.Acquire("a", 6)
+	resv, _ := l.Reserve("a", 8, 100*sim.Second)
+	if err := resv.Commit(); err == nil {
+		t.Fatal("reservation committed over live cores")
+	}
+	held.Release()
+	if err := resv.Commit(); err != nil {
+		t.Fatalf("commit after release: %v", err)
+	}
+	if l.Committed("a") != 8 || l.Reserved("a") != 0 {
+		t.Fatalf("committed=%d reserved=%d after reservation commit", l.Committed("a"), l.Reserved("a"))
+	}
+}
+
+// TestLedgerInvariantRandomized drives randomized sequences of
+// Reserve/Acquire/Commit/Release across clouds and checks, after every
+// operation, that committed+held never exceeds TotalCores on any cloud and
+// that releases (including doubles) never mint capacity.
+func TestLedgerInvariantRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := New()
+	totals := map[string]int{}
+	var names []string
+	for c := 0; c < 4; c++ {
+		name := fmt.Sprintf("cloud%d", c)
+		total := 8 * (1 + rng.Intn(4))
+		l.AddCloud(name, total)
+		totals[name] = total
+		names = append(names, name)
+	}
+	type entry struct {
+		lease     *Lease
+		committed bool // survived a successful Commit (held kind)
+	}
+	var live []*entry
+	committedBy := map[string]int{} // our model of the committed aggregate
+	check := func(step int) {
+		t.Helper()
+		for _, name := range names {
+			c, h, r := l.Committed(name), l.Held(name), l.Reserved(name)
+			// The cached held/reserved aggregates must match a raw walk of
+			// the lease map.
+			rawHeld, rawResv := 0, 0
+			for _, le := range l.accounts[name].leases {
+				if le.Kind == Reserved {
+					rawResv += le.Cores
+				} else {
+					rawHeld += le.Cores
+				}
+			}
+			if h != rawHeld || r != rawResv {
+				t.Fatalf("step %d: %s cached held=%d reserved=%d, lease walk says %d/%d",
+					step, name, h, r, rawHeld, rawResv)
+			}
+			if c+h > totals[name] {
+				t.Fatalf("step %d: %s oversubscribed: committed=%d held=%d total=%d",
+					step, name, c, h, totals[name])
+			}
+			if c != committedBy[name] {
+				t.Fatalf("step %d: %s committed=%d, model says %d", step, name, c, committedBy[name])
+			}
+			if free := l.Free(name); free != totals[name]-c-h {
+				t.Fatalf("step %d: %s free=%d, want total-committed-held=%d",
+					step, name, free, totals[name]-c-h)
+			}
+			if free := l.Free(name); free < 0 {
+				t.Fatalf("step %d: %s negative free=%d", step, name, free)
+			}
+			_ = r // reservations are advisory: no physical bound to assert
+		}
+	}
+	for step := 0; step < 5000; step++ {
+		cloud := names[rng.Intn(len(names))]
+		cores := 1 + rng.Intn(6)
+		switch op := rng.Intn(10); {
+		case op < 3: // acquire (sometimes with an estimated end)
+			var end sim.Time
+			if rng.Intn(2) == 0 {
+				end = sim.Time(rng.Intn(1000)) * sim.Second
+			}
+			le, err := l.AcquireUntil(cloud, cores, end)
+			if err == nil {
+				live = append(live, &entry{lease: le})
+			} else if l.Free(cloud) >= cores {
+				t.Fatalf("step %d: acquire of %d denied with %d free", step, cores, l.Free(cloud))
+			}
+		case op < 5: // reserve a future claim
+			le, err := l.Reserve(cloud, cores, sim.Time(rng.Intn(1000))*sim.Second)
+			if err != nil {
+				t.Fatalf("step %d: reserve: %v", step, err)
+			}
+			live = append(live, &entry{lease: le})
+		case op < 7 && len(live) > 0: // commit a random lease
+			e := live[rng.Intn(len(live))]
+			wasActive := e.lease.Active()
+			if err := e.lease.Commit(); err == nil && wasActive && !e.committed {
+				e.committed = true
+				committedBy[e.lease.Cloud] += e.lease.Cores
+			}
+		case op < 9 && len(live) > 0: // release (sometimes twice)
+			e := live[rng.Intn(len(live))]
+			e.lease.Release()
+			if rng.Intn(3) == 0 {
+				e.lease.Release()
+			}
+		default: // uncommit a committed lease's cores (VM terminated)
+			for i, e := range live {
+				if e.committed {
+					l.Uncommit(e.lease.Cloud, e.lease.Cores)
+					committedBy[e.lease.Cloud] -= e.lease.Cores
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		}
+		check(step)
+	}
+}
+
+// TestProbeUnknownCloud: probing or acquiring on unknown clouds fails
+// cleanly.
+func TestProbeUnknownCloud(t *testing.T) {
+	l := New()
+	if l.Probe("ghost", 1, 0) {
+		t.Fatal("probe admitted on an unknown cloud")
+	}
+	if _, err := l.Acquire("ghost", 1); err == nil {
+		t.Fatal("acquire on an unknown cloud succeeded")
+	}
+	if _, err := l.Reserve("ghost", 1, 0); err == nil {
+		t.Fatal("reserve on an unknown cloud succeeded")
+	}
+}

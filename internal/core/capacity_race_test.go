@@ -1,0 +1,208 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/nimbus"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// TestPartialClusterFailureReleasesCapacity: a spanning cluster whose
+// second member cannot deploy (image missing there) must tear down the
+// member that did deploy — no stranded VMs, no cores left committed in the
+// ledger.
+func TestPartialClusterFailureReleasesCapacity(t *testing.T) {
+	f := NewFederation(5)
+	for _, name := range []string{"cloud0", "cloud1"} {
+		f.AddCloud(nimbus.Config{
+			Name: name, Hosts: 2,
+			HostSpec: nimbus.HostSpec{Cores: 4, MemPages: 64 * 8192, Speed: 1.0},
+			NICBW:    125 << 20, WANUp: 60 << 20, WANDown: 60 << 20,
+			PricePerCoreHour: 0.08,
+		})
+	}
+	// The image exists only on cloud0: cloud1's member deploy must fail.
+	m := vm.NewContentModel(5, "debian", 0.1, 0.5, 1024)
+	f.Cloud("cloud0").PutImage(vm.NewDiskImage("debian", 256, 65536, m))
+	var gotErr error
+	done := false
+	f.CreateCluster("gang", ClusterSpec{
+		Image: "debian", Cores: 2, MemPages: 4096, CoW: true,
+		Distribution: map[string]int{"cloud0": 2, "cloud1": 2},
+	}, func(vc *VirtualCluster, err error) {
+		done, gotErr = true, err
+		if vc != nil {
+			t.Error("partial cluster returned non-nil")
+		}
+	})
+	f.K.Run()
+	if !done || gotErr == nil {
+		t.Fatalf("cluster creation did not fail: done=%v err=%v", done, gotErr)
+	}
+	if n := len(f.VMNames()); n != 0 {
+		t.Errorf("%d VMs stranded after partial failure", n)
+	}
+	l := f.CapacityLedger()
+	for _, c := range f.Clouds() {
+		if free := c.FreeCores(); free != c.TotalCores() {
+			t.Errorf("%s: free=%d of %d after partial failure", c.Name, free, c.TotalCores())
+		}
+		if l.Held(c.Name) != 0 || l.Committed(c.Name) != 0 {
+			t.Errorf("%s: held=%d committed=%d after partial failure",
+				c.Name, l.Held(c.Name), l.Committed(c.Name))
+		}
+	}
+}
+
+// TestFedGrowAllOrNothing: a multi-cloud grow whose spill member fails to
+// deploy (image missing there) must roll the successful member back before
+// reporting the error — the scheduler reverses its GrewBy credit on error,
+// so a kept worker would be one it never accounts for or shrinks.
+func TestFedGrowAllOrNothing(t *testing.T) {
+	f := NewFederation(7)
+	for _, name := range []string{"cloud0", "cloud1"} {
+		f.AddCloud(nimbus.Config{
+			Name: name, Hosts: 2,
+			HostSpec: nimbus.HostSpec{Cores: 4, MemPages: 64 * 8192, Speed: 1.0},
+			NICBW:    125 << 20, WANUp: 60 << 20, WANDown: 60 << 20,
+			PricePerCoreHour: 0.08,
+		})
+	}
+	// The image exists only on cloud0: the grow's spill onto cloud1 fails.
+	m := vm.NewContentModel(5, "debian", 0.1, 0.5, 1024)
+	f.Cloud("cloud0").PutImage(vm.NewDiskImage("debian", 256, 65536, m))
+	spec := ClusterSpec{Image: "debian", Cores: 2, MemPages: 4096, CoW: true}
+	var vcJob *VirtualCluster
+	jobSpec := spec
+	jobSpec.Distribution = map[string]int{"cloud0": 1}
+	f.CreateCluster("job", jobSpec, func(vc *VirtualCluster, err error) {
+		if err != nil {
+			t.Errorf("job cluster: %v", err)
+		}
+		vcJob = vc
+	})
+	// Filler leaves cloud0 exactly one 2-core worker of room, so a 2-worker
+	// grow must split: one worker extends in place, one spills onto cloud1.
+	fillSpec := spec
+	fillSpec.Distribution = map[string]int{"cloud0": 2}
+	f.CreateCluster("filler", fillSpec, func(_ *VirtualCluster, err error) {
+		if err != nil {
+			t.Errorf("filler cluster: %v", err)
+		}
+	})
+	f.K.Run()
+	b := &fedBackend{f: f, opt: SchedulerOptions{Image: "debian", MemPagesPerWorker: 4096},
+		owner: make(map[string]*launchedJob)}
+	lj := &launchedJob{id: "j1", tenant: "t", cpw: 2, vc: vcJob,
+		plan: sched.Plan{Members: []sched.Member{{Cloud: "cloud0", Workers: 1}}}}
+	h := &fedHandle{b: b, lj: lj}
+	var gotErr error
+	called := 0
+	h.Grow(2, func(err error) { called++; gotErr = err })
+	f.K.Run()
+	if called != 1 {
+		t.Fatalf("onDone called %d times, want exactly 1", called)
+	}
+	if gotErr == nil {
+		t.Fatal("partial grow reported success")
+	}
+	if len(lj.extras) != 0 {
+		t.Errorf("partial grow kept %d extras", len(lj.extras))
+	}
+	if n := vcJob.Size(); n != 1 {
+		t.Errorf("job cluster has %d workers after rolled-back grow, want 1", n)
+	}
+	// The rollback must terminate exactly the grown VM (named with the
+	// "-g<seq>-" grow prefix), never a busy base worker.
+	for _, v := range vcJob.VMs() {
+		if strings.Contains(v.Name, "-g") {
+			t.Errorf("rollback kept grown worker %s and removed a base worker", v.Name)
+		}
+	}
+	l := f.CapacityLedger()
+	if free := f.Cloud("cloud0").FreeCores(); free != 2 {
+		t.Errorf("cloud0 free=%d after rollback, want 2", free)
+	}
+	if free := f.Cloud("cloud1").FreeCores(); free != 8 {
+		t.Errorf("cloud1 free=%d after rollback, want 8", free)
+	}
+	for _, name := range []string{"cloud0", "cloud1"} {
+		if held := l.Held(name); held != 0 {
+			t.Errorf("%s: %d cores still held after rollback", name, held)
+		}
+	}
+}
+
+// TestFedGrowDeniedByReservation: the federation-level half of the
+// grow-vs-reservation regression. A deadline-doomed job fills cloud0 and
+// tries to grow every elastic tick; cloud1 holds a backfill-style
+// reservation in the federation capacity ledger. planGrow must refuse to
+// spill onto the reserved cloud while the reservation stands, admit the
+// grow once it is released, and the nimbus host accounting must agree with
+// the ledger throughout (the double-entry invariant).
+func TestFedGrowDeniedByReservation(t *testing.T) {
+	f, s := schedFederation(t, 3, 2, 2, sched.Config{}) // 2 clouds x 8 cores
+	s.AddTenant("t", 1)
+	id, err := s.Submit(sched.JobSpec{
+		Tenant: "t", Name: "late", Workers: 4, CoresPerWorker: 2,
+		Deadline: 60 * sim.Second, MaxExtraWorkers: 2,
+		MR: mapreduce.Job{Name: "late", NumMaps: 32, NumReduces: 1, MapCPU: 150, ReduceCPU: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.CapacityLedger()
+	resv, err := l.Reserve("cloud1", 8, 800*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent := func() {
+		t.Helper()
+		for _, c := range f.Clouds() {
+			used := 0
+			for _, h := range c.Hosts() {
+				used += h.Spec.Cores - h.FreeCores()
+			}
+			if ledgerUsed := l.Committed(c.Name) + l.Held(c.Name); used != ledgerUsed {
+				t.Errorf("t=%v: %s host accounting says %d cores used, ledger says %d",
+					f.K.Now(), c.Name, used, ledgerUsed)
+			}
+			if l.Committed(c.Name)+l.Held(c.Name) > l.Total(c.Name) {
+				t.Errorf("t=%v: %s oversubscribed", f.K.Now(), c.Name)
+			}
+		}
+	}
+	f.K.At(440*sim.Second, func() {
+		checkConsistent()
+		ji, _ := s.Poll(id)
+		if ji.State != sched.Running {
+			t.Fatalf("job state %v at t=440, want running", ji.State)
+		}
+		if ji.GrewBy != 0 {
+			t.Errorf("grow spilled onto the reserved cloud: GrewBy=%d at t=440", ji.GrewBy)
+		}
+		if s.GrowRequests == 0 {
+			t.Error("no grow was ever attempted; the race was not exercised")
+		}
+	})
+	f.K.At(450*sim.Second, func() { resv.Release() })
+	f.K.At(600*sim.Second, checkConsistent)
+	f.K.Run()
+	ji, _ := s.Poll(id)
+	if ji.State != sched.Done {
+		t.Fatalf("job state %v, want done (err=%v)", ji.State, ji.Err)
+	}
+	if ji.GrewBy == 0 {
+		t.Fatal("grow still denied after the reservation was released")
+	}
+	checkConsistent()
+	for _, c := range f.Clouds() {
+		if free := c.FreeCores(); free != c.TotalCores() {
+			t.Errorf("cores leaked on %s: free=%d of %d", c.Name, free, c.TotalCores())
+		}
+	}
+}

@@ -54,11 +54,20 @@ func (f *Federation) CreateCluster(name string, spec ClusterSpec, onDone func(*V
 		f.K.Schedule(0, func() { onDone(nil, fmt.Errorf("core: empty cluster distribution")) })
 		return
 	}
+	done := false
 	complete := func() {
-		if pending != 0 {
+		// The run-once guard matters when several members fail through the
+		// scheduled path (e.g. two unknown clouds): each failure schedules a
+		// complete, and all of them fire after pending hits zero.
+		if pending != 0 || done {
 			return
 		}
+		done = true
 		if firstErr != nil {
+			// Members that did deploy are torn down before the error is
+			// reported, so a partial gang cannot strand running VMs or
+			// leave their cores committed in the capacity ledger.
+			vc.Terminate()
 			onDone(nil, firstErr)
 			return
 		}
@@ -146,19 +155,22 @@ func (vc *VirtualCluster) RunJob(job mapreduce.Job, onDone func(mapreduce.Result
 // dynamic cluster-size adjustment of §II. New VMs inherit the cluster
 // spec's pricing model (spot or on-demand).
 func (vc *VirtualCluster) Grow(cloud string, n int, onDone func(error)) {
-	vc.grow(cloud, n, vc.spec.Spot, vc.spec.Bid, onDone)
+	vc.grow(cloud, n, vc.spec.Spot, vc.spec.Bid, func(_ []string, err error) { onDone(err) })
 }
 
 // GrowOnDemand adds n on-demand (non-revocable) VMs regardless of the
 // cluster spec — how a user replaces lost spot capacity with firm capacity.
 func (vc *VirtualCluster) GrowOnDemand(cloud string, n int, onDone func(error)) {
-	vc.grow(cloud, n, false, 0, onDone)
+	vc.grow(cloud, n, false, 0, func(_ []string, err error) { onDone(err) })
 }
 
-func (vc *VirtualCluster) grow(cloud string, n int, spot bool, bid float64, onDone func(error)) {
+// grow reports the names of the VMs it enrolled so multi-cloud growers can
+// roll back exactly those workers on partial failure, leaving busy base
+// workers untouched.
+func (vc *VirtualCluster) grow(cloud string, n int, spot bool, bid float64, onDone func([]string, error)) {
 	c := vc.f.clouds[cloud]
 	if c == nil {
-		vc.f.K.Schedule(0, func() { onDone(fmt.Errorf("core: unknown cloud %q", cloud)) })
+		vc.f.K.Schedule(0, func() { onDone(nil, fmt.Errorf("core: unknown cloud %q", cloud)) })
 		return
 	}
 	vc.seq++
@@ -173,11 +185,15 @@ func (vc *VirtualCluster) grow(cloud string, n int, spot bool, bid float64, onDo
 		Bid:        bid,
 	}, func(dep nimbus.Deployment) {
 		if dep.Err != nil {
-			onDone(dep.Err)
+			onDone(nil, dep.Err)
 			return
 		}
 		vc.enroll(c, dep.VMs)
-		onDone(nil)
+		names := make([]string, len(dep.VMs))
+		for i, v := range dep.VMs {
+			names[i] = v.Name
+		}
+		onDone(names, nil)
 	})
 }
 
@@ -191,11 +207,17 @@ func (vc *VirtualCluster) Shrink(cloud string, n int) int {
 		if removed >= n {
 			break
 		}
-		vc.mr.RemoveWorker(name)
-		vc.f.releaseVM(vc.f.VM(name))
+		vc.removeWorker(name)
 		removed++
 	}
 	return removed
+}
+
+// removeWorker drops one named worker from the cluster, requeueing its
+// tasks and releasing its VM.
+func (vc *VirtualCluster) removeWorker(name string) {
+	vc.mr.RemoveWorker(name)
+	vc.f.releaseVM(vc.f.VM(name))
 }
 
 // MigrateWorkers live-migrates cluster members to dstCloud while the

@@ -90,6 +90,27 @@ func TestCreateClusterErrors(t *testing.T) {
 	}
 }
 
+// TestCreateClusterSingleCompletion: multiple members failing through the
+// scheduled path (two unknown clouds) must report exactly one completion —
+// each failure schedules complete(), and all of them fire after pending
+// reaches zero.
+func TestCreateClusterSingleCompletion(t *testing.T) {
+	f := fed(t)
+	calls := 0
+	f.CreateCluster("x", ClusterSpec{Image: "debian",
+		Distribution: map[string]int{"ghost1": 1, "ghost2": 1}},
+		func(_ *VirtualCluster, e error) {
+			calls++
+			if e == nil {
+				t.Error("unknown clouds must fail")
+			}
+		})
+	f.K.Run()
+	if calls != 1 {
+		t.Fatalf("onDone called %d times, want exactly 1", calls)
+	}
+}
+
 func TestCrossCloudMapReduce(t *testing.T) {
 	f := fed(t)
 	vc := makeCluster(t, f, map[string]int{"g5k": 3, "futuregrid": 3})

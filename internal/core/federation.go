@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/autonomic"
+	"repro/internal/capacity"
 	"repro/internal/dedup"
 	"repro/internal/migration"
 	"repro/internal/netmon"
@@ -33,6 +34,11 @@ type Federation struct {
 	clouds map[string]*nimbus.Cloud
 	vms    map[string]*managedVM
 	vipSeq int
+
+	// ledger is the federation-wide capacity ledger: every member cloud's
+	// admissions, the scheduler's backfill reservations, and elastic-growth
+	// probes share these accounts (see internal/capacity).
+	ledger *capacity.Ledger
 
 	monitor *netmon.Monitor
 	engine  *autonomic.Engine
@@ -75,6 +81,7 @@ func NewFederation(seed int64) *Federation {
 		Overlay:     vine.New(net),
 		clouds:      make(map[string]*nimbus.Cloud),
 		vms:         make(map[string]*managedVM),
+		ledger:      capacity.New(),
 		Auth:        auth,
 		Broker:      secure.NewBroker(net, auth, secure.Config{}),
 		creds:       make(map[string]secure.Credential),
@@ -83,8 +90,10 @@ func NewFederation(seed int64) *Federation {
 }
 
 // AddCloud creates a cloud in the federation, installs its ViNe router,
-// and issues its membership credential.
+// and issues its membership credential. The cloud admits against the
+// federation-wide capacity ledger.
 func (f *Federation) AddCloud(cfg nimbus.Config) *nimbus.Cloud {
+	cfg.Ledger = f.ledger
 	c := nimbus.New(f.Net, cfg)
 	f.clouds[cfg.Name] = c
 	vr := c.Site.AddNode(cfg.Name+"/vine-router", 1<<30)
@@ -104,6 +113,9 @@ func (f *Federation) RevokeCloud(name string) {
 
 // Cloud returns a cloud by name, or nil.
 func (f *Federation) Cloud(name string) *nimbus.Cloud { return f.clouds[name] }
+
+// CapacityLedger returns the federation-wide capacity ledger.
+func (f *Federation) CapacityLedger() *capacity.Ledger { return f.ledger }
 
 // Clouds returns the clouds sorted by name.
 func (f *Federation) Clouds() []*nimbus.Cloud {

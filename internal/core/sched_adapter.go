@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/capacity"
 	"repro/internal/emr"
 	"repro/internal/mapreduce"
 	"repro/internal/netmon"
@@ -32,15 +33,16 @@ type SchedulerOptions struct {
 	Sched sched.Config
 }
 
-// fedBackend implements sched.Backend over the federation.
+// fedBackend implements sched.Backend over the federation. It keeps no
+// capacity arithmetic of its own: nimbus admits deployments synchronously
+// against the federation-wide ledger (cores held from the instant Launch
+// calls Deploy), and the scheduler's backfill reservations live in the same
+// ledger, so there is no dispatch-to-placement window to paper over.
 type fedBackend struct {
 	f   *Federation
 	s   *sched.Scheduler
 	opt SchedulerOptions
 
-	// reserved holds cores committed to in-flight deployments, closing the
-	// window between dispatch and the nimbus layer actually placing VMs.
-	reserved map[string]int
 	// owner maps live worker VM names to their scheduler job, for spot
 	// revocation dispatch and traffic attribution.
 	owner map[string]*launchedJob
@@ -75,10 +77,9 @@ func (f *Federation) EnableScheduler(opt SchedulerOptions) *sched.Scheduler {
 		opt.MemPagesPerWorker = 8192
 	}
 	b := &fedBackend{
-		f:        f,
-		opt:      opt,
-		reserved: make(map[string]int),
-		owner:    make(map[string]*launchedJob),
+		f:     f,
+		opt:   opt,
+		owner: make(map[string]*launchedJob),
 	}
 	f.sched = sched.New(b, opt.Sched)
 	f.schedBackend = b
@@ -93,15 +94,19 @@ func (f *Federation) Scheduler() *sched.Scheduler { return f.sched }
 // Kernel implements sched.Backend.
 func (b *fedBackend) Kernel() *sim.Kernel { return b.f.K }
 
-// Clouds implements sched.Backend: live capacity minus in-flight
-// reservations.
+// Ledger implements sched.Backend: the federation-wide capacity ledger.
+func (b *fedBackend) Ledger() *capacity.Ledger { return b.f.ledger }
+
+// Clouds implements sched.Backend: live capacity straight from the ledger
+// (nimbus holds cores from deploy admission, so in-flight provisioning is
+// already accounted).
 func (b *fedBackend) Clouds() []sched.CloudInfo {
 	clouds := b.f.Clouds()
 	out := make([]sched.CloudInfo, 0, len(clouds))
 	for _, c := range clouds {
 		out = append(out, sched.CloudInfo{
 			Name:       c.Name,
-			FreeCores:  c.FreeCores() - b.reserved[c.Name],
+			FreeCores:  c.FreeCores(),
 			TotalCores: c.TotalCores(),
 			Speed:      c.HostSpeed(),
 			Price:      b.f.PriceOf(c.Name),
@@ -130,9 +135,16 @@ type fedHandle struct {
 }
 
 // Grow implements sched.Handle: on-demand workers (firm capacity — this is
-// the spot-replacement and deadline-chasing path). The gang grows in place
-// first — member clouds in plan order — and only when every member is full
-// does it spill onto the non-member cloud with the most free cores.
+// the spot-replacement and deadline-chasing path). Targets come from the
+// ledger's shared grow policy via planGrow: member clouds in plan order
+// first, then the non-member with the most reservation-aware headroom,
+// every candidate Probe-vetted — so growth is denied cores an outstanding
+// backfill reservation will need, even when they are free right now.
+// All-or-nothing, matching SimHandle.Grow: when a multi-cloud grow partially
+// fails, exactly the workers that did deploy are terminated (busy base
+// workers are untouched) before the error is reported — the scheduler rolls
+// its GrewBy credit back on error, so a kept worker would be one it never
+// accounts for (or shrinks).
 func (h *fedHandle) Grow(n int, onDone func(error)) {
 	if h.lj.vc == nil {
 		if onDone != nil {
@@ -154,59 +166,61 @@ func (h *fedHandle) Grow(n int, onDone func(error)) {
 	sort.Strings(clouds)
 	pending := len(clouds)
 	var firstErr error
+	var addedVMs, addedClouds []string
 	for _, cloud := range clouds {
 		cloud, cnt := cloud, alloc[cloud]
-		h.lj.vc.GrowOnDemand(cloud, cnt, func(err error) {
+		h.lj.vc.grow(cloud, cnt, false, 0, func(vms []string, err error) {
 			if err == nil {
-				for i := 0; i < cnt; i++ {
-					h.lj.extras = append(h.lj.extras, cloud)
+				addedVMs = append(addedVMs, vms...)
+				for range vms {
+					addedClouds = append(addedClouds, cloud)
 				}
-				h.b.adopt(h.lj)
 			} else if firstErr == nil {
 				firstErr = err
 			}
 			pending--
-			if pending == 0 && onDone != nil {
+			if pending > 0 {
+				return
+			}
+			if firstErr != nil {
+				for _, name := range addedVMs {
+					h.lj.vc.removeWorker(name)
+				}
+			} else {
+				h.lj.extras = append(h.lj.extras, addedClouds...)
+				h.b.adopt(h.lj)
+			}
+			if onDone != nil {
 				onDone(firstErr)
 			}
 		})
 	}
 }
 
-// planGrow assigns n extra workers to clouds, worker by worker against a
-// working copy of free capacity: plan members in order first, then the
-// non-member with the most free cores (ties by name) — so a multi-worker
-// grow can spread across clouds instead of demanding one cloud fit it all.
-// ok is false when the federation cannot host all n.
+// planGrow assigns n extra workers to clouds, worker by worker through the
+// ledger's shared grow-target policy: plan members in order first, then
+// the non-member with the most reservation-aware headroom — so a
+// multi-worker grow can spread across clouds instead of demanding one
+// cloud fit it all, and is denied cores an outstanding backfill
+// reservation will need at its future start (growth can no longer race a
+// reserved gang start). ok is false when the federation cannot host all n.
 func (h *fedHandle) planGrow(n int) (map[string]int, bool) {
-	free := make(map[string]int)
-	for _, c := range h.b.f.Clouds() {
-		free[c.Name] = c.FreeCores() - h.b.reserved[c.Name]
+	l := h.b.f.ledger
+	now := h.b.f.K.Now()
+	names := make([]string, 0, len(h.b.f.clouds))
+	for _, c := range h.b.f.Clouds() { // sorted by name
+		names = append(names, c.Name)
 	}
+	members, spill := h.lj.plan.GrowCandidates(names)
+	cores := make(map[string]int, 1)
 	alloc := make(map[string]int, 1)
 	for i := 0; i < n; i++ {
-		cloud := ""
-		for _, m := range h.lj.plan.Members {
-			if free[m.Cloud] >= h.lj.cpw {
-				cloud = m.Cloud
-				break
-			}
-		}
-		if cloud == "" {
-			for _, c := range h.b.f.Clouds() {
-				if h.lj.plan.WorkersOn(c.Name) > 0 || free[c.Name] < h.lj.cpw {
-					continue
-				}
-				if cloud == "" || free[c.Name] > free[cloud] {
-					cloud = c.Name
-				}
-			}
-		}
+		cloud := l.PickGrowTarget(members, spill, h.lj.cpw, now, cores)
 		if cloud == "" {
 			return nil, false
 		}
+		cores[cloud] += h.lj.cpw
 		alloc[cloud]++
-		free[cloud] -= h.lj.cpw
 	}
 	return alloc, true
 }
@@ -256,8 +270,10 @@ func (b *fedBackend) release(lj *launchedJob) {
 // Launch implements sched.Backend: provision one per-job virtual cluster
 // spanning every plan member (the gang contextualizes over the ViNe
 // overlay), run the MapReduce payload (streaming input from the job's data
-// site when non-local), then tear the cluster down. The reservation ledger
-// is debited per member cloud for the dispatch-to-placement window.
+// site when non-local), then tear the cluster down. Capacity needs no
+// shepherding here: nimbus admits each member deployment synchronously
+// against the federation ledger, so the cores are held from this call
+// onward.
 func (b *fedBackend) Launch(j *sched.Job, plan sched.Plan, onDone func(sched.Outcome)) (sched.Handle, error) {
 	cores := j.Spec.CoresPerWorker
 	if cores <= 0 {
@@ -267,7 +283,6 @@ func (b *fedBackend) Launch(j *sched.Job, plan sched.Plan, onDone func(sched.Out
 	dist := make(map[string]int, len(plan.Members))
 	for _, m := range plan.Members {
 		dist[m.Cloud] = m.Workers
-		b.reserved[m.Cloud] += m.Workers * cores
 	}
 	b.f.CreateCluster("sched-"+j.ID, ClusterSpec{
 		Image:        b.opt.Image,
@@ -278,9 +293,6 @@ func (b *fedBackend) Launch(j *sched.Job, plan sched.Plan, onDone func(sched.Out
 		Bid:          j.Spec.Bid,
 		Distribution: dist,
 	}, func(vc *VirtualCluster, err error) {
-		for _, m := range plan.Members {
-			b.reserved[m.Cloud] -= m.Workers * cores
-		}
 		if err != nil {
 			onDone(sched.Outcome{Err: err})
 			return

@@ -1,16 +1,19 @@
 // Package nimbus models the Nimbus IaaS cloud toolkit as used in §II of the
 // paper: a per-site cloud service exposing a common deployment interface —
-// image propagation (pluggable strategy: unicast, broadcast chain, CoW),
-// VM scheduling onto physical hosts, boot, and a contextualization broker
-// that configures freshly booted clusters without manual intervention.
-// It also implements a spot market (§IV's migratable spot instances hook
-// into its revocation callback).
+// synchronous admission against the shared capacity ledger
+// (internal/capacity; cores are held from the instant Deploy is called,
+// not from propagation end), image propagation (pluggable strategy:
+// unicast, broadcast chain, CoW), VM scheduling onto physical hosts, boot,
+// and a contextualization broker that configures freshly booted clusters
+// without manual intervention. It also implements a spot market (§IV's
+// migratable spot instances hook into its revocation callback).
 package nimbus
 
 import (
 	"fmt"
 	"sort"
 
+	"repro/internal/capacity"
 	"repro/internal/dedup"
 	"repro/internal/deploy"
 	"repro/internal/sim"
@@ -70,6 +73,10 @@ type Config struct {
 	BootDelay sim.Time
 	// ContextualizeDelay is broker processing per round. Zero = 2 s.
 	ContextualizeDelay sim.Time
+	// Ledger is the capacity ledger this cloud's admissions debit. Nil
+	// creates a private single-cloud ledger; a federation passes its shared
+	// ledger so schedulers and growers see one account of truth.
+	Ledger *capacity.Ledger
 }
 
 // Cloud is one IaaS site.
@@ -87,6 +94,7 @@ type Cloud struct {
 	cfg      Config
 	hosts    []*Host
 	repoNode *simnet.Node
+	ledger   *capacity.Ledger
 	seq      int
 
 	// Spot is the cloud's spot market (always present; unused unless VMs
@@ -132,6 +140,11 @@ func New(net *simnet.Network, cfg Config) *Cloud {
 			cached: make(map[string]bool),
 		})
 	}
+	if cfg.Ledger == nil {
+		cfg.Ledger = capacity.New()
+	}
+	c.ledger = cfg.Ledger
+	c.ledger.AddCloud(cfg.Name, cfg.Hosts*cfg.HostSpec.Cores)
 	c.Spot = newSpotMarket(c, cfg.PricePerCoreHour*0.3)
 	return c
 }
@@ -145,17 +158,16 @@ func (c *Cloud) RepoNode() *simnet.Node { return c.repoNode }
 // Price returns the on-demand price per core-hour.
 func (c *Cloud) Price() float64 { return c.cfg.PricePerCoreHour }
 
-// FreeCores returns the total unallocated cores across hosts.
-func (c *Cloud) FreeCores() int {
-	total := 0
-	for _, h := range c.hosts {
-		total += h.FreeCores()
-	}
-	return total
-}
+// FreeCores returns the cloud's unallocated cores, answered by the
+// capacity ledger (which host-level accounting double-enters: cores are
+// held from deploy admission, committed at VM placement).
+func (c *Cloud) FreeCores() int { return c.ledger.Free(c.Name) }
 
 // TotalCores returns the cloud's core capacity.
-func (c *Cloud) TotalCores() int { return c.cfg.Hosts * c.cfg.HostSpec.Cores }
+func (c *Cloud) TotalCores() int { return c.ledger.Total(c.Name) }
+
+// Ledger returns the capacity ledger this cloud's admissions debit.
+func (c *Cloud) Ledger() *capacity.Ledger { return c.ledger }
 
 // HostSpeed returns the relative CPU speed of the cloud's hosts.
 func (c *Cloud) HostSpeed() float64 {
@@ -231,9 +243,13 @@ type Deployment struct {
 	Err             error
 }
 
-// Deploy provisions req.Count VMs: schedule → propagate → boot →
+// Deploy provisions req.Count VMs: admit → propagate → boot →
 // contextualize → running. onDone receives the deployment (with Err set on
-// failure).
+// failure). Admission is synchronous: host cores and pages are debited (and
+// the capacity ledger charged) the instant Deploy is called, not when image
+// propagation ends — so a second deploy, a migration, or an elastic grow
+// arriving during the propagation window sees the truth and cannot
+// double-book the cores.
 func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 	req = req.withDefaults()
 	k := c.Net.K
@@ -245,31 +261,44 @@ func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 		})
 		return
 	}
-	// First-fit scheduling, one host may take several VMs.
+	// First-fit scheduling, one host may take several VMs. Each chosen host
+	// is debited immediately; a request that cannot be placed in full rolls
+	// every debit back before failing.
 	placement := make([]*Host, 0, req.Count)
-	type alloc struct{ cores, pages int }
-	pending := make(map[*Host]alloc)
+	rollback := func() {
+		for _, h := range placement {
+			h.usedCores -= req.Cores
+			h.usedPages -= req.MemPages
+		}
+	}
 	for i := 0; i < req.Count; i++ {
 		var chosen *Host
 		for _, h := range c.hosts {
-			a := pending[h]
-			if h.FreeCores()-a.cores >= req.Cores && h.FreePages()-a.pages >= req.MemPages {
+			if h.FreeCores() >= req.Cores && h.FreePages() >= req.MemPages {
 				chosen = h
 				break
 			}
 		}
 		if chosen == nil {
+			rollback()
 			k.Schedule(0, func() {
 				onDone(Deployment{Err: fmt.Errorf("nimbus: %s cannot place %d VMs (%d cores free)",
 					c.Name, req.Count, c.FreeCores())})
 			})
 			return
 		}
-		a := pending[chosen]
-		a.cores += req.Cores
-		a.pages += req.MemPages
-		pending[chosen] = a
+		chosen.usedCores += req.Cores
+		chosen.usedPages += req.MemPages
 		placement = append(placement, chosen)
+	}
+	lease, err := c.ledger.Acquire(c.Name, req.Count*req.Cores)
+	if err != nil {
+		// Host accounting and the ledger disagree — roll back and surface it.
+		rollback()
+		k.Schedule(0, func() {
+			onDone(Deployment{Err: fmt.Errorf("nimbus: %s admission: %w", c.Name, err)})
+		})
+		return
 	}
 	// Which hosts still need the image?
 	needSet := make(map[*Host]bool)
@@ -304,10 +333,12 @@ func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 			v.Spot = req.Spot
 			v.Bid = req.Bid
 			h := placement[i]
-			c.place(v, h)
+			c.bind(v, h)
 			v.State = vm.StateBooting
 			vms[i] = v
 		}
+		// Placement landed: the admission lease converts to committed cores.
+		lease.Commit()
 		dep.VMs = vms
 		// CoW creation is near-instant; full-copy disks take a local clone
 		// pass at NIC speed (image already on host, copy base->instance).
@@ -341,11 +372,11 @@ func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 	})
 }
 
-// place assigns v to h and starts billing its cores.
-func (c *Cloud) place(v *vm.VM, h *Host) {
+// bind attaches an admitted VM to its host and starts billing its cores.
+// The capacity itself was debited at admission (Deploy or Adopt) — bind
+// only materialises the VM and begins the on-demand meter.
+func (c *Cloud) bind(v *vm.VM, h *Host) {
 	c.accrue()
-	h.usedCores += v.Cores
-	h.usedPages += v.Mem.NumPages()
 	h.vms[v.Name] = v
 	v.HostID = h.Node.ID
 	v.SiteName = c.Name
@@ -361,6 +392,7 @@ func (c *Cloud) Release(v *vm.VM) {
 			h.usedPages -= v.Mem.NumPages()
 			delete(h.vms, v.Name)
 			c.runningCores -= v.Cores
+			c.ledger.Uncommit(c.Name, v.Cores)
 			return
 		}
 	}
@@ -368,11 +400,18 @@ func (c *Cloud) Release(v *vm.VM) {
 
 // Adopt places an inbound migrated VM onto a host with capacity and returns
 // that host (nil if the cloud is full). The caller performs the actual
-// migration transfer; Adopt only does admission + bookkeeping.
+// migration transfer; Adopt only does admission + bookkeeping. Admission
+// and placement are one instant here, so the ledger is charged and
+// committed in a single step.
 func (c *Cloud) Adopt(v *vm.VM) *Host {
 	for _, h := range c.hosts {
 		if h.FreeCores() >= v.Cores && h.FreePages() >= v.Mem.NumPages() {
-			c.place(v, h)
+			if err := c.ledger.CommitNow(c.Name, v.Cores); err != nil {
+				return nil
+			}
+			h.usedCores += v.Cores
+			h.usedPages += v.Mem.NumPages()
+			c.bind(v, h)
 			return h
 		}
 	}

@@ -3,6 +3,7 @@ package sched
 import (
 	"sort"
 
+	"repro/internal/capacity"
 	"repro/internal/sim"
 )
 
@@ -14,12 +15,50 @@ import (
 // if they cannot delay that reserved start: either their plan shares no
 // cloud with the reservation, they finish (by estimate) before it, or they
 // leave every reserved member's cores intact at the reservation time.
+//
+// The reservation is not a cycle-local artifact: holdReservation registers
+// it as future leases in the backend's capacity ledger, where it persists
+// between scheduling cycles. Anything probing the ledger for indefinite
+// capacity — a deadline-chasing grow, a spot replacement — sees the claim
+// and is denied the reserved cores, closing the grow-vs-reservation race.
+// Each cycle drops and recomputes it against fresh runtime estimates.
 
 // reservation is the blocked head job's future claim.
 type reservation struct {
 	job  string
 	plan Plan
 	at   sim.Time
+	// leases are the claim's per-member-cloud entries in the backend's
+	// capacity ledger, live until the next cycle recomputes the reservation
+	// or the job dispatches.
+	leases []*capacity.Lease
+}
+
+// holdReservation registers the blocked head job's future claim in the
+// capacity ledger (one lease per member cloud) and makes it the
+// scheduler's current reservation, replacing any previous one.
+func (s *Scheduler) holdReservation(r *reservation, cpw int) {
+	s.dropReservation()
+	l := s.B.Ledger()
+	for _, m := range r.plan.Members {
+		le, err := l.Reserve(m.Cloud, m.Workers*cpw, r.at)
+		if err != nil {
+			continue // unknown cloud: the snapshot and ledger disagree; skip
+		}
+		r.leases = append(r.leases, le)
+	}
+	s.resv = r
+}
+
+// dropReservation releases the current reservation's ledger leases.
+func (s *Scheduler) dropReservation() {
+	if s.resv == nil {
+		return
+	}
+	for _, le := range s.resv.leases {
+		le.Release()
+	}
+	s.resv = nil
 }
 
 // coreRelease is one running job's estimated hand-back of cores on one

@@ -7,7 +7,10 @@ import "repro/internal/sim"
 // the actual provisioning). Growth chases deadlines the way the emr service
 // does, but federation-wide and fair-share-aware; shrink returns elastic
 // extras to the pool once the map phase drains, so backfilled and queued
-// jobs see the capacity.
+// jobs see the capacity. Grow requests are not guaranteed: the backend
+// probes the capacity ledger, where outstanding backfill reservations live
+// between cycles, and denies growth that would take cores a reserved gang
+// start needs (growOne rolls the counters back on denial).
 
 // elasticTick evaluates every running job once.
 func (s *Scheduler) elasticTick() {

@@ -72,6 +72,25 @@ func (p Plan) WorkersOn(cloud string) int {
 	return 0
 }
 
+// GrowCandidates splits the cloud list into capacity.PickGrowTarget's
+// inputs: the plan's member clouds in plan order, then the non-member spill
+// candidates in the given order (callers pass name-sorted clouds; the order
+// is load-bearing — headroom ties keep the earliest). Shared by the
+// federation and simulation backends so the growth policy's inputs cannot
+// drift between them.
+func (p Plan) GrowCandidates(clouds []string) (members, spill []string) {
+	members = make([]string, 0, len(p.Members))
+	for _, m := range p.Members {
+		members = append(members, m.Cloud)
+	}
+	for _, c := range clouds {
+		if p.WorkersOn(c) == 0 {
+			spill = append(spill, c)
+		}
+	}
+	return members, spill
+}
+
 // String renders "cloud0:16+cloud1:8".
 func (p Plan) String() string {
 	if p.Empty() {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/capacity"
 	"repro/internal/mapreduce"
 	"repro/internal/sim"
 )
@@ -308,6 +309,12 @@ type CloudInfo struct {
 // real federated execution; SimBackend for tests.
 type Backend interface {
 	Kernel() *sim.Kernel
+	// Ledger exposes the backend's capacity ledger — the shared account of
+	// committed cores, in-flight admissions, and future reservations. The
+	// scheduler registers its backfill reservation here so the backend's
+	// elastic-growth paths (which Probe the ledger) cannot race a reserved
+	// gang start.
+	Ledger() *capacity.Ledger
 	// Clouds snapshots current capacity (free cores must account for
 	// in-flight provisioning the backend has committed to).
 	Clouds() []CloudInfo
@@ -419,6 +426,11 @@ type Scheduler struct {
 	tenants map[string]*Tenant
 	jobs    map[string]*Job
 	seq     int
+
+	// resv is the blocked head job's future claim, held as first-class
+	// leases in the backend's capacity ledger between cycles (see
+	// backfill.go). Each cycle refreshes it against current estimates.
+	resv *reservation
 
 	cyclePending  bool
 	elasticOn     bool
@@ -585,17 +597,20 @@ func (s *Scheduler) kick() {
 
 // cycle is the scheduling pass: serve tenants in fair-share order, place and
 // dispatch what fits, reserve for the first blocked job, and backfill behind
-// it.
+// it. The reservation computed here outlives the cycle as ledger leases
+// (holdReservation), so elastic growth probing the ledger between cycles
+// cannot take the reserved cores; each cycle drops and recomputes it
+// against fresh estimates.
 func (s *Scheduler) cycle() {
 	s.cyclePending = false
 	s.Cycles++
+	s.dropReservation()
 	snap := s.B.Clouds()
 	free := make(map[string]int, len(snap))
 	for _, c := range snap {
 		free[c.Name] = c.FreeCores
 	}
 	idx := make(map[string]int)
-	var resv *reservation
 	var releases []coreRelease // running-job ETA snapshot, built on first block
 	for {
 		t := s.nextTenant(idx)
@@ -609,18 +624,18 @@ func (s *Scheduler) cycle() {
 		}
 		plan := s.cfg.Placement.Choose(s, j, snap, free)
 		if !plan.Empty() {
-			if resv != nil && !s.backfillOK(j, plan, resv, free, releases, snap) {
+			if s.resv != nil && !s.backfillOK(j, plan, s.resv, free, releases, snap) {
 				idx[t.Name]++
 				continue
 			}
-			s.dispatch(t, j, plan, resv != nil, idx, snap)
+			s.dispatch(t, j, plan, s.resv != nil, idx, snap)
 			cpw := j.coresPerWorker()
 			for _, m := range plan.Members {
 				free[m.Cloud] -= m.Workers * cpw
 			}
 			continue
 		}
-		if resv == nil {
+		if s.resv == nil {
 			releases = s.pendingReleases()
 			r, ok := s.reserve(j, free, releases, snap)
 			if !ok {
@@ -637,7 +652,7 @@ func (s *Scheduler) cycle() {
 				idx[t.Name]++
 				continue
 			}
-			resv = &r
+			s.holdReservation(&r, j.coresPerWorker())
 			if s.cfg.DisableBackfill {
 				break
 			}

@@ -400,7 +400,7 @@ func TestWaitNeverNegative(t *testing.T) {
 		if err != nil {
 			t.Error(err)
 		}
-		c.Total = 4
+		c.SetTotal(4)
 	})
 	k.Run()
 	ji, ok := s.Poll(id)

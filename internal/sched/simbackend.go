@@ -4,19 +4,24 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/capacity"
 	"repro/internal/mapreduce"
 	"repro/internal/sim"
 )
 
 // SimBackend is a lightweight synthetic Backend for unit tests and
-// benchmarks: clouds are bare core counters, a launched job completes after
-// its estimate (scaled by the plan's slowest member, plus streaming time
-// for uncovered input and cross-site shuffle time for spanning plans), and
-// grow/shrink only move the core ledger. It exercises every scheduler code
-// path — including gang placement — without the nimbus/migration stack
-// underneath.
+// benchmarks: clouds are bare capacity-ledger accounts, a launched job
+// completes after its estimate (scaled by the plan's slowest member, plus
+// streaming time for uncovered input and cross-site shuffle time for
+// spanning plans), and grow/shrink only move ledger leases. It exercises
+// every scheduler code path — including gang placement and
+// reservation-aware growth — without the nimbus/migration stack
+// underneath. All core accounting flows through the same internal/capacity
+// ledger the federation backend uses: running jobs hold leases with
+// estimated ends, so probes at future instants see their hand-back.
 type SimBackend struct {
 	k      *sim.Kernel
+	ledger *capacity.Ledger
 	clouds []*SimCloud
 	bw     map[[2]string]float64
 
@@ -28,22 +33,29 @@ type SimBackend struct {
 	Launches int
 }
 
-// SimCloud is one synthetic cloud.
+// SimCloud is one synthetic cloud. Resize mid-run with SetTotal (tests
+// shrink clouds under queued jobs). The ledger account is the only record
+// of capacity — there is no shadow total to desync.
 type SimCloud struct {
 	Name  string
-	Total int
 	Speed float64
 	Price float64
 
-	used int
+	b *SimBackend
 }
 
+// Total returns the cloud's capacity, straight from the ledger account.
+func (c *SimCloud) Total() int { return c.b.ledger.Total(c.Name) }
+
+// SetTotal resizes the cloud's ledger account.
+func (c *SimCloud) SetTotal(cores int) { c.b.ledger.SetTotal(c.Name, cores) }
+
 // Free returns currently unallocated cores.
-func (c *SimCloud) Free() int { return c.Total - c.used }
+func (c *SimCloud) Free() int { return c.b.ledger.Free(c.Name) }
 
 // NewSimBackend returns an empty synthetic backend on the kernel.
 func NewSimBackend(k *sim.Kernel) *SimBackend {
-	return &SimBackend{k: k, bw: make(map[[2]string]float64)}
+	return &SimBackend{k: k, ledger: capacity.New(), bw: make(map[[2]string]float64)}
 }
 
 // AddCloud registers a synthetic cloud.
@@ -51,9 +63,10 @@ func (b *SimBackend) AddCloud(name string, cores int, speed, price float64) *Sim
 	if speed <= 0 {
 		speed = 1
 	}
-	c := &SimCloud{Name: name, Total: cores, Speed: speed, Price: price}
+	c := &SimCloud{Name: name, Speed: speed, Price: price, b: b}
 	b.clouds = append(b.clouds, c)
 	sort.Slice(b.clouds, func(i, j int) bool { return b.clouds[i].Name < b.clouds[j].Name })
+	b.ledger.AddCloud(name, cores)
 	return c
 }
 
@@ -76,12 +89,15 @@ func (b *SimBackend) Cloud(name string) *SimCloud {
 // Kernel implements Backend.
 func (b *SimBackend) Kernel() *sim.Kernel { return b.k }
 
+// Ledger implements Backend.
+func (b *SimBackend) Ledger() *capacity.Ledger { return b.ledger }
+
 // Clouds implements Backend.
 func (b *SimBackend) Clouds() []CloudInfo {
 	out := make([]CloudInfo, 0, len(b.clouds))
 	for _, c := range b.clouds {
 		out = append(out, CloudInfo{
-			Name: c.Name, FreeCores: c.Free(), TotalCores: c.Total,
+			Name: c.Name, FreeCores: b.ledger.Free(c.Name), TotalCores: b.ledger.Total(c.Name),
 			Speed: c.Speed, Price: c.Price,
 		})
 	}
@@ -105,11 +121,11 @@ type SimHandle struct {
 	b    *SimBackend
 	j    *Job
 	plan Plan
-	// base holds the plan's debited cores per member cloud; extraOn lists
-	// the clouds hosting elastic extras, one entry per extra worker, in
-	// grow order (shrink releases from the end).
-	base     map[*SimCloud]int
-	extraOn  []*SimCloud
+	// base holds the plan's member-cloud leases (estimated ends at the
+	// job's ETA); extras lists elastic-growth leases in grow order (shrink
+	// releases from the end).
+	base     []*capacity.Lease
+	extras   []*capacity.Lease
 	started  sim.Time
 	duration sim.Time
 	finished bool
@@ -120,64 +136,63 @@ type SimHandle struct {
 
 // Grow implements Handle: each extra worker takes cores immediately,
 // preferring the plan's member clouds in order and only then spilling onto
-// a new cloud (chosen by most free cores, then name) — the gang extends in
-// place before gaining a member. Errors when no cloud has room.
+// a new cloud (chosen by most probe-able headroom, then name) — the gang
+// extends in place before gaining a member. Every candidate is vetted with
+// a ledger Probe, so growth is denied cores an outstanding backfill
+// reservation will need, even when they are free right now. Errors when no
+// cloud passes the probe.
 func (h *SimHandle) Grow(n int, onDone func(error)) {
 	h.GrowCalls++
 	per := h.j.coresPerWorker()
 	var err error
-	placed := 0
+	var added []*capacity.Lease
 	for i := 0; i < n; i++ {
-		c := h.growTarget(per)
-		if c == nil {
+		cloud := h.growTarget(per)
+		if cloud == "" {
 			err = fmt.Errorf("sched: no cloud can host another worker")
 			break
 		}
-		c.used += per
-		h.extraOn = append(h.extraOn, c)
-		placed++
+		le, aerr := h.b.ledger.Acquire(cloud, per)
+		if aerr != nil {
+			err = aerr
+			break
+		}
+		added = append(added, le)
 	}
 	if err != nil { // all-or-nothing, as before
-		for ; placed > 0; placed-- {
-			c := h.extraOn[len(h.extraOn)-1]
-			h.extraOn = h.extraOn[:len(h.extraOn)-1]
-			c.used -= per
+		for _, le := range added {
+			le.Release()
 		}
+	} else {
+		h.extras = append(h.extras, added...)
 	}
 	if onDone != nil {
 		h.b.k.Schedule(0, func() { onDone(err) })
 	}
 }
 
-// growTarget picks the cloud for one extra worker: members first (plan
-// order), then the non-member with the most free cores (ties by name).
-func (h *SimHandle) growTarget(per int) *SimCloud {
-	for _, m := range h.plan.Members {
-		if c := h.b.Cloud(m.Cloud); c != nil && c.Free() >= per {
-			return c
-		}
+// growTarget picks the cloud for one extra worker via the ledger's shared
+// grow-target policy (the same one the federation backend uses): members
+// first in plan order, then the non-member with the most
+// reservation-aware headroom, every candidate Probe-vetted. alloc is nil
+// because Grow acquires each worker's lease before picking the next.
+func (h *SimHandle) growTarget(per int) string {
+	names := make([]string, 0, len(h.b.clouds))
+	for _, c := range h.b.clouds { // sorted by name
+		names = append(names, c.Name)
 	}
-	var best *SimCloud
-	for _, c := range h.b.clouds {
-		if h.plan.WorkersOn(c.Name) > 0 || c.Free() < per {
-			continue
-		}
-		if best == nil || c.Free() > best.Free() || (c.Free() == best.Free() && c.Name < best.Name) {
-			best = c
-		}
-	}
-	return best
+	members, spill := h.plan.GrowCandidates(names)
+	return h.b.ledger.PickGrowTarget(members, spill, per, h.b.k.Now(), nil)
 }
 
 // Shrink implements Handle: releases elastic extras only, newest first.
 func (h *SimHandle) Shrink(n int) int {
 	h.ShrinkCalls++
-	per := h.j.coresPerWorker()
 	given := 0
-	for given < n && len(h.extraOn) > 0 {
-		c := h.extraOn[len(h.extraOn)-1]
-		h.extraOn = h.extraOn[:len(h.extraOn)-1]
-		c.used -= per
+	for given < n && len(h.extras) > 0 {
+		le := h.extras[len(h.extras)-1]
+		h.extras = h.extras[:len(h.extras)-1]
+		le.Release()
 		given++
 	}
 	return given
@@ -212,41 +227,47 @@ func (h *SimHandle) Progress() (int, int, int, int) {
 	return md, mt, rd, rt
 }
 
-// Launch implements Backend: debit every member cloud, run for the
-// plan-level estimate (slowest member speed + uncovered-input streaming +
-// cross-site shuffle), release everything at completion.
+// Launch implements Backend: acquire a lease on every member cloud
+// (estimated end at the job's ETA, so future probes see the hand-back),
+// run for the plan-level estimate (slowest member speed + uncovered-input
+// streaming + cross-site shuffle), release everything at completion.
 func (b *SimBackend) Launch(j *Job, plan Plan, onDone func(Outcome)) (Handle, error) {
 	per := j.coresPerWorker()
-	base := make(map[*SimCloud]int, len(plan.Members))
+	secs := planEstimateSeconds(b, j, plan, b.Clouds())
+	h := &SimHandle{b: b, j: j, plan: plan, started: b.k.Now(), duration: sim.FromSeconds(secs)}
+	eta := h.started + h.duration
+	rollback := func() {
+		for _, prev := range h.base {
+			prev.Release()
+		}
+	}
 	for _, m := range plan.Members {
-		c := b.Cloud(m.Cloud)
-		if c == nil {
+		if b.Cloud(m.Cloud) == nil {
+			rollback()
 			return nil, fmt.Errorf("sched: unknown cloud %q", m.Cloud)
 		}
 		need := m.Workers * per
-		if c.Free() < need {
-			return nil, fmt.Errorf("sched: %s has %d free cores, plan slice needs %d", m.Cloud, c.Free(), need)
+		le, err := b.ledger.AcquireUntil(m.Cloud, need, eta)
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("sched: %s has %d free cores, plan slice needs %d",
+				m.Cloud, b.ledger.Free(m.Cloud), need)
 		}
-		base[c] += need
+		h.base = append(h.base, le)
 	}
 	b.Launches++
-	for c, need := range base {
-		c.used += need
-	}
-	secs := planEstimateSeconds(b, j, plan, b.Clouds())
-	h := &SimHandle{b: b, j: j, plan: plan, base: base, started: b.k.Now(), duration: sim.FromSeconds(secs)}
 	b.k.Schedule(h.duration, func() {
 		if h.finished {
 			return
 		}
 		h.finished = true
-		for c, need := range h.base {
-			c.used -= need
+		for _, le := range h.base {
+			le.Release()
 		}
-		for _, c := range h.extraOn {
-			c.used -= per
+		for _, le := range h.extras {
+			le.Release()
 		}
-		h.extraOn = nil
+		h.extras = nil
 		onDone(Outcome{Result: mapreduce.Result{Job: j.Spec.Name, Makespan: h.duration}})
 	})
 	return h, nil
