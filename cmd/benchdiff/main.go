@@ -1,0 +1,175 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// baseline (BENCH_sched.json) and fails when a tier-1 benchmark regressed
+// beyond tolerance — the CI gate that catches the next silent scheduler
+// slide (PR 3 regressed BenchmarkSchedulerCycle +8% with nothing to notice).
+//
+// Two metrics are gated differently:
+//
+//   - allocs/op is deterministic for these benchmarks (fixed seeds, fixed
+//     workloads), so it gates hard on any machine;
+//   - ns/op is hardware-dependent: with -gate auto (default) it gates only
+//     when the `cpu:` line of the run matches the baseline's and warns
+//     otherwise. On shared CI runners pass -gate allocs — virtualized hosts
+//     report a generic cpu string that can match the baseline's without
+//     being comparable hardware (and noisy neighbours swamp a 20%
+//     tolerance). Refresh the baseline with -update to gate times on your
+//     own machine.
+//
+// Usage:
+//
+//	go test -bench '...' -benchtime 3x -run '^$' . | tee bench.txt
+//	go run ./cmd/benchdiff -baseline BENCH_sched.json -input bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded baseline.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed benchmark record.
+type Baseline struct {
+	CPU        string           `json:"cpu"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName[-P]  iters  N ns/op [... M allocs/op]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) allocs/op)?`)
+
+func parse(r io.Reader) (cpu string, results map[string]Entry, err error) {
+	results = make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		allocs := 0.0
+		if m[3] != "" {
+			allocs, _ = strconv.ParseFloat(m[3], 64)
+		}
+		results[m[1]] = Entry{NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	return cpu, results, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_sched.json", "committed baseline JSON")
+	inputPath := flag.String("input", "-", "go test -bench output ('-' = stdin)")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed relative regression")
+	gateMode := flag.String("gate", "auto", "what gates hard: 'allocs' (deterministic only), 'all', or 'auto' (ns/op gates when the cpu line matches the baseline — use 'allocs' on shared CI runners, whose generic cpu string matches any other virtualized host's)")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cpu, results, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in %s", *inputPath))
+	}
+
+	if *update {
+		out, err := json.MarshalIndent(Baseline{CPU: cpu, Benchmarks: results}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %s (%d benchmarks, cpu %q)\n", *baselinePath, len(results), cpu)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(err)
+	}
+	var gateTime bool
+	switch *gateMode {
+	case "all":
+		gateTime = true
+	case "allocs":
+		gateTime = false
+	case "auto":
+		gateTime = cpu != "" && cpu == base.CPU
+	default:
+		fatal(fmt.Errorf("unknown -gate mode %q (want allocs, all, or auto)", *gateMode))
+	}
+	if !gateTime {
+		fmt.Printf("benchdiff: ns/op regressions warn instead of fail (gate=%s, cpu %q, baseline %q)\n",
+			*gateMode, cpu, base.CPU)
+	}
+	failed := false
+	for name, want := range base.Benchmarks {
+		got, ok := results[name]
+		if !ok {
+			fmt.Printf("FAIL %s: in baseline but not in the input (gate misconfigured?)\n", name)
+			failed = true
+			continue
+		}
+		failed = check(name, "allocs/op", want.AllocsPerOp, got.AllocsPerOp, *tolerance, true) || failed
+		failed = check(name, "ns/op", want.NsPerOp, got.NsPerOp, *tolerance, gateTime) || failed
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), *tolerance*100)
+}
+
+// check reports one metric comparison, returning true on a gating failure.
+func check(name, metric string, want, got, tolerance float64, gate bool) bool {
+	if want <= 0 {
+		return false
+	}
+	rel := (got - want) / want
+	switch {
+	case rel > tolerance && gate:
+		fmt.Printf("FAIL %s: %s %.0f vs baseline %.0f (%+.1f%% > %.0f%%)\n",
+			name, metric, got, want, rel*100, tolerance*100)
+		return true
+	case rel > tolerance:
+		fmt.Printf("warn %s: %s %.0f vs baseline %.0f (%+.1f%%, not gated on this cpu)\n",
+			name, metric, got, want, rel*100)
+	case rel < -tolerance:
+		fmt.Printf("note %s: %s improved %.1f%% — consider -update to ratchet the baseline\n",
+			name, metric, -rel*100)
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -80,7 +80,11 @@ func (le *Lease) Active() bool { return !le.closed }
 // account is one cloud's ledger entry. held and reserved cache the active
 // lease cores per kind (maintained at lease create/commit/release), so the
 // hot-path aggregates (Free, every Acquire check) are O(1) instead of
-// walking the lease map.
+// walking the lease map. heldEnds and resvStarts are sorted time indexes
+// over the two time-dependent lease populations (held leases with estimated
+// ends, reservations with future starts), so the Probe/Headroom path reads
+// time-indexed aggregates in O(log n) instead of walking every lease per
+// candidate.
 type account struct {
 	name      string
 	total     int
@@ -88,6 +92,10 @@ type account struct {
 	held      int
 	reserved  int
 	leases    map[int]*Lease
+	// heldEnds indexes active held leases with a nonzero estimated end,
+	// keyed by End; resvStarts indexes active reservations, keyed by At.
+	heldEnds   timeIndex
+	resvStarts timeIndex
 }
 
 func (a *account) kindCores(k Kind) *int {
@@ -95,6 +103,81 @@ func (a *account) kindCores(k Kind) *int {
 		return &a.reserved
 	}
 	return &a.held
+}
+
+// timedCores is one time index entry: the cores a lease hands back (held
+// ends) or claims (reservation starts) at instant at. Entries are ordered by
+// (at, id); lease ids are unique, so the pair is a total order.
+type timedCores struct {
+	at    sim.Time
+	id    int
+	cores int
+}
+
+// timeIndex is a sorted slice of timedCores with a parallel prefix-sum of
+// cores, answering "how many cores by instant t" in O(log n). Inserts and
+// removes are O(n) memmoves — the index is small (live leases with estimated
+// ends, outstanding reservations), and the probe path that reads it runs far
+// more often than leases churn.
+type timeIndex struct {
+	ents []timedCores
+	cum  []int // cum[i] = Σ ents[:i+1].cores
+}
+
+// search returns the index of the first entry ordered at or after (at, id).
+func (x *timeIndex) search(at sim.Time, id int) int {
+	return sort.Search(len(x.ents), func(i int) bool {
+		e := x.ents[i]
+		return e.at > at || (e.at == at && e.id >= id)
+	})
+}
+
+func (x *timeIndex) add(at sim.Time, id, cores int) {
+	i := x.search(at, id)
+	x.ents = append(x.ents, timedCores{})
+	copy(x.ents[i+1:], x.ents[i:])
+	x.ents[i] = timedCores{at: at, id: id, cores: cores}
+	x.cum = append(x.cum, 0)
+	x.recum(i)
+}
+
+func (x *timeIndex) remove(at sim.Time, id int) {
+	i := x.search(at, id)
+	if i >= len(x.ents) || x.ents[i].id != id {
+		return
+	}
+	copy(x.ents[i:], x.ents[i+1:])
+	x.ents = x.ents[:len(x.ents)-1]
+	x.cum = x.cum[:len(x.cum)-1]
+	x.recum(i)
+}
+
+// recum rebuilds the prefix sums from position i onward.
+func (x *timeIndex) recum(i int) {
+	prev := 0
+	if i > 0 {
+		prev = x.cum[i-1]
+	}
+	for ; i < len(x.ents); i++ {
+		prev += x.ents[i].cores
+		x.cum[i] = prev
+	}
+}
+
+// coresBy returns the total cores of entries with at <= t.
+func (x *timeIndex) coresBy(t sim.Time) int {
+	i := sort.Search(len(x.ents), func(k int) bool { return x.ents[k].at > t })
+	if i == 0 {
+		return 0
+	}
+	return x.cum[i-1]
+}
+
+// after returns the entries with at > t (a view into the index; do not
+// mutate the index while holding it).
+func (x *timeIndex) after(t sim.Time) []timedCores {
+	i := sort.Search(len(x.ents), func(k int) bool { return x.ents[k].at > t })
+	return x.ents[i:]
 }
 
 // Ledger is the shared capacity ledger. One instance spans a federation
@@ -105,6 +188,10 @@ type Ledger struct {
 	seq      int
 	accounts map[string]*account
 	order    []string
+	// gen counts cloud-set and total-capacity changes; callers cache
+	// capacity views derived from the totals keyed on it (the scheduler's
+	// federation-wide gang-slot cache).
+	gen uint64
 }
 
 // New returns an empty ledger.
@@ -116,13 +203,22 @@ func New() *Ledger {
 // cloud only updates its total.
 func (l *Ledger) AddCloud(name string, totalCores int) {
 	if a, ok := l.accounts[name]; ok {
-		a.total = totalCores
+		if a.total != totalCores {
+			a.total = totalCores
+			l.gen++
+		}
 		return
 	}
 	l.accounts[name] = &account{name: name, total: totalCores, leases: make(map[int]*Lease)}
 	l.order = append(l.order, name)
 	sort.Strings(l.order)
+	l.gen++
 }
+
+// Generation returns a counter bumped whenever the cloud set or any cloud's
+// total capacity changes. Derived capacity views (federation-wide totals)
+// cached on it stay valid until it moves.
+func (l *Ledger) Generation() uint64 { return l.gen }
 
 // SetTotal updates a cloud's capacity (backends whose clouds resize).
 func (l *Ledger) SetTotal(name string, totalCores int) { l.AddCloud(name, totalCores) }
@@ -182,11 +278,9 @@ func (l *Ledger) Headroom(cloud string, at sim.Time) int {
 		return 0
 	}
 	head := a.total - a.loadAt(at)
-	for _, le := range a.leases {
-		if le.Kind == Reserved && le.At > at {
-			if h := a.total - a.loadAt(le.At); h < head {
-				head = h
-			}
+	for _, e := range a.resvStarts.after(at) {
+		if h := a.total - a.loadAt(e.at); h < head {
+			head = h
 		}
 	}
 	if head < 0 {
@@ -236,19 +330,12 @@ func (l *Ledger) PickGrowTarget(members, spill []string, cores int, at sim.Time,
 
 // loadAt returns the cores claimed at instant t: committed (indefinite),
 // held leases not yet past their estimated end, and reservations whose
-// start has arrived by t.
+// start has arrived by t. Answered from the cached aggregates plus two
+// O(log n) time-index reads — no lease walk: held cores minus the held
+// leases whose estimated end has passed by t, plus the reservations whose
+// start has arrived (reservations carry no end — Reserve never sets one).
 func (a *account) loadAt(t sim.Time) int {
-	n := a.committed
-	for _, le := range a.leases {
-		if le.Kind == Reserved && le.At > t {
-			continue
-		}
-		if le.End != 0 && le.End <= t {
-			continue
-		}
-		n += le.Cores
-	}
-	return n
+	return a.committed + a.held - a.heldEnds.coresBy(t) + a.resvStarts.coresBy(t)
 }
 
 // Probe reports whether a new indefinite claim of `cores` starting at `at`
@@ -314,7 +401,30 @@ func (l *Ledger) newLease(a *account, cores int, k Kind, at, end sim.Time) *Leas
 	le := &Lease{l: l, id: l.seq, Cloud: a.name, Cores: cores, Kind: k, At: at, End: end}
 	a.leases[le.id] = le
 	*a.kindCores(k) += cores
+	a.index(le, true)
 	return le
+}
+
+// index adds or removes the lease's time-index entry: held leases with an
+// estimated end are keyed by End (the instant their cores hand back),
+// reservations by At (the instant their claim starts). Indefinite held
+// leases live only in the O(1) held aggregate.
+func (a *account) index(le *Lease, add bool) {
+	var x *timeIndex
+	var at sim.Time
+	switch {
+	case le.Kind == Reserved:
+		x, at = &a.resvStarts, le.At
+	case le.End != 0:
+		x, at = &a.heldEnds, le.End
+	default:
+		return
+	}
+	if add {
+		x.add(at, le.id, le.Cores)
+	} else {
+		x.remove(at, le.id)
+	}
 }
 
 // Commit retires the lease into the committed aggregate: a held in-flight
@@ -336,6 +446,7 @@ func (le *Lease) Commit() error {
 	le.closed = true
 	delete(a.leases, le.id)
 	*a.kindCores(le.Kind) -= le.Cores
+	a.index(le, false)
 	a.committed += le.Cores
 	return nil
 }
@@ -351,6 +462,7 @@ func (le *Lease) Release() {
 	a := le.l.accounts[le.Cloud]
 	delete(a.leases, le.id)
 	*a.kindCores(le.Kind) -= le.Cores
+	a.index(le, false)
 }
 
 // Uncommit returns committed cores to the pool (VM termination, shrink,

@@ -15,6 +15,70 @@ func ledger2() *Ledger {
 	return l
 }
 
+// rawLoadAt is the original O(leases) definition of account.loadAt, kept as
+// the oracle the indexed implementation is checked against.
+func rawLoadAt(a *account, t sim.Time) int {
+	n := a.committed
+	for _, le := range a.leases {
+		if le.Kind == Reserved && le.At > t {
+			continue
+		}
+		if le.End != 0 && le.End <= t {
+			continue
+		}
+		n += le.Cores
+	}
+	return n
+}
+
+// rawHeadroom is the original O(reservations x leases) Headroom definition.
+func rawHeadroom(l *Ledger, cloud string, at sim.Time) int {
+	a := l.accounts[cloud]
+	if a == nil {
+		return 0
+	}
+	head := a.total - rawLoadAt(a, at)
+	for _, le := range a.leases {
+		if le.Kind == Reserved && le.At > at {
+			if h := a.total - rawLoadAt(a, le.At); h < head {
+				head = h
+			}
+		}
+	}
+	if head < 0 {
+		return 0
+	}
+	return head
+}
+
+// TestGeneration: the generation counter moves exactly on cloud-set or
+// total-capacity changes — the invalidation signal for cached capacity
+// views (the scheduler's federation-wide gang-slot cache).
+func TestGeneration(t *testing.T) {
+	l := New()
+	g0 := l.Generation()
+	l.AddCloud("a", 8)
+	if l.Generation() == g0 {
+		t.Fatal("AddCloud did not bump the generation")
+	}
+	g1 := l.Generation()
+	l.AddCloud("a", 8) // re-add with the same total: no capacity change
+	if l.Generation() != g1 {
+		t.Fatal("re-adding an identical cloud bumped the generation")
+	}
+	l.SetTotal("a", 16)
+	if l.Generation() == g1 {
+		t.Fatal("SetTotal resize did not bump the generation")
+	}
+	g2 := l.Generation()
+	le, _ := l.Acquire("a", 4)
+	l.Reserve("a", 2, 100*sim.Second)
+	le.Release()
+	if l.Generation() != g2 {
+		t.Fatal("lease churn bumped the generation (only totals should)")
+	}
+}
+
 func TestAcquireRespectsCapacity(t *testing.T) {
 	l := ledger2()
 	le, err := l.Acquire("a", 6)
@@ -213,6 +277,14 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 				t.Fatalf("step %d: %s negative free=%d", step, name, free)
 			}
 			_ = r // reservations are advisory: no physical bound to assert
+			// The time-indexed Headroom must agree with a brute-force lease
+			// walk at several probe instants (the O(log n) prefix-sum path
+			// vs the original O(leases) definition).
+			for _, at := range []sim.Time{0, 250 * sim.Second, 500 * sim.Second, 1000 * sim.Second} {
+				if got, want := l.Headroom(name, at), rawHeadroom(l, name, at); got != want {
+					t.Fatalf("step %d: %s Headroom(%v)=%d, lease walk says %d", step, name, at, got, want)
+				}
+			}
 		}
 	}
 	for step := 0; step < 5000; step++ {

@@ -101,10 +101,15 @@ func (b *fedBackend) Ledger() *capacity.Ledger { return b.f.ledger }
 // (nimbus holds cores from deploy admission, so in-flight provisioning is
 // already accounted).
 func (b *fedBackend) Clouds() []sched.CloudInfo {
-	clouds := b.f.Clouds()
-	out := make([]sched.CloudInfo, 0, len(clouds))
-	for _, c := range clouds {
-		out = append(out, sched.CloudInfo{
+	return b.AppendClouds(make([]sched.CloudInfo, 0, len(b.f.clouds)))
+}
+
+// AppendClouds implements the scheduler's allocation-free snapshot path —
+// the per-cycle and per-submission capacity reads reuse one buffer instead
+// of allocating a slice per call.
+func (b *fedBackend) AppendClouds(dst []sched.CloudInfo) []sched.CloudInfo {
+	for _, c := range b.f.Clouds() {
+		dst = append(dst, sched.CloudInfo{
 			Name:       c.Name,
 			FreeCores:  c.FreeCores(),
 			TotalCores: c.TotalCores(),
@@ -112,7 +117,7 @@ func (b *fedBackend) Clouds() []sched.CloudInfo {
 			Price:      b.f.PriceOf(c.Name),
 		})
 	}
-	return out
+	return dst
 }
 
 // Bandwidth implements sched.Backend: the bottleneck of source uplink and

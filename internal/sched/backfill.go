@@ -70,36 +70,102 @@ type coreRelease struct {
 	job   string
 }
 
-// pendingReleases lists running jobs' estimated completions, ordered by
-// time then job ID for determinism. Overdue jobs are assumed to finish one
-// second from now (the standard EASY treatment of blown estimates).
-// Computed once per scheduling cycle — reservation and backfill checks
-// share the snapshot.
-func (s *Scheduler) pendingReleases() []coreRelease {
+// releaseLess is the canonical release order: time, then job ID, then cloud
+// for determinism — both the maintained list and the per-cycle snapshot use
+// it.
+func releaseLess(a, b coreRelease) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.job != b.job {
+		return a.job < b.job
+	}
+	return a.cloud < b.cloud
+}
+
+// insertReleases adds one entry per plan member at the job's estimated
+// completion, keeping s.releases sorted — the maintained counterpart of the
+// former rebuild-and-sort-per-blocked-cycle pendingReleases scan over every
+// job ever submitted. External jobs contribute nothing (their capacity is
+// caller-owned and never returns to the pool).
+func (s *Scheduler) insertReleases(j *Job) {
+	if j.Spec.External() {
+		return
+	}
+	eta := j.Started + j.estDuration
+	cpw := j.coresPerWorker()
+	for _, m := range j.Plan.Members {
+		e := coreRelease{at: eta, cores: m.Workers * cpw, cloud: m.Cloud, job: j.ID}
+		i := sort.Search(len(s.releases), func(k int) bool { return releaseLess(e, s.releases[k]) })
+		s.releases = append(s.releases, coreRelease{})
+		copy(s.releases[i+1:], s.releases[i:])
+		s.releases[i] = e
+	}
+	s.relSnapDirty = true
+}
+
+// removeReleases drops the job's entries (contiguous: they share eta and
+// job ID) when it completes.
+func (s *Scheduler) removeReleases(j *Job) {
+	eta := j.Started + j.estDuration
+	probe := coreRelease{at: eta, job: j.ID}
+	i := sort.Search(len(s.releases), func(k int) bool { return !releaseLess(s.releases[k], probe) })
+	n := i
+	for n < len(s.releases) && s.releases[n].at == eta && s.releases[n].job == j.ID {
+		n++
+	}
+	if n > i {
+		s.releases = append(s.releases[:i], s.releases[n:]...)
+	}
+}
+
+// snapshotReleases returns this cycle's release view with the standard EASY
+// overdue remap: entries at or before now are assumed to release one second
+// from now. The maintained list is already sorted; only the overdue prefix
+// needs reordering — it is remapped to now+1s, re-sorted by (job, cloud),
+// and merged with any entries genuinely estimated at that instant,
+// reproducing exactly the order the full rebuild used to produce. The
+// result lives in scheduler scratch, valid for the current cycle.
+func (s *Scheduler) snapshotReleases() []coreRelease {
 	now := s.K.Now()
-	var out []coreRelease
-	for id, j := range s.jobs {
-		if j.State != Running || j.Spec.External() {
-			continue
-		}
-		eta := j.Started + j.estDuration
-		if eta <= now {
-			eta = now + sim.Second
-		}
-		cpw := j.coresPerWorker()
-		for _, m := range j.Plan.Members {
-			out = append(out, coreRelease{at: eta, cores: m.Workers * cpw, cloud: m.Cloud, job: id})
+	rel := s.releases
+	k := sort.Search(len(rel), func(i int) bool { return rel[i].at > now })
+	if k == 0 {
+		// Nothing overdue: the maintained order is the answer — but copy it
+		// out, because backfill dispatches later this cycle insert into
+		// s.releases in place while the snapshot may still be read (a later
+		// blocked job after a failed reservation).
+		s.relScratch = append(s.relScratch[:0], rel...)
+		return s.relScratch
+	}
+	remap := now + sim.Second
+	over := append(s.overScratch[:0], rel[:k]...)
+	s.overScratch = over
+	for i := range over {
+		over[i].at = remap
+	}
+	sort.Slice(over, func(i, j int) bool { return releaseLess(over[i], over[j]) })
+	out := s.relScratch[:0]
+	// Entries strictly between now and the remap instant keep their spot…
+	rest := rel[k:]
+	for len(rest) > 0 && rest[0].at < remap {
+		out = append(out, rest[0])
+		rest = rest[1:]
+	}
+	// …then the remapped overdue entries merge with genuine remap-instant
+	// entries, then the tail follows unchanged.
+	for len(over) > 0 && len(rest) > 0 && rest[0].at == remap {
+		if releaseLess(rest[0], over[0]) {
+			out = append(out, rest[0])
+			rest = rest[1:]
+		} else {
+			out = append(out, over[0])
+			over = over[1:]
 		}
 	}
-	sort.Slice(out, func(i, k int) bool {
-		if out[i].at != out[k].at {
-			return out[i].at < out[k].at
-		}
-		if out[i].job != out[k].job {
-			return out[i].job < out[k].job
-		}
-		return out[i].cloud < out[k].cloud
-	})
+	out = append(out, over...)
+	out = append(out, rest...)
+	s.relScratch = out
 	return out
 }
 
@@ -110,40 +176,47 @@ func (s *Scheduler) pendingReleases() []coreRelease {
 // when even a fully drained federation yields no plan (either capacity
 // shrank below the gang, or a single-cloud policy faces a spanning-only
 // job).
-func (s *Scheduler) reserve(j *Job, free map[string]int, releases []coreRelease, snap []CloudInfo) (reservation, bool) {
-	avail := make(map[string]int, len(free))
-	for name, n := range free {
-		avail[name] = n
-	}
+func (s *Scheduler) reserve(j *Job, v *CloudView, releases []coreRelease) (reservation, bool) {
+	av := &s.resvView
+	av.shareIndex(v)
 	i := 0
 	for i < len(releases) {
 		at := releases[i].at
 		for i < len(releases) && releases[i].at == at {
-			avail[releases[i].cloud] += releases[i].cores
+			if p := av.Pos(releases[i].cloud); p >= 0 {
+				av.free[p] += releases[i].cores
+			}
 			i++
 		}
-		if plan := s.cfg.Placement.Choose(s, j, snap, avail); !plan.Empty() {
+		if plan := s.cfg.Placement.Choose(s, j, av); !plan.Empty() {
 			return reservation{job: j.ID, plan: plan, at: at}, true
 		}
 	}
 	return reservation{}, false
 }
 
-// availableAt returns the cores free on a cloud at time t, assuming running
-// jobs release at their estimates.
-func availableAt(cloud string, t sim.Time, free map[string]int, releases []coreRelease) int {
-	avail := free[cloud]
+// sumReleasesAt fills the per-cloud release totals at the reservation
+// instant (s.relSumAtResv, indexed like the view) once per cycle, so every
+// backfill check reads them O(members) instead of rescanning the release
+// list per candidate.
+func (s *Scheduler) sumReleasesAt(v *CloudView, releases []coreRelease, at sim.Time) {
+	s.relSumAtResv = s.relSumAtResv[:0]
+	for range v.Clouds {
+		s.relSumAtResv = append(s.relSumAtResv, 0)
+	}
 	for _, r := range releases {
-		if r.cloud == cloud && r.at <= t {
-			avail += r.cores
+		if r.at > at {
+			break // sorted by time: nothing later counts
+		}
+		if p := v.Pos(r.cloud); p >= 0 {
+			s.relSumAtResv[p] += r.cores
 		}
 	}
-	return avail
 }
 
 // backfillOK reports whether starting job b under plan now cannot delay the
 // reservation.
-func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, free map[string]int, releases []coreRelease, snap []CloudInfo) bool {
+func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, v *CloudView) bool {
 	shared := false
 	for _, m := range plan.Members {
 		if resv.plan.WorkersOn(m.Cloud) > 0 {
@@ -154,15 +227,16 @@ func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, free map[st
 	if !shared {
 		return true
 	}
-	finish := s.K.Now() + sim.FromSeconds(s.estimateAt(b, plan, snap))
+	finish := s.K.Now() + sim.FromSeconds(s.estimateAt(b, plan, v))
 	if finish <= resv.at {
 		return true
 	}
 	// Still running at the reservation: every shared member cloud must
-	// retain enough cores with b's slice subtracted.
+	// retain enough cores with b's slice subtracted. Available-at-resv is
+	// the live working free plus the precomputed release sum.
 	bcpw := b.coresPerWorker()
 	rcpw := 1
-	if rj := s.jobs[resv.job]; rj != nil {
+	if rj := s.jobByID(resv.job); rj != nil {
 		rcpw = rj.coresPerWorker()
 	}
 	for _, m := range plan.Members {
@@ -170,7 +244,11 @@ func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, free map[st
 		if need == 0 {
 			continue
 		}
-		if availableAt(m.Cloud, resv.at, free, releases)-m.Workers*bcpw < need {
+		p := v.Pos(m.Cloud)
+		if p < 0 {
+			return false
+		}
+		if v.free[p]+s.relSumAtResv[p]-m.Workers*bcpw < need {
 			return false
 		}
 	}

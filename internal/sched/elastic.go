@@ -12,10 +12,13 @@ import "repro/internal/sim"
 // between cycles, and denies growth that would take cores a reserved gang
 // start needs (growOne rolls the counters back on denial).
 
-// elasticTick evaluates every running job once.
+// elasticTick evaluates every running job once, in submission order (the
+// order the former all-jobs scan produced). The running list is copied to
+// scratch first so backend callbacks that complete a job mid-pass cannot
+// disturb the iteration.
 func (s *Scheduler) elasticTick() {
-	for _, id := range s.Jobs() {
-		j := s.jobs[id]
+	s.runScratch = append(s.runScratch[:0], s.running...)
+	for _, j := range s.runScratch {
 		if j.State != Running || j.handle == nil {
 			continue
 		}

@@ -42,7 +42,7 @@ const (
 func (s *Scheduler) Notify(ev Event) {
 	switch ev.Kind {
 	case EventSpotRevoked:
-		j := s.jobs[ev.Job]
+		j := s.jobByID(ev.Job)
 		if j == nil {
 			return
 		}

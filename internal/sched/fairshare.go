@@ -25,6 +25,10 @@ type Tenant struct {
 	// delivered is actual core-seconds of finished work, the quantity
 	// Shares reports.
 	delivered float64
+	// scan is this cycle's queue scan position (the former per-cycle idx
+	// map); scanCycle tells stale positions from a previous cycle apart.
+	scan      int
+	scanCycle int
 }
 
 // decay brings the tenant's charged usage forward to now under the
@@ -52,6 +56,12 @@ func (s *Scheduler) AddTenant(name string, weight float64) *Tenant {
 	if t == nil {
 		t = &Tenant{Name: name}
 		s.tenants[name] = t
+		// Keep the scan list name-sorted: nextTenant's in-order walk is what
+		// makes equal fair-share keys break ties by name.
+		i := sort.Search(len(s.tenantList), func(k int) bool { return s.tenantList[k].Name > name })
+		s.tenantList = append(s.tenantList, nil)
+		copy(s.tenantList[i+1:], s.tenantList[i:])
+		s.tenantList[i] = t
 	}
 	t.Weight = weight
 	return t
@@ -76,18 +86,23 @@ func (s *Scheduler) TenantQueueLen(name string) int {
 }
 
 // nextTenant picks the tenant with the lowest usage-per-weight among those
-// with an unexamined queued job (idx tracks this cycle's scan position).
-// Ties break by name for determinism.
-func (s *Scheduler) nextTenant(idx map[string]int) *Tenant {
+// with an unexamined queued job (each tenant's scan field tracks this
+// cycle's position). The walk is over the name-sorted tenant list — no map
+// iteration — and keeps the first of equal keys, which is exactly the
+// former break-ties-by-name rule.
+func (s *Scheduler) nextTenant() *Tenant {
 	var best *Tenant
 	var bestKey float64
-	for name, t := range s.tenants {
-		if idx[name] >= len(t.queue) {
+	for _, t := range s.tenantList {
+		if t.scanCycle != s.Cycles {
+			t.scan, t.scanCycle = 0, s.Cycles
+		}
+		if t.scan >= len(t.queue) {
 			continue
 		}
 		s.decay(t)
 		key := t.usage / t.Weight
-		if best == nil || key < bestKey || (key == bestKey && name < best.Name) {
+		if best == nil || key < bestKey {
 			best, bestKey = t, key
 		}
 	}
@@ -126,13 +141,15 @@ func (s *Scheduler) trueUp(t *Tenant, j *Job, now sim.Time) {
 // Shares returns each tenant's fraction of delivered core-seconds
 // (including running jobs' elapsed time at the sizes they actually held),
 // the quantity that converges to the configured weights under saturation.
+// Finished work is read from the per-tenant delivered aggregates and live
+// work from the running list — no walk over archived history.
 func (s *Scheduler) Shares() map[string]float64 {
 	now := s.K.Now()
 	raw := make(map[string]float64, len(s.tenants))
 	for name, t := range s.tenants {
 		raw[name] = t.delivered
 	}
-	for _, j := range s.jobs {
+	for _, j := range s.running {
 		if j.State == Running {
 			raw[j.Spec.Tenant] += j.runCoreSeconds(now)
 		}

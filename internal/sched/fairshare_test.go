@@ -111,7 +111,7 @@ func TestSharesAccountGrowth(t *testing.T) {
 	s.AddTenant("t", 1)
 	id := submitN(t, s, "t", 1, JobSpec{Workers: 2, CoresPerWorker: 2, EstimateSeconds: 200})[0]
 	k.Schedule(100*sim.Second, func() {
-		j := s.jobs[id]
+		j := s.jobByID(id)
 		s.GrowRequests++
 		s.growOne(j, &j.deadlineGrown)
 	})

@@ -1,10 +1,10 @@
 package sched
 
 import (
-	"fmt"
+	"bytes"
 	"math"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Gang placement: a job's workers may span clouds (over the ViNe overlay)
@@ -96,11 +96,21 @@ func (p Plan) String() string {
 	if p.Empty() {
 		return "<none>"
 	}
-	parts := make([]string, len(p.Members))
-	for i, m := range p.Members {
-		parts[i] = fmt.Sprintf("%s:%d", m.Cloud, m.Workers)
+	return string(appendPlanString(nil, p.Members))
+}
+
+// appendPlanString renders the member list in Plan.String's form into dst —
+// the allocation-free path behind the deterministic plan tie-break.
+func appendPlanString(dst []byte, members []Member) []byte {
+	for i, m := range members {
+		if i > 0 {
+			dst = append(dst, '+')
+		}
+		dst = append(dst, m.Cloud...)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(m.Workers), 10)
 	}
-	return strings.Join(parts, "+")
+	return dst
 }
 
 // SingleCloudPlan wraps one cloud and worker count as a Plan (no scoring).
@@ -108,25 +118,28 @@ func SingleCloudPlan(cloud string, workers int) Plan {
 	return Plan{Members: []Member{{Cloud: cloud, Workers: workers}}}
 }
 
-// PlacementPolicy chooses the placement plan for a job's workers. free is
-// the cycle's working copy of free cores (the backend snapshot minus what
-// this cycle already dispatched); an empty plan means nothing fits.
+// PlacementPolicy chooses the placement plan for a job's workers. The view
+// carries the cycle's cloud snapshot and its working free-core vector (the
+// backend snapshot minus what this cycle already dispatched); an empty plan
+// means nothing fits. The returned plan must own its Members slice — it
+// outlives the call (job records, reservations).
 type PlacementPolicy interface {
 	Name() string
-	Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) Plan
+	Choose(s *Scheduler, j *Job, v *CloudView) Plan
 }
 
-// inputFractions returns the job's per-cloud input residency: the explicit
-// per-block map (hdfs.LocalityFractions) when set, else the whole-file
-// InputSite as fraction 1.
-func (j *Job) inputFractions() map[string]float64 {
+// inputFraction returns the fraction of the job's input bytes resident on
+// one cloud: the explicit per-block map (hdfs.LocalityFractions) when set,
+// else 1 on the whole-file InputSite. Allocation-free — the scoring hot
+// path asks per member.
+func (j *Job) inputFraction(cloud string) float64 {
 	if j.Spec.InputFractions != nil {
-		return j.Spec.InputFractions
+		return j.Spec.InputFractions[cloud]
 	}
-	if j.Spec.InputSite != "" {
-		return map[string]float64{j.Spec.InputSite: 1}
+	if cloud != "" && cloud == j.Spec.InputSite {
+		return 1
 	}
-	return nil
+	return 0
 }
 
 // ScorePlan rates a candidate plan for a job, returning the plan with its
@@ -155,20 +168,27 @@ func (j *Job) inputFractions() map[string]float64 {
 //
 // Single-member plans have zero shuffle cost and score identically to the
 // pre-plan single-cloud scorer.
+//
+// This is the compatibility wrapper over an ad-hoc (clouds, free) pair; the
+// scheduler's cycles call scorePlan with the per-cycle CloudView instead.
 func (s *Scheduler) ScorePlan(j *Job, members []Member, clouds []CloudInfo, free map[string]int) Plan {
+	v := viewOf(clouds, free)
+	return s.scorePlan(j, members, &v)
+}
+
+// scorePlan is ScorePlan over the cycle's indexed view: no per-call map
+// builds, every cloud lookup a single index hit. The returned plan's
+// Members field aliases the caller's slice.
+func (s *Scheduler) scorePlan(j *Job, members []Member, v *CloudView) Plan {
 	p := Plan{Members: members, Score: math.Inf(-1)}
 	if len(members) == 0 {
 		return p
 	}
-	info := make(map[string]CloudInfo, len(clouds))
-	for _, c := range clouds {
-		info[c.Name] = c
-	}
 	cpw := j.coresPerWorker()
 	totalCores := 0
 	for _, m := range members {
-		c, ok := info[m.Cloud]
-		if !ok || m.Workers <= 0 || free[m.Cloud] < m.Workers*cpw || c.TotalCores <= 0 {
+		i := v.Pos(m.Cloud)
+		if i < 0 || m.Workers <= 0 || v.free[i] < m.Workers*cpw || v.Clouds[i].TotalCores <= 0 {
 			return p
 		}
 		totalCores += m.Workers * cpw
@@ -177,12 +197,11 @@ func (s *Scheduler) ScorePlan(j *Job, members []Member, clouds []CloudInfo, free
 	if pt := s.patternOf[j.Spec.Tenant]; pt == PatternAllToAll || pt == PatternRing {
 		boost = s.cfg.PatternBoost
 	}
-	fracs := j.inputFractions()
 	for _, m := range members {
-		c := info[m.Cloud]
+		i := v.Pos(m.Cloud)
 		share := float64(m.Workers*cpw) / float64(totalCores)
-		p.Capacity += s.cfg.CapacityWeight * share * float64(free[m.Cloud]) / float64(c.TotalCores)
-		p.Locality += fracs[m.Cloud]
+		p.Capacity += s.cfg.CapacityWeight * share * float64(v.free[i]) / float64(v.Clouds[i].TotalCores)
+		p.Locality += j.inputFraction(m.Cloud)
 	}
 	if p.Locality > 1 {
 		p.Locality = 1
@@ -255,30 +274,32 @@ func crossShuffleSeconds(b Backend, j *Job, members []Member) float64 {
 }
 
 // planPrice returns the per-core-hour cost of the plan (the tie-breaker:
-// cheaper capacity wins among equal scores).
-func planPrice(members []Member, clouds []CloudInfo, cpw int) float64 {
+// cheaper capacity wins among equal scores). One index hit per member
+// instead of the former members × clouds scan.
+func planPrice(members []Member, v *CloudView, cpw int) float64 {
 	price := 0.0
 	for _, m := range members {
-		for _, c := range clouds {
-			if c.Name == m.Cloud {
-				price += float64(m.Workers*cpw) * c.Price
-				break
-			}
+		if i := v.Pos(m.Cloud); i >= 0 {
+			price += float64(m.Workers*cpw) * v.Clouds[i].Price
 		}
 	}
 	return price
 }
 
 // betterPlan reports whether candidate a beats b: higher score, then lower
-// price, then lexicographic member rendering for determinism.
-func betterPlan(a, b Plan, aPrice, bPrice float64) bool {
+// price, then lexicographic member rendering for determinism. The rendering
+// comparison goes through scheduler-owned byte scratch — byte-equal to
+// a.String() < b.String() without building the strings.
+func (s *Scheduler) betterPlan(a, b Plan, aPrice, bPrice float64) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}
 	if aPrice != bPrice {
 		return aPrice < bPrice
 	}
-	return a.String() < b.String()
+	s.strA = appendPlanString(s.strA[:0], a.Members)
+	s.strB = appendPlanString(s.strB[:0], b.Members)
+	return bytes.Compare(s.strA, s.strB) < 0
 }
 
 // BestScore is the default locality- and shuffle-aware policy. It prefers
@@ -293,92 +314,119 @@ type BestScore struct{}
 // Name implements PlacementPolicy.
 func (BestScore) Name() string { return "best-score" }
 
-// Choose implements PlacementPolicy.
-func (BestScore) Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) Plan {
+// Choose implements PlacementPolicy. Candidate plans are scored in
+// scheduler-owned scratch buffers; only the winning plan's members are
+// copied out, so a Choose that places nothing allocates nothing.
+func (BestScore) Choose(s *Scheduler, j *Job, v *CloudView) Plan {
 	workers := j.workers()
 	cpw := j.coresPerWorker()
 	// Single-cloud fast path: the common case, scored exactly as before.
 	var best Plan
 	bestPrice := 0.0
-	for _, c := range clouds {
-		if free[c.Name] < workers*cpw {
+	for i := range v.Clouds {
+		if v.free[i] < workers*cpw {
 			continue
 		}
-		p := s.ScorePlan(j, []Member{{Cloud: c.Name, Workers: workers}}, clouds, free)
+		s.oneMember[0] = Member{Cloud: v.Clouds[i].Name, Workers: workers}
+		p := s.scorePlan(j, s.oneMember[:], v)
 		if !p.Feasible() {
 			continue
 		}
-		price := planPrice(p.Members, clouds, cpw)
-		if best.Empty() || betterPlan(p, best, price, bestPrice) {
+		price := planPrice(p.Members, v, cpw)
+		if best.Empty() || s.betterPlan(p, best, price, bestPrice) {
+			s.bestMembers = append(s.bestMembers[:0], p.Members...)
+			p.Members = s.bestMembers
 			best, bestPrice = p, price
 		}
 	}
 	if !best.Empty() {
+		best.Members = append([]Member(nil), best.Members...)
 		return best
 	}
 	// Gang path: grow a plan from each viable anchor.
-	for _, anchor := range clouds {
-		if free[anchor.Name] < cpw {
+	for i := range v.Clouds {
+		if v.free[i] < cpw {
 			continue
 		}
-		p, ok := s.growPlan(j, anchor.Name, workers, cpw, clouds, free)
+		p, ok := s.growPlan(j, v.Clouds[i].Name, workers, cpw, v)
 		if !ok {
 			continue
 		}
-		price := planPrice(p.Members, clouds, cpw)
-		if best.Empty() || betterPlan(p, best, price, bestPrice) {
+		price := planPrice(p.Members, v, cpw)
+		if best.Empty() || s.betterPlan(p, best, price, bestPrice) {
+			s.bestMembers = append(s.bestMembers[:0], p.Members...)
+			p.Members = s.bestMembers
 			best, bestPrice = p, price
 		}
 	}
+	if !best.Empty() {
+		best.Members = append([]Member(nil), best.Members...)
+	}
 	return best
+}
+
+// planHas reports whether the member list already uses the cloud (replaces
+// the former per-call `used` map; member lists are short).
+func planHas(members []Member, cloud string) bool {
+	for _, m := range members {
+		if m.Cloud == cloud {
+			return true
+		}
+	}
+	return false
 }
 
 // growPlan assembles a spanning plan anchored at the given cloud: the
 // anchor takes as many workers as it can host, then members are appended
 // greedily — each step adds the cloud that maximises the partial plan's
 // score — until the demand is met. ok is false when even all clouds
-// together cannot host the gang.
-func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, clouds []CloudInfo, free map[string]int) (Plan, bool) {
+// together cannot host the gang. The returned plan's Members alias
+// scheduler scratch, valid only until the next growPlan call — callers
+// copy what they keep.
+func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, v *CloudView) (Plan, bool) {
 	take := func(cloud string, remaining int) int {
-		n := free[cloud] / cpw
+		n := v.Free(cloud) / cpw
 		if n > remaining {
 			n = remaining
 		}
 		return n
 	}
-	members := []Member{{Cloud: anchor, Workers: take(anchor, workers)}}
+	members := append(s.growMembers[:0], Member{Cloud: anchor, Workers: take(anchor, workers)})
 	remaining := workers - members[0].Workers
-	used := map[string]bool{anchor: true}
 	for remaining > 0 {
 		var bestExt Plan
 		bestPrice := 0.0
 		bestTake := 0
-		for _, c := range clouds {
-			if used[c.Name] {
+		for i := range v.Clouds {
+			name := v.Clouds[i].Name
+			if planHas(members, name) {
 				continue
 			}
-			n := take(c.Name, remaining)
+			n := take(name, remaining)
 			if n <= 0 {
 				continue
 			}
-			cand := append(append([]Member(nil), members...), Member{Cloud: c.Name, Workers: n})
-			p := s.ScorePlan(j, cand, clouds, free)
+			cand := append(append(s.growCand[:0], members...), Member{Cloud: name, Workers: n})
+			s.growCand = cand[:0]
+			p := s.scorePlan(j, cand, v)
 			if !p.Feasible() {
 				continue
 			}
-			price := planPrice(p.Members, clouds, cpw)
-			if bestExt.Empty() || betterPlan(p, bestExt, price, bestPrice) {
+			price := planPrice(cand, v, cpw)
+			if bestExt.Empty() || s.betterPlan(p, bestExt, price, bestPrice) {
+				s.growBest = append(s.growBest[:0], cand...)
+				p.Members = s.growBest
 				bestExt, bestPrice, bestTake = p, price, n
 			}
 		}
 		if bestExt.Empty() {
 			return Plan{}, false
 		}
-		members = bestExt.Members
-		used[members[len(members)-1].Cloud] = true
+		members = append(members[:0], bestExt.Members...)
 		remaining -= bestTake
 	}
-	return s.ScorePlan(j, members, clouds, free), true
+	s.growMembers = members
+	return s.scorePlan(j, members, v), true
 }
 
 // RandomPlacement is the locality-oblivious, single-cloud baseline: a
@@ -392,13 +440,14 @@ type RandomPlacement struct{}
 func (RandomPlacement) Name() string { return "random" }
 
 // Choose implements PlacementPolicy.
-func (RandomPlacement) Choose(s *Scheduler, j *Job, clouds []CloudInfo, free map[string]int) Plan {
-	var fitting []string
-	for _, c := range clouds {
-		if free[c.Name] >= j.Cores() {
-			fitting = append(fitting, c.Name)
+func (RandomPlacement) Choose(s *Scheduler, j *Job, v *CloudView) Plan {
+	fitting := s.nameScratch[:0]
+	for i := range v.Clouds {
+		if v.free[i] >= j.Cores() {
+			fitting = append(fitting, v.Clouds[i].Name)
 		}
 	}
+	s.nameScratch = fitting
 	if len(fitting) == 0 {
 		return Plan{}
 	}

@@ -246,7 +246,7 @@ func TestElasticGrowPrefersExistingMembers(t *testing.T) {
 	if ji.Cloud != "c0" {
 		t.Fatalf("job on %s, want c0 (more headroom per total? c0 smaller) — plan %v", ji.Cloud, ji.Plan)
 	}
-	h := s.jobs[id].handle.(*SimHandle)
+	h := s.jobByID(id).handle.(*SimHandle)
 	// First extra fits the member cloud (2 cores left on c0).
 	h.Grow(1, nil)
 	k.RunUntil(2 * sim.Second)

@@ -134,6 +134,14 @@ type Job struct {
 	charged     float64  // core-seconds charged at dispatch (estimate)
 	estDuration sim.Time // estimate at the chosen plan's speed
 	dispatched  bool
+	// Blocked-head watermark record: when placement fails, unfitSlots is
+	// the whole-worker slot count available at that instant and unfitFreed
+	// the scheduler's cumulative freed-core clock. Until enough cores free
+	// up to possibly close the gap, later cycles skip re-running placement
+	// for this job (see Scheduler.canFit).
+	unfit      bool
+	unfitSlots int
+	unfitFreed int64
 	// Delivered-capacity integration: coresNow is the core count the job
 	// holds right now; accrued is core-seconds banked at resize events
 	// (grow/shrink/revocation), so Shares attributes elapsed time at the
@@ -224,22 +232,21 @@ func (j *Job) estimate() float64 {
 // remote-input and spanning jobs' runtimes. Shared with SimBackend so the
 // synthetic backend's runtimes agree with the reservations made against
 // them.
-func (s *Scheduler) estimateAt(j *Job, plan Plan, clouds []CloudInfo) float64 {
-	return planEstimateSeconds(s.B, j, plan, clouds)
+func (s *Scheduler) estimateAt(j *Job, plan Plan, v *CloudView) float64 {
+	return planEstimateSeconds(s.B, j, plan, v)
 }
 
 // planEstimateSeconds is the plan-level cost model: base estimate at the
 // slowest member's speed, plus WAN streaming of the input fraction no
-// member holds, plus the cross-site shuffle bottleneck time.
-func planEstimateSeconds(b Backend, j *Job, plan Plan, clouds []CloudInfo) float64 {
+// member holds, plus the cross-site shuffle bottleneck time. Only static
+// cloud attributes (name, speed) are read from the view — never the working
+// free vector — so backends may pass a view whose free cores are stale.
+func planEstimateSeconds(b Backend, j *Job, plan Plan, v *CloudView) float64 {
 	speed := 1.0
 	for i, m := range plan.Members {
-		for _, c := range clouds {
-			if c.Name == m.Cloud && c.Speed > 0 {
-				if i == 0 || c.Speed < speed {
-					speed = c.Speed
-				}
-				break
+		if p := v.Pos(m.Cloud); p >= 0 && v.Clouds[p].Speed > 0 {
+			if c := v.Clouds[p]; i == 0 || c.Speed < speed {
+				speed = c.Speed
 			}
 		}
 	}
@@ -249,7 +256,7 @@ func planEstimateSeconds(b Backend, j *Job, plan Plan, clouds []CloudInfo) float
 	if j.Spec.InputSite != "" && j.Spec.InputBytes > 0 {
 		covered := 0.0
 		for _, m := range plan.Members {
-			covered += j.inputFractions()[m.Cloud]
+			covered += j.inputFraction(m.Cloud)
 		}
 		if covered > 1 {
 			covered = 1
@@ -326,6 +333,23 @@ type Backend interface {
 	// workers, and reports the outcome. The returned handle drives elastic
 	// grow/shrink while the job runs.
 	Launch(j *Job, plan Plan, onDone func(Outcome)) (Handle, error)
+}
+
+// cloudAppender is the allocation-free variant of Backend.Clouds: backends
+// that implement it let the scheduler reuse one snapshot buffer across
+// cycles instead of allocating a fresh slice per cycle. Both in-repo
+// backends (SimBackend, core's fedBackend) do.
+type cloudAppender interface {
+	AppendClouds(dst []CloudInfo) []CloudInfo
+}
+
+// snapshotClouds fills the scheduler's snapshot scratch from the backend.
+func (s *Scheduler) snapshotClouds() []CloudInfo {
+	if ca, ok := s.B.(cloudAppender); ok {
+		s.snapScratch = ca.AppendClouds(s.snapScratch[:0])
+		return s.snapScratch
+	}
+	return s.B.Clouds()
 }
 
 // Handle controls one running job's capacity.
@@ -418,19 +442,79 @@ func (c Config) withDefaults() Config {
 }
 
 // Scheduler is the federation-wide arbiter.
+//
+// Its state is indexed for incremental cycles: jobs split into an active
+// set and a finished archive (so no hot path ever walks history), running
+// jobs keep a submission-ordered list and a maintained sorted release list,
+// and per-cycle structures (cloud view, release snapshot, placement member
+// buffers) reuse scheduler-owned scratch. Per-cycle cost is proportional to
+// active work — queued plus running jobs times candidate clouds — not to
+// every job ever submitted.
 type Scheduler struct {
 	K   *sim.Kernel
 	B   Backend
 	cfg Config
 
-	tenants map[string]*Tenant
-	jobs    map[string]*Job
-	seq     int
+	tenants    map[string]*Tenant
+	tenantList []*Tenant // name-sorted; nextTenant scans this, not the map
+	seq        int
+
+	// active holds queued and running jobs; archive holds finished ones
+	// (done or failed). order lists every job ever in submission order —
+	// the Jobs() view — and running lists running jobs in submission order
+	// (the elastic pass and Shares iterate it instead of scanning history).
+	active  map[string]*Job
+	archive map[string]*Job
+	order   []*Job
+	running []*Job
+	nQueued int
 
 	// resv is the blocked head job's future claim, held as first-class
 	// leases in the backend's capacity ledger between cycles (see
 	// backfill.go). Each cycle refreshes it against current estimates.
 	resv *reservation
+
+	// releases is the maintained pending-release list: one entry per
+	// running job's plan member, sorted by (eta, job, cloud). dispatch
+	// inserts and complete removes, so blocked cycles snapshot it instead
+	// of rebuilding it from a full job scan (see backfill.go).
+	// relSnapDirty marks a mid-cycle insert, telling the cycle its release
+	// snapshot is stale.
+	releases     []coreRelease
+	relSnapDirty bool
+
+	// Blocked-head watermark: freedCum is a cumulative clock of free-core
+	// gains observed at cycle starts (completions, shrinks, revocations,
+	// resizes — measured as snapshot-vs-previous-cycle-end, so capacity
+	// added behind the scheduler's back counts too); prevFree is the
+	// previous cycle's end-of-cycle free vector it diffs against.
+	freedCum int64
+	prevFree map[string]int
+
+	// Per-cycle scratch, reused across cycles.
+	view         CloudView
+	resvView     CloudView // reserve()'s what-if copy of the view
+	snapScratch  []CloudInfo
+	relScratch   []coreRelease // snapshotReleases output buffer
+	overScratch  []coreRelease // snapshotReleases overdue-remap buffer
+	runScratch   []*Job        // elasticTick iteration copy
+	relSumAtResv []int         // per-cloud release sum at resv.at (backfill)
+
+	// Placement scratch (see BestScore.Choose / growPlan).
+	oneMember   [1]Member
+	bestMembers []Member
+	growMembers []Member
+	growCand    []Member
+	growBest    []Member
+	nameScratch []string
+	strA, strB  []byte // betterPlan tie-break rendering
+
+	// fitsFederation cache: federation-wide per-cloud totals keyed on the
+	// capacity ledger's generation, so Submit stops snapshotting
+	// B.Clouds() per call (invalidated on cloud add/resize).
+	slotsGen    uint64
+	slotsTotals []int
+	slotsOK     bool
 
 	cyclePending  bool
 	elasticOn     bool
@@ -459,9 +543,19 @@ func New(b Backend, cfg Config) *Scheduler {
 		B:         b,
 		cfg:       cfg.withDefaults(),
 		tenants:   make(map[string]*Tenant),
-		jobs:      make(map[string]*Job),
+		active:    make(map[string]*Job),
+		archive:   make(map[string]*Job),
+		prevFree:  make(map[string]int),
 		patternOf: make(map[string]string),
 	}
+}
+
+// jobByID looks a job up in the active set, then the archive.
+func (s *Scheduler) jobByID(id string) *Job {
+	if j := s.active[id]; j != nil {
+		return j
+	}
+	return s.archive[id]
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -498,14 +592,10 @@ func (s *Scheduler) ensureElastic() {
 	})
 }
 
-// hasActiveJobs reports whether any job is queued or running.
+// hasActiveJobs reports whether any job is queued or running — O(1) from
+// the active-set counters, no job scan.
 func (s *Scheduler) hasActiveJobs() bool {
-	for _, j := range s.jobs {
-		if j.State == Queued || j.State == Running {
-			return true
-		}
-	}
-	return false
+	return s.nQueued > 0 || len(s.running) > 0
 }
 
 // Submit queues a job and returns its ID. Unknown tenants are created with
@@ -531,7 +621,9 @@ func (s *Scheduler) Submit(spec JobSpec) (string, error) {
 			return "", fmt.Errorf("sched: job needs %d cores; the whole federation can gang at most %d", j.Cores(), have)
 		}
 	}
-	s.jobs[j.ID] = j
+	s.active[j.ID] = j
+	s.order = append(s.order, j)
+	s.nQueued++
 	t.queue = append(t.queue, j)
 	s.ensureElastic()
 	s.kick()
@@ -541,20 +633,32 @@ func (s *Scheduler) Submit(spec JobSpec) (string, error) {
 // fitsFederation checks the job's demand against the federation-wide gang
 // capacity: whole workers per cloud, summed across clouds (a spanning plan
 // can use them all). Jobs wider than any single cloud are accepted — under
-// a single-cloud policy they simply stay queued.
+// a single-cloud policy they simply stay queued. The per-cloud totals are
+// cached keyed on the capacity ledger's generation (every cloud add or
+// resize bumps it), so per-submission checks stop snapshotting B.Clouds().
 func (s *Scheduler) fitsFederation(j *Job) (bool, int) {
+	if gen := s.B.Ledger().Generation(); !s.slotsOK || gen != s.slotsGen {
+		// Own snapshot call, not snapshotClouds: a refresh can be triggered
+		// mid-cycle (reserve failure) and must not clobber the snapshot
+		// buffer the cycle's view aliases.
+		s.slotsTotals = s.slotsTotals[:0]
+		for _, c := range s.B.Clouds() {
+			s.slotsTotals = append(s.slotsTotals, c.TotalCores)
+		}
+		s.slotsGen, s.slotsOK = gen, true
+	}
 	cpw := j.coresPerWorker()
 	slots := 0
-	for _, c := range s.B.Clouds() {
-		slots += c.TotalCores / cpw
+	for _, total := range s.slotsTotals {
+		slots += total / cpw
 	}
 	return slots >= j.workers(), slots * cpw
 }
 
-// Poll returns the current view of a job.
+// Poll returns the current view of a job, whether active or archived.
 func (s *Scheduler) Poll(id string) (JobInfo, bool) {
-	j, ok := s.jobs[id]
-	if !ok {
+	j := s.jobByID(id)
+	if j == nil {
 		return JobInfo{}, false
 	}
 	return JobInfo{
@@ -567,24 +671,18 @@ func (s *Scheduler) Poll(id string) (JobInfo, bool) {
 	}, true
 }
 
-// Jobs returns all job IDs, sorted by submission order.
+// Jobs returns all job IDs (finished ones included), in submission order —
+// read off the append-only order list, no scan-and-sort.
 func (s *Scheduler) Jobs() []string {
-	out := make([]string, 0, len(s.jobs))
-	for id := range s.jobs {
-		out = append(out, id)
+	out := make([]string, len(s.order))
+	for i, j := range s.order {
+		out[i] = j.ID
 	}
-	sort.Slice(out, func(i, k int) bool { return s.jobs[out[i]].seq < s.jobs[out[k]].seq })
 	return out
 }
 
 // QueueLen returns the total number of queued jobs.
-func (s *Scheduler) QueueLen() int {
-	n := 0
-	for _, t := range s.tenants {
-		n += len(t.queue)
-	}
-	return n
-}
+func (s *Scheduler) QueueLen() int { return s.nQueued }
 
 // kick schedules one coalesced scheduling cycle at the current instant.
 func (s *Scheduler) kick() {
@@ -601,71 +699,134 @@ func (s *Scheduler) kick() {
 // (holdReservation), so elastic growth probing the ledger between cycles
 // cannot take the reserved cores; each cycle drops and recomputes it
 // against fresh estimates.
+//
+// The pass runs over the per-cycle CloudView (one indexed snapshot shared
+// by every score, price, and estimate) and the maintained release list;
+// jobs recorded as unplaceable skip placement entirely until enough cores
+// have been freed to possibly fit them (the blocked-head watermark).
 func (s *Scheduler) cycle() {
 	s.cyclePending = false
 	s.Cycles++
 	s.dropReservation()
-	snap := s.B.Clouds()
-	free := make(map[string]int, len(snap))
-	for _, c := range snap {
-		free[c.Name] = c.FreeCores
-	}
-	idx := make(map[string]int)
+	v := &s.view
+	v.Reset(s.snapshotClouds())
+	s.observeFrees(v)
 	var releases []coreRelease // running-job ETA snapshot, built on first block
+	haveReleases := false
 	for {
-		t := s.nextTenant(idx)
+		t := s.nextTenant()
 		if t == nil {
 			break
 		}
-		j := t.queue[idx[t.Name]]
+		j := t.queue[t.scan]
 		if j.Spec.External() {
-			s.dispatchExternal(t, j, idx)
+			s.dispatchExternal(t, j)
 			continue
 		}
-		plan := s.cfg.Placement.Choose(s, j, snap, free)
+		var plan Plan
+		if s.canFit(j) {
+			plan = s.cfg.Placement.Choose(s, j, v)
+			if plan.Empty() {
+				s.markUnfit(j, v)
+			}
+		}
 		if !plan.Empty() {
-			if s.resv != nil && !s.backfillOK(j, plan, s.resv, free, releases, snap) {
-				idx[t.Name]++
+			if s.resv != nil && !s.backfillOK(j, plan, s.resv, v) {
+				t.scan++
 				continue
 			}
-			s.dispatch(t, j, plan, s.resv != nil, idx, snap)
+			s.dispatch(t, j, plan, s.resv != nil, v)
 			cpw := j.coresPerWorker()
 			for _, m := range plan.Members {
-				free[m.Cloud] -= m.Workers * cpw
+				v.take(m.Cloud, m.Workers*cpw)
 			}
 			continue
 		}
 		if s.resv == nil {
-			releases = s.pendingReleases()
-			r, ok := s.reserve(j, free, releases, snap)
+			// (Re)take the release snapshot lazily: a dispatch since the
+			// last snapshot (possible when an earlier reservation attempt
+			// failed) adds a release the next reserve() walk must see —
+			// exactly the old rebuild-per-blocked-job behavior, minus the
+			// rebuilds whose inputs could not have changed.
+			if !haveReleases || s.relSnapDirty {
+				releases = s.snapshotReleases()
+				haveReleases, s.relSnapDirty = true, false
+			}
+			r, ok := s.reserve(j, v, releases)
 			if !ok {
 				if fits, _ := s.fitsFederation(j); !fits {
 					// Even with every running job drained the demand never
 					// fits (capacity shrank since submit) — fail it.
-					s.failQueued(t, j, idx, fmt.Errorf("sched: no plan can ever fit %d cores", j.Cores()))
+					s.failQueued(t, j, fmt.Errorf("sched: no plan can ever fit %d cores", j.Cores()))
 					continue
 				}
 				// The federation could host the gang but the policy will
 				// never place it (e.g. a single-cloud policy facing a
 				// wider-than-any-cloud job): leave it queued without
 				// blocking the jobs behind it.
-				idx[t.Name]++
+				t.scan++
 				continue
 			}
 			s.holdReservation(&r, j.coresPerWorker())
+			s.sumReleasesAt(v, releases, r.at)
 			if s.cfg.DisableBackfill {
 				break
 			}
 		}
-		idx[t.Name]++
+		t.scan++
+	}
+	s.saveEndFrees(v)
+}
+
+// observeFrees advances the watermark clock by the free cores gained since
+// the previous cycle's end — completions, elastic shrinks, revocations, and
+// capacity added behind the scheduler's back all surface here as
+// snapshot-vs-saved-vector gains.
+func (s *Scheduler) observeFrees(v *CloudView) {
+	for i, c := range v.Clouds {
+		if d := v.free[i] - s.prevFree[c.Name]; d > 0 {
+			s.freedCum += int64(d)
+		}
 	}
 }
 
+// saveEndFrees records the end-of-cycle free vector the next cycle diffs
+// against.
+func (s *Scheduler) saveEndFrees(v *CloudView) {
+	for i, c := range v.Clouds {
+		s.prevFree[c.Name] = v.free[i]
+	}
+}
+
+// canFit reports whether the job could possibly be placed now. A job with
+// an unfit record is skipped until the freed-core clock has advanced enough
+// to close its slot gap: placing workers whole workers of cpw cores each
+// requires Σ⌊free/cpw⌋ ≥ workers across clouds under ANY policy, free cores
+// only shrink within a cycle, and every freed core adds at most one slot —
+// so unfitSlots + freedSince < workers proves placement would fail without
+// running it. Sound, never stale: capacity appearing from outside the
+// scheduler's own bookkeeping still advances the clock via observeFrees.
+func (s *Scheduler) canFit(j *Job) bool {
+	return !j.unfit || j.unfitSlots+int(s.freedCum-j.unfitFreed) >= j.workers()
+}
+
+// markUnfit records the failed placement's slot availability for canFit.
+func (s *Scheduler) markUnfit(j *Job, v *CloudView) {
+	cpw := j.coresPerWorker()
+	slots := 0
+	for _, f := range v.free {
+		if f > 0 {
+			slots += f / cpw
+		}
+	}
+	j.unfit, j.unfitSlots, j.unfitFreed = true, slots, s.freedCum
+}
+
 // dispatch starts a placed job through the backend.
-func (s *Scheduler) dispatch(t *Tenant, j *Job, plan Plan, backfilled bool, idx map[string]int, snap []CloudInfo) {
-	s.popQueued(t, j, idx)
+func (s *Scheduler) dispatch(t *Tenant, j *Job, plan Plan, backfilled bool, v *CloudView) {
+	s.popQueued(t, j)
 	now := s.K.Now()
-	est := s.estimateAt(j, plan, snap)
+	est := s.estimateAt(j, plan, v)
 	j.State = Running
 	j.Plan = plan
 	j.Cloud = plan.Primary()
@@ -675,6 +836,7 @@ func (s *Scheduler) dispatch(t *Tenant, j *Job, plan Plan, backfilled bool, idx 
 	j.estDuration = sim.FromSeconds(est)
 	j.coresNow = j.Cores()
 	j.resizeAt = now
+	j.unfit = false
 	s.charge(t, j, est)
 	s.Dispatched++
 	if backfilled {
@@ -683,6 +845,8 @@ func (s *Scheduler) dispatch(t *Tenant, j *Job, plan Plan, backfilled bool, idx 
 	if plan.Spanning() {
 		s.SpanningDispatched++
 	}
+	s.addRunning(j)
+	s.insertReleases(j)
 	h, err := s.B.Launch(j, plan, func(out Outcome) { s.complete(j, out) })
 	if err != nil {
 		s.complete(j, Outcome{Err: err})
@@ -692,9 +856,10 @@ func (s *Scheduler) dispatch(t *Tenant, j *Job, plan Plan, backfilled bool, idx 
 }
 
 // dispatchExternal starts an external (gate-admitted) job: fair-share
-// ordering applies, capacity accounting is the caller's.
-func (s *Scheduler) dispatchExternal(t *Tenant, j *Job, idx map[string]int) {
-	s.popQueued(t, j, idx)
+// ordering applies, capacity accounting is the caller's (no release-list
+// entries — external capacity never returns to the pool).
+func (s *Scheduler) dispatchExternal(t *Tenant, j *Job) {
+	s.popQueued(t, j)
 	j.State = Running
 	j.Started = s.K.Now()
 	j.dispatched = true
@@ -703,21 +868,42 @@ func (s *Scheduler) dispatchExternal(t *Tenant, j *Job, idx map[string]int) {
 	j.estDuration = sim.FromSeconds(j.estimate())
 	s.charge(t, j, j.estimate())
 	s.Dispatched++
+	s.addRunning(j)
 	run := j.Spec.Run
 	s.K.Schedule(0, func() { run(func(err error) { s.complete(j, Outcome{Err: err}) }) })
 }
 
-// popQueued removes j (at idx) from the tenant queue.
-func (s *Scheduler) popQueued(t *Tenant, j *Job, idx map[string]int) {
-	i := idx[t.Name]
+// popQueued removes j (at the tenant's scan position) from the queue.
+func (s *Scheduler) popQueued(t *Tenant, j *Job) {
+	i := t.scan
 	if i >= len(t.queue) || t.queue[i] != j {
 		panic("sched: queue index out of sync")
 	}
 	t.queue = append(t.queue[:i], t.queue[i+1:]...)
+	s.nQueued--
 }
 
-// complete finalises a job: true-up the fair-share charge and trigger the
-// next cycle for the freed capacity.
+// addRunning inserts the job into the submission-ordered running list.
+// Dispatch order is not submission order (backfill), so insert sorted.
+func (s *Scheduler) addRunning(j *Job) {
+	i := sort.Search(len(s.running), func(k int) bool { return s.running[k].seq > j.seq })
+	s.running = append(s.running, nil)
+	copy(s.running[i+1:], s.running[i:])
+	s.running[i] = j
+}
+
+// dropRunning removes the job from the running list.
+func (s *Scheduler) dropRunning(j *Job) {
+	i := sort.Search(len(s.running), func(k int) bool { return s.running[k].seq >= j.seq })
+	if i < len(s.running) && s.running[i] == j {
+		copy(s.running[i:], s.running[i+1:])
+		s.running = s.running[:len(s.running)-1]
+	}
+}
+
+// complete finalises a job: true-up the fair-share charge, move it from the
+// active set to the archive, and trigger the next cycle for the freed
+// capacity.
 func (s *Scheduler) complete(j *Job, out Outcome) {
 	if j.State != Running {
 		return
@@ -728,6 +914,9 @@ func (s *Scheduler) complete(j *Job, out Outcome) {
 	j.Outcome = out
 	j.handle = nil
 	s.trueUp(t, j, now)
+	s.removeReleases(j)
+	s.dropRunning(j)
+	s.toArchive(j)
 	if out.Err != nil {
 		j.State = Failed
 		s.Failures++
@@ -738,11 +927,18 @@ func (s *Scheduler) complete(j *Job, out Outcome) {
 	s.kick()
 }
 
+// toArchive moves a finishing job from the active set to the archive.
+func (s *Scheduler) toArchive(j *Job) {
+	delete(s.active, j.ID)
+	s.archive[j.ID] = j
+}
+
 // failQueued fails a job still in the queue.
-func (s *Scheduler) failQueued(t *Tenant, j *Job, idx map[string]int, err error) {
-	s.popQueued(t, j, idx)
+func (s *Scheduler) failQueued(t *Tenant, j *Job, err error) {
+	s.popQueued(t, j)
 	j.State = Failed
 	j.Finished = s.K.Now()
 	j.Outcome = Outcome{Err: err}
+	s.toArchive(j)
 	s.Failures++
 }

@@ -31,6 +31,10 @@ type SimBackend struct {
 
 	// Launches counts Launch calls.
 	Launches int
+
+	// Launch-time estimate scratch, reused across launches.
+	view        CloudView
+	snapScratch []CloudInfo
 }
 
 // SimCloud is one synthetic cloud. Resize mid-run with SetTotal (tests
@@ -94,14 +98,18 @@ func (b *SimBackend) Ledger() *capacity.Ledger { return b.ledger }
 
 // Clouds implements Backend.
 func (b *SimBackend) Clouds() []CloudInfo {
-	out := make([]CloudInfo, 0, len(b.clouds))
+	return b.AppendClouds(make([]CloudInfo, 0, len(b.clouds)))
+}
+
+// AppendClouds implements the scheduler's allocation-free snapshot path.
+func (b *SimBackend) AppendClouds(dst []CloudInfo) []CloudInfo {
 	for _, c := range b.clouds {
-		out = append(out, CloudInfo{
+		dst = append(dst, CloudInfo{
 			Name: c.Name, FreeCores: b.ledger.Free(c.Name), TotalCores: b.ledger.Total(c.Name),
 			Speed: c.Speed, Price: c.Price,
 		})
 	}
-	return out
+	return dst
 }
 
 // Bandwidth implements Backend.
@@ -233,7 +241,9 @@ func (h *SimHandle) Progress() (int, int, int, int) {
 // streaming + cross-site shuffle), release everything at completion.
 func (b *SimBackend) Launch(j *Job, plan Plan, onDone func(Outcome)) (Handle, error) {
 	per := j.coresPerWorker()
-	secs := planEstimateSeconds(b, j, plan, b.Clouds())
+	b.snapScratch = b.AppendClouds(b.snapScratch[:0])
+	b.view.Reset(b.snapScratch)
+	secs := planEstimateSeconds(b, j, plan, &b.view)
 	h := &SimHandle{b: b, j: j, plan: plan, started: b.k.Now(), duration: sim.FromSeconds(secs)}
 	eta := h.started + h.duration
 	rollback := func() {
