@@ -51,6 +51,7 @@ func BenchmarkA2DirtyRateSweep(b *testing.B)       { benchExperiment(b, "A2") }
 func BenchmarkA3ChunkSize(b *testing.B)            { benchExperiment(b, "A3") }
 func BenchmarkE10SchedulerContention(b *testing.B) { benchExperiment(b, "E10") }
 func BenchmarkE11GangPlacement(b *testing.B)       { benchExperiment(b, "E11") }
+func BenchmarkE12Preemption(b *testing.B)          { benchExperiment(b, "E12") }
 
 // BenchmarkSchedulerCycle measures federation-scheduler throughput: 1000
 // queued jobs from four weighted tenants drain through four clouds on the

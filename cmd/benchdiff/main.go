@@ -3,17 +3,21 @@
 // beyond tolerance — the CI gate that catches the next silent scheduler
 // slide (PR 3 regressed BenchmarkSchedulerCycle +8% with nothing to notice).
 //
-// Two metrics are gated differently:
+// The baseline stores one entry set per CPU model (`cpu → benchmarks`), so
+// a heterogeneous runner fleet gates times instead of warning: each
+// machine's run compares against the baseline recorded on the same CPU
+// string. Two metrics are gated differently:
 //
 //   - allocs/op is deterministic for these benchmarks (fixed seeds, fixed
-//     workloads), so it gates hard on any machine;
+//     workloads), so it gates hard on any machine, against any recorded
+//     CPU's entries (they must all agree);
 //   - ns/op is hardware-dependent: with -gate auto (default) it gates only
-//     when the `cpu:` line of the run matches the baseline's and warns
-//     otherwise. On shared CI runners pass -gate allocs — virtualized hosts
-//     report a generic cpu string that can match the baseline's without
-//     being comparable hardware (and noisy neighbours swamp a 20%
-//     tolerance). Refresh the baseline with -update to gate times on your
-//     own machine.
+//     when the run's `cpu:` line has a recorded baseline and warns
+//     otherwise. On shared CI runners pass -gate allocs — virtualized
+//     hosts report a generic cpu string that can collide across unlike
+//     hardware (and noisy neighbours swamp a 20% tolerance). Record your
+//     own machine's baseline with -update (it merges into the per-CPU
+//     map, preserving other machines' entries).
 //
 // Usage:
 //
@@ -29,6 +33,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,10 +44,33 @@ type Entry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Baseline is the committed benchmark record.
-type Baseline struct {
-	CPU        string           `json:"cpu"`
+// CPUBaseline is one CPU model's benchmark record.
+type CPUBaseline struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Baseline is the committed benchmark record: entries keyed by the `cpu:`
+// line go test reports. The legacy single-CPU fields are still read (and
+// rewritten into the map on the next -update).
+type Baseline struct {
+	Baselines map[string]CPUBaseline `json:"baselines,omitempty"`
+
+	// Legacy single-CPU format.
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks,omitempty"`
+}
+
+// normalize folds a legacy single-CPU record into the per-CPU map.
+func (b *Baseline) normalize() {
+	if b.Baselines == nil {
+		b.Baselines = make(map[string]CPUBaseline)
+	}
+	if len(b.Benchmarks) > 0 {
+		if _, dup := b.Baselines[b.CPU]; !dup {
+			b.Baselines[b.CPU] = CPUBaseline{Benchmarks: b.Benchmarks}
+		}
+		b.CPU, b.Benchmarks = "", nil
+	}
 }
 
 // benchLine matches "BenchmarkName[-P]  iters  N ns/op [... M allocs/op]".
@@ -75,8 +103,8 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_sched.json", "committed baseline JSON")
 	inputPath := flag.String("input", "-", "go test -bench output ('-' = stdin)")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed relative regression")
-	gateMode := flag.String("gate", "auto", "what gates hard: 'allocs' (deterministic only), 'all', or 'auto' (ns/op gates when the cpu line matches the baseline — use 'allocs' on shared CI runners, whose generic cpu string matches any other virtualized host's)")
-	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	gateMode := flag.String("gate", "auto", "what gates hard: 'allocs' (deterministic only), 'all', or 'auto' (ns/op gates when this cpu has a recorded baseline — use 'allocs' on shared CI runners, whose generic cpu string can collide across unlike hardware)")
+	update := flag.Bool("update", false, "merge this run into the baseline's entry for this cpu instead of comparing")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -97,14 +125,23 @@ func main() {
 	}
 
 	if *update {
-		out, err := json.MarshalIndent(Baseline{CPU: cpu, Benchmarks: results}, "", "  ")
+		var base Baseline
+		if raw, err := os.ReadFile(*baselinePath); err == nil {
+			if err := json.Unmarshal(raw, &base); err != nil {
+				fatal(err)
+			}
+		}
+		base.normalize()
+		base.Baselines[cpu] = CPUBaseline{Benchmarks: results}
+		out, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
 		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchdiff: wrote %s (%d benchmarks, cpu %q)\n", *baselinePath, len(results), cpu)
+		fmt.Printf("benchdiff: wrote %s (%d benchmarks under cpu %q, %d cpu(s) total)\n",
+			*baselinePath, len(results), cpu, len(base.Baselines))
 		return
 	}
 
@@ -116,23 +153,42 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(err)
 	}
+	base.normalize()
+	if len(base.Baselines) == 0 {
+		fatal(fmt.Errorf("baseline %s holds no benchmark entries", *baselinePath))
+	}
+	// The entry for this machine's CPU when recorded; otherwise any entry
+	// serves for the deterministic allocs gate (they must all agree).
+	entry, cpuMatched := base.Baselines[cpu]
+	if !cpuMatched {
+		names := make([]string, 0, len(base.Baselines))
+		for name := range base.Baselines {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		entry = base.Baselines[names[0]]
+	}
 	var gateTime bool
 	switch *gateMode {
 	case "all":
 		gateTime = true
+		if !cpuMatched {
+			fmt.Printf("benchdiff: WARNING: -gate all with no baseline for cpu %q — ns/op gates against another machine's numbers\n", cpu)
+		}
 	case "allocs":
 		gateTime = false
 	case "auto":
-		gateTime = cpu != "" && cpu == base.CPU
+		gateTime = cpuMatched && cpu != ""
 	default:
 		fatal(fmt.Errorf("unknown -gate mode %q (want allocs, all, or auto)", *gateMode))
 	}
 	if !gateTime {
-		fmt.Printf("benchdiff: ns/op regressions warn instead of fail (gate=%s, cpu %q, baseline %q)\n",
-			*gateMode, cpu, base.CPU)
+		fmt.Printf("benchdiff: ns/op regressions warn instead of fail (gate=%s, cpu %q recorded=%v)\n",
+			*gateMode, cpu, cpuMatched)
 	}
 	failed := false
-	for name, want := range base.Benchmarks {
+	for _, name := range sortedNames(entry.Benchmarks) {
+		want := entry.Benchmarks[name]
 		got, ok := results[name]
 		if !ok {
 			fmt.Printf("FAIL %s: in baseline but not in the input (gate misconfigured?)\n", name)
@@ -145,7 +201,16 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), *tolerance*100)
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(entry.Benchmarks), *tolerance*100)
+}
+
+func sortedNames(m map[string]Entry) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // check reports one metric comparison, returning true on a gating failure.

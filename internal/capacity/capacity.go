@@ -188,10 +188,15 @@ type Ledger struct {
 	seq      int
 	accounts map[string]*account
 	order    []string
-	// gen counts cloud-set and total-capacity changes; callers cache
-	// capacity views derived from the totals keyed on it (the scheduler's
-	// federation-wide gang-slot cache).
+	// gen counts cloud-set and total-capacity changes plus forced
+	// transitions (Evict/Retarget); callers cache capacity views derived
+	// from the ledger keyed on it (the scheduler's federation-wide
+	// gang-slot cache, the blocked-head reservation cache).
 	gen uint64
+
+	// Evictions and Retargets count forced transitions, for stats surfaces.
+	Evictions int
+	Retargets int
 }
 
 // New returns an empty ledger.
@@ -216,8 +221,9 @@ func (l *Ledger) AddCloud(name string, totalCores int) {
 }
 
 // Generation returns a counter bumped whenever the cloud set or any cloud's
-// total capacity changes. Derived capacity views (federation-wide totals)
-// cached on it stay valid until it moves.
+// total capacity changes, and on every forced transition (Evict, Retarget)
+// that moves claims behind normal acquire/release flow. Derived capacity
+// views cached on it stay valid until it moves.
 func (l *Ledger) Generation() uint64 { return l.gen }
 
 // SetTotal updates a cloud's capacity (backends whose clouds resize).
@@ -487,6 +493,132 @@ func (l *Ledger) CommitNow(cloud string, cores int) error {
 		return err
 	}
 	return le.Commit()
+}
+
+// Evict is the preemption transition for leased claims: the victim lease
+// (held or reserved) closes and a Reserved lease for the same cores on the
+// same cloud, starting at `at`, is created in the same step — no instant
+// exists where the cores are unclaimed for a third-party grow to probe and
+// take ahead of the preemptor. The caller hands the returned shield lease
+// to the beneficiary (the blocked head job), which releases it once its own
+// acquisition lands. Idempotent: evicting an already-closed lease is a
+// no-op returning (nil, nil).
+func (l *Ledger) Evict(victim *Lease, at sim.Time) (*Lease, error) {
+	if victim == nil || victim.closed {
+		return nil, nil
+	}
+	if victim.l != l {
+		return nil, fmt.Errorf("capacity: lease belongs to another ledger")
+	}
+	cloud, cores := victim.Cloud, victim.Cores
+	victim.Release()
+	shield, err := l.Reserve(cloud, cores, at)
+	if err != nil {
+		return nil, err
+	}
+	l.Evictions++
+	l.gen++
+	return shield, nil
+}
+
+// EvictCommitted is Evict for committed cores (placed VMs carry no lease
+// object): `cores` committed cores on `cloud` return to the pool and a
+// Reserved lease for the beneficiary at `at` takes their place in one
+// transition. The caller still tears the victim VMs down — through a path
+// that must NOT Uncommit again (nimbus Cloud.ReleaseLedgered), since the
+// ledger side of the eviction already happened here. Evicting more than is
+// committed fails without touching anything.
+func (l *Ledger) EvictCommitted(cloud string, cores int, at sim.Time) (*Lease, error) {
+	a := l.accounts[cloud]
+	if a == nil {
+		return nil, fmt.Errorf("capacity: unknown cloud %q", cloud)
+	}
+	if cores < 0 || cores > a.committed {
+		return nil, fmt.Errorf("capacity: evicting %d committed cores on %s with %d committed",
+			cores, cloud, a.committed)
+	}
+	a.committed -= cores
+	shield := l.newLease(a, cores, Reserved, at, 0)
+	l.Evictions++
+	l.gen++
+	return shield, nil
+}
+
+// Retarget atomically moves committed cores between clouds — the migration
+// transition for placed VMs. The destination's physical invariant is
+// checked before the source account is touched, then the cores move
+// committed→committed with no free instant in between, so a migration
+// cannot lose its capacity to a concurrent acquire the way a
+// release-then-adopt sequence could. Host-level bookkeeping moves through
+// the ledger-skipping paths (nimbus ReleaseLedgered/AdoptLedgered).
+func (l *Ledger) Retarget(from, to string, cores int) error {
+	src, dst := l.accounts[from], l.accounts[to]
+	if src == nil {
+		return fmt.Errorf("capacity: unknown cloud %q", from)
+	}
+	if dst == nil {
+		return fmt.Errorf("capacity: unknown cloud %q", to)
+	}
+	if cores < 0 || cores > src.committed {
+		return fmt.Errorf("capacity: retargeting %d committed cores from %s with %d committed",
+			cores, from, src.committed)
+	}
+	if free := l.Free(to); free < cores {
+		return fmt.Errorf("capacity: %s has %d free cores, retarget needs %d", to, free, cores)
+	}
+	src.committed -= cores
+	dst.committed += cores
+	l.Retargets++
+	l.gen++
+	return nil
+}
+
+// Retarget atomically moves `cores` of the lease's claim to another cloud,
+// returning the lease now holding them there (the remainder, if any, stays
+// behind on the source). Held claims re-check the destination's physical
+// invariant; reservations move freely (they are advisory until committed).
+// Kind, start, and estimated end carry over, so a consolidating gang
+// member's hand-back estimate survives the move and future probes stay
+// exact. Fails without touching either account when the destination lacks
+// room or the lease is closed.
+func (le *Lease) Retarget(to string, cores int) (*Lease, error) {
+	l := le.l
+	if le.closed {
+		return nil, fmt.Errorf("capacity: retargeting a closed lease")
+	}
+	if cores <= 0 || cores > le.Cores {
+		return nil, fmt.Errorf("capacity: retargeting %d of a %d-core lease", cores, le.Cores)
+	}
+	dst := l.accounts[to]
+	if dst == nil {
+		return nil, fmt.Errorf("capacity: unknown cloud %q", to)
+	}
+	if to == le.Cloud {
+		return le, nil
+	}
+	if le.Kind == Held {
+		if free := l.Free(to); free < cores {
+			return nil, fmt.Errorf("capacity: %s has %d free cores, retarget needs %d", to, free, cores)
+		}
+	}
+	src := l.accounts[le.Cloud]
+	if cores == le.Cores {
+		delete(src.leases, le.id)
+		*src.kindCores(le.Kind) -= le.Cores
+		src.index(le, false)
+		le.closed = true
+	} else {
+		// Shrink the source lease in place: re-key its time-index entry to
+		// the reduced core count.
+		src.index(le, false)
+		le.Cores -= cores
+		*src.kindCores(le.Kind) -= cores
+		src.index(le, true)
+	}
+	moved := l.newLease(dst, cores, le.Kind, le.At, le.End)
+	l.Retargets++
+	l.gen++
+	return moved, nil
 }
 
 // String renders one line per cloud for debugging and logs.

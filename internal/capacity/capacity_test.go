@@ -222,10 +222,148 @@ func TestCommitReservationChecksCapacity(t *testing.T) {
 	}
 }
 
+// TestEvictLease: evicting a held lease frees its cores and shields them
+// with a reservation in the same transition — probes cannot slip a claim in
+// between — and double-evict is an idempotent no-op.
+func TestEvictLease(t *testing.T) {
+	l := ledger2()
+	victim, _ := l.AcquireUntil("a", 6, 500*sim.Second)
+	g := l.Generation()
+	shield, err := l.Evict(victim, 100*sim.Second)
+	if err != nil || shield == nil {
+		t.Fatalf("evict: shield=%v err=%v", shield, err)
+	}
+	if l.Generation() == g {
+		t.Fatal("evict did not bump the generation")
+	}
+	if l.Held("a") != 0 || l.Free("a") != 8 || l.Reserved("a") != 6 {
+		t.Fatalf("held=%d free=%d reserved=%d after evict", l.Held("a"), l.Free("a"), l.Reserved("a"))
+	}
+	// The shield shades probes from its start instant exactly like any
+	// reservation: an indefinite claim overlapping t=100 is denied the cores.
+	if l.Probe("a", 3, 0) {
+		t.Fatal("probe took the evicted cores out from under the shield")
+	}
+	if !l.Probe("a", 2, 0) {
+		t.Fatal("probe denied the cores the shield leaves over")
+	}
+	// Idempotent double-evict: the victim is closed, nothing changes.
+	again, err := l.Evict(victim, 200*sim.Second)
+	if again != nil || err != nil {
+		t.Fatalf("double evict: shield=%v err=%v, want nil/nil", again, err)
+	}
+	if l.Reserved("a") != 6 || l.Evictions != 1 {
+		t.Fatalf("double evict changed state: reserved=%d evictions=%d", l.Reserved("a"), l.Evictions)
+	}
+	shield.Release()
+	if !l.Probe("a", 8, 0) {
+		t.Fatal("probe denied after shield release")
+	}
+}
+
+// TestEvictCommitted: committed cores (placed VMs) evict into a beneficiary
+// reservation in one step; evicting more than is committed fails untouched.
+func TestEvictCommitted(t *testing.T) {
+	l := ledger2()
+	if err := l.CommitNow("a", 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.EvictCommitted("a", 7, 0); err == nil {
+		t.Fatal("evicted more cores than are committed")
+	}
+	if l.Committed("a") != 6 {
+		t.Fatalf("failed evict touched the account: committed=%d", l.Committed("a"))
+	}
+	shield, err := l.EvictCommitted("a", 6, 50*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Committed("a") != 0 || l.Free("a") != 8 || l.Reserved("a") != 6 {
+		t.Fatalf("committed=%d free=%d reserved=%d after evict", l.Committed("a"), l.Free("a"), l.Reserved("a"))
+	}
+	if l.Probe("a", 3, 0) {
+		t.Fatal("probe took evicted-committed cores from under the shield")
+	}
+	shield.Release()
+}
+
+// TestRetargetCommitted: the migration transition — committed cores move
+// between clouds with the destination checked first, so a failed retarget
+// leaves both accounts untouched.
+func TestRetargetCommitted(t *testing.T) {
+	l := ledger2()
+	if err := l.CommitNow("a", 6); err != nil {
+		t.Fatal(err)
+	}
+	l.Acquire("b", 12) // 4 free on b
+	if err := l.Retarget("a", "b", 6); err == nil {
+		t.Fatal("retarget into a cloud with 4 free cores succeeded")
+	}
+	if l.Committed("a") != 6 || l.Committed("b") != 0 {
+		t.Fatalf("failed retarget moved cores: a=%d b=%d", l.Committed("a"), l.Committed("b"))
+	}
+	if err := l.Retarget("a", "b", 4); err != nil {
+		t.Fatal(err)
+	}
+	if l.Committed("a") != 2 || l.Committed("b") != 4 || l.Free("b") != 0 {
+		t.Fatalf("after retarget: a=%d b=%d freeB=%d", l.Committed("a"), l.Committed("b"), l.Free("b"))
+	}
+}
+
+// TestLeaseRetarget: a held lease moves (partially) between clouds keeping
+// its estimated end, so probes at the hand-back instant stay exact on both
+// sides; a full move closes the source lease.
+func TestLeaseRetarget(t *testing.T) {
+	l := ledger2()
+	le, _ := l.AcquireUntil("a", 6, 100*sim.Second)
+	moved, err := le.Retarget("b", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Held("a") != 2 || l.Held("b") != 4 {
+		t.Fatalf("held a=%d b=%d after partial retarget", l.Held("a"), l.Held("b"))
+	}
+	if moved.End != 100*sim.Second || moved.Kind != Held {
+		t.Fatalf("moved lease lost its shape: end=%v kind=%v", moved.End, moved.Kind)
+	}
+	if !l.Probe("b", 16, 100*sim.Second) {
+		t.Fatal("probe at the moved lease's estimated end still sees its cores")
+	}
+	rest, err := le.Retarget("b", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if le.Active() {
+		t.Fatal("full retarget left the source lease active")
+	}
+	if l.Held("a") != 0 || l.Held("b") != 6 {
+		t.Fatalf("held a=%d b=%d after full retarget", l.Held("a"), l.Held("b"))
+	}
+	// Held retargets respect the destination's physical invariant.
+	big, _ := l.Acquire("b", 10) // b full: 6 moved + 10
+	if _, err := rest.Retarget("a", 2); err != nil {
+		t.Fatalf("retarget back to an empty cloud: %v", err)
+	}
+	if _, err := big.Retarget("a", 10); err == nil {
+		t.Fatal("retarget of 10 cores onto an 8-core cloud succeeded")
+	}
+	// Reservations move freely: they are advisory until committed.
+	resv, _ := l.Reserve("b", 16, 300*sim.Second)
+	if _, err := resv.Retarget("a", 16); err != nil {
+		t.Fatalf("reservation retarget: %v", err)
+	}
+	if l.Reserved("a") != 16 || l.Reserved("b") != 0 {
+		t.Fatalf("reserved a=%d b=%d after reservation retarget", l.Reserved("a"), l.Reserved("b"))
+	}
+}
+
 // TestLedgerInvariantRandomized drives randomized sequences of
-// Reserve/Acquire/Commit/Release across clouds and checks, after every
-// operation, that committed+held never exceeds TotalCores on any cloud and
-// that releases (including doubles) never mint capacity.
+// Reserve/Acquire/Commit/Release — plus the forced transitions Evict,
+// EvictCommitted, and Retarget — across clouds and checks, after every
+// operation, that committed+held never exceeds TotalCores on any cloud,
+// that releases and double-evicts (both idempotent) never mint capacity,
+// and that the cached aggregates and time-indexed Headroom agree with raw
+// lease walks.
 func TestLedgerInvariantRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	l := New()
@@ -240,7 +378,8 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 	}
 	type entry struct {
 		lease     *Lease
-		committed bool // survived a successful Commit (held kind)
+		committed bool   // survived a successful Commit (held kind)
+		cloud     string // committed cores' current cloud (follows Retarget)
 	}
 	var live []*entry
 	committedBy := map[string]int{} // our model of the committed aggregate
@@ -290,7 +429,7 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 	for step := 0; step < 5000; step++ {
 		cloud := names[rng.Intn(len(names))]
 		cores := 1 + rng.Intn(6)
-		switch op := rng.Intn(10); {
+		switch op := rng.Intn(14); {
 		case op < 3: // acquire (sometimes with an estimated end)
 			var end sim.Time
 			if rng.Intn(2) == 0 {
@@ -313,7 +452,8 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 			wasActive := e.lease.Active()
 			if err := e.lease.Commit(); err == nil && wasActive && !e.committed {
 				e.committed = true
-				committedBy[e.lease.Cloud] += e.lease.Cores
+				e.cloud = e.lease.Cloud
+				committedBy[e.cloud] += e.lease.Cores
 			}
 		case op < 9 && len(live) > 0: // release (sometimes twice)
 			e := live[rng.Intn(len(live))]
@@ -321,11 +461,76 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 			if rng.Intn(3) == 0 {
 				e.lease.Release()
 			}
+		case op < 10 && len(live) > 0: // evict a lease (sometimes twice)
+			e := live[rng.Intn(len(live))]
+			wasActive := e.lease.Active()
+			shield, err := l.Evict(e.lease, sim.Time(rng.Intn(1000))*sim.Second)
+			if err != nil {
+				t.Fatalf("step %d: evict: %v", step, err)
+			}
+			if wasActive != (shield != nil) {
+				t.Fatalf("step %d: evict of active=%v lease returned shield=%v", step, wasActive, shield)
+			}
+			if shield != nil {
+				live = append(live, &entry{lease: shield})
+			}
+			if again, err := l.Evict(e.lease, 0); again != nil || err != nil {
+				t.Fatalf("step %d: double evict not idempotent: shield=%v err=%v", step, again, err)
+			}
+		case op < 11: // evict committed cores into a beneficiary reservation
+			for i, e := range live {
+				if e.committed {
+					shield, err := l.EvictCommitted(e.cloud, e.lease.Cores, sim.Time(rng.Intn(1000))*sim.Second)
+					if err != nil {
+						t.Fatalf("step %d: evict committed: %v", step, err)
+					}
+					committedBy[e.cloud] -= e.lease.Cores
+					live = append(live[:i], live[i+1:]...)
+					live = append(live, &entry{lease: shield})
+					break
+				}
+			}
+		case op < 12: // retarget committed cores to another cloud (migration)
+			for _, e := range live {
+				if e.committed {
+					dst := names[rng.Intn(len(names))]
+					err := l.Retarget(e.cloud, dst, e.lease.Cores)
+					switch {
+					case err == nil:
+						committedBy[e.cloud] -= e.lease.Cores
+						committedBy[dst] += e.lease.Cores
+						e.cloud = dst
+					case dst != e.cloud && l.Free(dst) >= e.lease.Cores:
+						t.Fatalf("step %d: retarget of %d denied with %d free at %s: %v",
+							step, e.lease.Cores, l.Free(dst), dst, err)
+					}
+					break
+				}
+			}
+		case op < 13 && len(live) > 0: // retarget (part of) a live lease
+			e := live[rng.Intn(len(live))]
+			if !e.lease.Active() {
+				break
+			}
+			dst := names[rng.Intn(len(names))]
+			part := 1 + rng.Intn(e.lease.Cores)
+			moved, err := e.lease.Retarget(dst, part)
+			switch {
+			case err == nil:
+				if moved != e.lease {
+					live = append(live, &entry{lease: moved})
+				}
+			case e.lease.Kind == Reserved:
+				t.Fatalf("step %d: reservation retarget failed: %v", step, err)
+			case l.Free(dst) >= part && dst != e.lease.Cloud:
+				t.Fatalf("step %d: held retarget of %d denied with %d free at %s: %v",
+					step, part, l.Free(dst), dst, err)
+			}
 		default: // uncommit a committed lease's cores (VM terminated)
 			for i, e := range live {
 				if e.committed {
-					l.Uncommit(e.lease.Cloud, e.lease.Cores)
-					committedBy[e.lease.Cloud] -= e.lease.Cores
+					l.Uncommit(e.cloud, e.lease.Cores)
+					committedBy[e.cloud] -= e.lease.Cores
 					live = append(live[:i], live[i+1:]...)
 					break
 				}

@@ -226,7 +226,18 @@ func (vc *VirtualCluster) removeWorker(name string) {
 // future shuffle traffic uses the new location.
 func (vc *VirtualCluster) MigrateWorkers(names []string, dstCloud string, concurrency int,
 	onDone func([]migration.Result, error)) {
-	vc.f.MigrateSet(names, dstCloud, DefaultMigrate(), concurrency, func(rs []migration.Result, err error) {
+	vc.MigrateWorkersOpts(names, dstCloud, DefaultMigrate(), concurrency, onDone)
+}
+
+// MigrateWorkersOpts is MigrateWorkers with explicit migration options —
+// the scheduler's consolidation path selects live pre-copy or
+// suspend/resume by policy here. Each VM still goes through the secure
+// inter-cloud handshake, the atomic committed-core retarget, and overlay
+// reconfiguration (MigrateVM), with the shared destination registry
+// deduplicating inter-VM content across the set.
+func (vc *VirtualCluster) MigrateWorkersOpts(names []string, dstCloud string, opts MigrateOptions,
+	concurrency int, onDone func([]migration.Result, error)) {
+	vc.f.MigrateSet(names, dstCloud, opts, concurrency, func(rs []migration.Result, err error) {
 		dst := vc.f.clouds[dstCloud]
 		if dst != nil {
 			for _, name := range names {
@@ -239,6 +250,17 @@ func (vc *VirtualCluster) MigrateWorkers(names []string, dstCloud string, concur
 			onDone(rs, err)
 		}
 	})
+}
+
+// evictAll tears every live VM down through the ledger-skipping release:
+// the preemption's Ledger.EvictCommitted already moved the committed cores
+// into the beneficiary's shield reservations, so the normal Terminate path
+// would Uncommit a second time.
+func (vc *VirtualCluster) evictAll() {
+	for _, v := range vc.VMs() {
+		vc.mr.RemoveWorker(v.Name)
+		vc.f.releaseVMLedgered(v)
+	}
 }
 
 // WireSpotKill installs the classic spot behaviour on a cloud, integrated

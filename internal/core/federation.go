@@ -192,6 +192,36 @@ func (f *Federation) releaseVM(v *vm.VM) {
 	}
 }
 
+// releaseVMLedgered removes a VM whose ledger transition already happened
+// (a preemption ran Ledger.EvictCommitted first): host accounting, overlay,
+// and federation tracking only — no second Uncommit.
+func (f *Federation) releaseVMLedgered(v *vm.VM) {
+	if m, ok := f.vms[v.Name]; ok {
+		m.cloud.ReleaseLedgered(v)
+		v.State = vm.StateTerminated
+		f.Overlay.Unregister(v.VirtualIP)
+		delete(f.vms, v.Name)
+	}
+}
+
+// unwindRetarget returns an admitted-but-unmigrated VM to its source cloud
+// after its destination host accounting was already released: the committed
+// cores retarget back and the VM re-places on a source host. Either step
+// can fail if capacity moved during the async handshake window — then the
+// cores are returned to the pool (never left stranded committed on a cloud
+// with nothing to Uncommit them) and the VM stays host-less, exactly the
+// ghost the pre-Retarget rollback produced in the same squeeze.
+func (f *Federation) unwindRetarget(src, dst *nimbus.Cloud, v *vm.VM) {
+	if err := f.ledger.Retarget(dst.Name, src.Name, v.Cores); err != nil {
+		f.ledger.Uncommit(dst.Name, v.Cores)
+		src.Adopt(v) // best-effort re-admission through normal commit
+		return
+	}
+	if src.AdoptLedgered(v) == nil {
+		f.ledger.Uncommit(src.Name, v.Cores)
+	}
+}
+
 // MigrateOptions tunes a federation-level migration.
 type MigrateOptions struct {
 	// Live selects pre-copy live migration (true) or suspend/resume.
@@ -238,12 +268,27 @@ func (f *Federation) MigrateVM(name, dstCloud string, opts MigrateOptions, onDon
 		f.K.Schedule(0, func() { finish(migration.Result{}, fmt.Errorf("core: VM %q has no host at %s", name, src.Name)) })
 		return
 	}
-	// Admission at the destination (reservation) before moving bytes.
+	// Admission at the destination before moving bytes: one atomic ledger
+	// transition (the VM's committed cores retarget src→dst), then host
+	// bookkeeping through the ledger-skipping paths. A failed admission
+	// touches nothing, and no instant exists between the source release and
+	// the destination commit for a concurrent deploy to take the cores —
+	// the release+acquire race the ledger's Retarget exists to close.
 	v := m.vm
-	src.Release(v)
-	dstHost := dst.Adopt(v)
-	if dstHost == nil {
-		src.Adopt(v) // roll back
+	if !dst.CanHost(v) {
+		f.K.Schedule(0, func() { finish(migration.Result{}, fmt.Errorf("core: cloud %s cannot host %s", dstCloud, name)) })
+		return
+	}
+	if err := f.ledger.Retarget(src.Name, dst.Name, v.Cores); err != nil {
+		f.K.Schedule(0, func() {
+			finish(migration.Result{}, fmt.Errorf("core: cloud %s cannot host %s: %v", dstCloud, name, err))
+		})
+		return
+	}
+	src.ReleaseLedgered(v)
+	dstHost := dst.AdoptLedgered(v)
+	if dstHost == nil { // unreachable after CanHost; defensive roll back
+		f.unwindRetarget(src, dst, v)
 		f.K.Schedule(0, func() { finish(migration.Result{}, fmt.Errorf("core: cloud %s cannot host %s", dstCloud, name)) })
 		return
 	}
@@ -280,8 +325,8 @@ func (f *Federation) MigrateVM(name, dstCloud string, opts MigrateOptions, onDon
 	f.Broker.Establish(srcHost.Node, dstHost.Node, f.creds[src.Name], f.creds[dst.Name],
 		func(_ *secure.Channel, err error) {
 			if err != nil {
-				dst.Release(v)
-				src.Adopt(v)
+				dst.ReleaseLedgered(v)
+				f.unwindRetarget(src, dst, v)
 				finish(migration.Result{}, err)
 				return
 			}
@@ -412,20 +457,35 @@ func (f *Federation) Snapshot() *autonomic.State {
 // EnableAutonomic starts the adaptation engine with the given policies,
 // executing proposed relocations as federation migrations.
 func (f *Federation) EnableAutonomic(interval sim.Time, policies ...autonomic.Policy) *autonomic.Engine {
-	f.engine = autonomic.NewEngine(f.K, f.Snapshot, func(a autonomic.Action) bool {
-		m, ok := f.vms[a.VM]
-		if !ok || m.cloud.Name != a.From {
-			return false
-		}
-		dst := f.clouds[a.To]
-		if dst == nil || dst.FreeCores() < m.vm.Cores {
-			return false
-		}
-		f.MigrateVM(a.VM, a.To, DefaultMigrate(), nil)
-		return true
-	}, policies...)
+	f.engine = autonomic.NewEngine(f.K, f.Snapshot, f.executeAction, policies...)
 	f.engine.Start(interval)
 	return f.engine
+}
+
+// executeAction performs one autonomic relocation Action. A VM owned by a
+// running scheduler job no longer migrates blind: it routes through the
+// scheduler-aware relocation path, which live-migrates the worker, rebinds
+// its MapReduce task placement at the new site, and rewrites the job's
+// plan and pending-release entries — so an autonomic consolidation
+// proposal now adapts *running* gangs, not just future placement. Other
+// VMs migrate directly, as before.
+func (f *Federation) executeAction(a autonomic.Action) bool {
+	m, ok := f.vms[a.VM]
+	if !ok || m.cloud.Name != a.From {
+		return false
+	}
+	dst := f.clouds[a.To]
+	if dst == nil || dst.FreeCores() < m.vm.Cores {
+		return false
+	}
+	if b := f.schedBackend; b != nil {
+		if lj := b.owner[a.VM]; lj != nil && lj.vc != nil {
+			b.relocateWorkers(lj, a.From, a.To, []string{a.VM}, true, nil)
+			return true
+		}
+	}
+	f.MigrateVM(a.VM, a.To, DefaultMigrate(), nil)
+	return true
 }
 
 // Engine returns the running autonomic engine (nil before EnableAutonomic).

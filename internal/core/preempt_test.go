@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/autonomic"
+	"repro/internal/mapreduce"
+	"repro/internal/nimbus"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Tests for revocable placement on the real federation stack: preemption
+// tears down live virtual clusters through the ledger's eviction
+// transition, consolidation live-migrates a spanning gang's workers onto
+// one cloud, and autonomic Actions on scheduler-owned VMs rewrite the
+// job's plan.
+
+// bigCloudFederation builds n clouds of 4 x 8-core hosts (32 cores each)
+// with a seeded image and the scheduler enabled.
+func bigCloudFederation(t *testing.T, seed int64, n int, cfg sched.Config) (*Federation, *sched.Scheduler) {
+	t.Helper()
+	f := NewFederation(seed)
+	for i := 0; i < n; i++ {
+		name := []string{"cloud0", "cloud1", "cloud2"}[i]
+		c := f.AddCloud(nimbus.Config{
+			Name: name, Hosts: 4,
+			HostSpec: nimbus.HostSpec{Cores: 8, MemPages: 64 * 8192, Speed: 1.0},
+			NICBW:    125 << 20, WANUp: 60 << 20, WANDown: 60 << 20,
+			PricePerCoreHour: 0.08,
+		})
+		m := vm.NewContentModel(seed+int64(i)*13, "debian", 0.1, 0.5, 1024)
+		c.PutImage(vm.NewDiskImage("debian", 256, 65536, m))
+	}
+	s := f.EnableScheduler(SchedulerOptions{Sched: cfg})
+	return f, s
+}
+
+// TestFederationPreemption: a backfilled job with an optimistic estimate
+// keeps the blocked head's reservation slipping; the eviction pass tears
+// its cluster down (committed cores → shield reservation, VMs through the
+// ledgered release), the head's gang starts, and the victim requeues and
+// still completes. The ledger and hosts balance at the end.
+func TestFederationPreemption(t *testing.T) {
+	f := NewFederation(31)
+	c := f.AddCloud(nimbus.Config{
+		Name: "c0", Hosts: 4,
+		HostSpec: nimbus.HostSpec{Cores: 4, MemPages: 64 * 8192, Speed: 1.0},
+		NICBW:    125 << 20, WANUp: 60 << 20, WANDown: 60 << 20,
+		PricePerCoreHour: 0.08,
+	})
+	c.PutImage(vm.NewDiskImage("debian", 256, 65536, vm.NewContentModel(31, "debian", 0.1, 0.5, 1024)))
+	s := f.EnableScheduler(SchedulerOptions{Sched: sched.Config{EnablePreemption: true}})
+	s.AddTenant("t", 1)
+	submit := func(name string, workers int, est float64, mr mapreduce.Job) string {
+		id, err := s.Submit(sched.JobSpec{Tenant: "t", Name: name, Workers: workers,
+			CoresPerWorker: 2, EstimateSeconds: est, MR: mr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// hold: 8 of 16 cores, roughly honest estimate (~60 s of map work).
+	submit("hold", 4, 60, mapreduce.Job{Name: "hold", NumMaps: 8, NumReduces: 1, MapCPU: 50, ReduceCPU: 1})
+	// head: the whole cloud; blocked behind hold + liar.
+	head := submit("head", 8, 30, mapreduce.Job{Name: "head", NumMaps: 8, NumReduces: 1, MapCPU: 25, ReduceCPU: 1})
+	// liar: estimates 50 s (so it backfills under the ~60 s reservation)
+	// but carries ~200 s of map work.
+	liar := submit("liar", 4, 50, mapreduce.Job{Name: "liar", NumMaps: 16, NumReduces: 1, MapCPU: 100, ReduceCPU: 1})
+	f.K.Run()
+	hi, _ := s.Poll(head)
+	li, _ := s.Poll(liar)
+	if hi.State != sched.Done || li.State != sched.Done {
+		t.Fatalf("states: head=%v (err %v) liar=%v (err %v)", hi.State, hi.Err, li.State, li.Err)
+	}
+	if s.Preemptions != 1 || li.Preemptions != 1 {
+		t.Fatalf("Preemptions: scheduler=%d liar=%d, want 1/1", s.Preemptions, li.Preemptions)
+	}
+	// Without preemption the head cannot start before the liar's true
+	// completion (~230 s); with it, eviction fires a few slips after t≈75.
+	if hi.Started >= 150*sim.Second {
+		t.Errorf("head started at %v — preemption never freed the liar's cores", hi.Started)
+	}
+	if li.Started <= hi.Started {
+		t.Errorf("evicted liar restarted at %v, not after the head's %v", li.Started, hi.Started)
+	}
+	if n := len(f.VMNames()); n != 0 {
+		t.Errorf("%d VMs leaked", n)
+	}
+	if free := c.FreeCores(); free != 16 {
+		t.Errorf("c0 free=%d after drain, want 16 (eviction unbalanced the ledger)", free)
+	}
+	if got := f.CapacityLedger().Evictions; got == 0 {
+		t.Error("no ledger eviction transition recorded")
+	}
+}
+
+// TestFederationConsolidation: a gang spanning two clouds (because both
+// were partially busy) live-migrates onto one member when the co-tenant
+// finishes — the workers move over the WAN, the MapReduce bindings and the
+// scheduler plan follow, and the shuffle then pays zero cross-site bytes.
+func TestFederationConsolidation(t *testing.T) {
+	run := func(consolidate bool) (sched.JobInfo, *Federation, *sched.Scheduler) {
+		f, s := bigCloudFederation(t, 37, 2, sched.Config{EnableConsolidation: consolidate})
+		s.AddTenant("t", 1)
+		mrFill := mapreduce.Job{Name: "fill", NumMaps: 16, NumReduces: 1, MapCPU: 40, ReduceCPU: 1}
+		for _, n := range []string{"f0", "f1"} {
+			if _, err := s.Submit(sched.JobSpec{Tenant: "t", Name: n, Workers: 8,
+				CoresPerWorker: 2, EstimateSeconds: 45, MR: mrFill}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// 24 single-core workers: neither cloud's 16 free cores fit → spans.
+		gang, err := s.Submit(sched.JobSpec{Tenant: "t", Name: "gang", Workers: 24,
+			CoresPerWorker: 1, EstimateSeconds: 260,
+			MR: mapreduce.Job{Name: "gang", NumMaps: 48, NumReduces: 4, MapCPU: 120,
+				ReduceCPU: 2, ShuffleBytesPerMapPerReduce: 1 << 20}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.K.Run()
+		ji, _ := s.Poll(gang)
+		return ji, f, s
+	}
+
+	ji, f, s := run(true)
+	if ji.State != sched.Done {
+		t.Fatalf("gang state %v err %v", ji.State, ji.Err)
+	}
+	if s.Consolidations != 1 {
+		t.Fatalf("Consolidations = %d, want 1", s.Consolidations)
+	}
+	if ji.Plan.Spanning() || ji.Plan.Workers() != 24 {
+		t.Fatalf("gang plan after consolidation = %v, want 24 workers on one cloud", ji.Plan)
+	}
+	if ji.Result.CrossSiteShuffleBytes != 0 {
+		t.Errorf("consolidated gang still paid %d cross-site shuffle bytes", ji.Result.CrossSiteShuffleBytes)
+	}
+	if f.Migrations == 0 {
+		t.Error("no live migrations recorded for the consolidation")
+	}
+	if n := len(f.VMNames()); n != 0 {
+		t.Errorf("%d VMs leaked", n)
+	}
+	for _, c := range f.Clouds() {
+		if c.FreeCores() != c.TotalCores() {
+			t.Errorf("%s free=%d total=%d after drain", c.Name, c.FreeCores(), c.TotalCores())
+		}
+	}
+	if f.CapacityLedger().Retargets == 0 {
+		t.Error("no ledger retarget transitions recorded")
+	}
+
+	// Contrast: without consolidation the same gang pays real WAN shuffle.
+	jiOff, _, _ := run(false)
+	if jiOff.Result.CrossSiteShuffleBytes == 0 {
+		t.Error("un-consolidated spanning gang paid no cross-site shuffle; scenario broken")
+	}
+}
+
+// TestAutonomicActionRelocatesSchedulerWorker: an autonomic relocation
+// Action whose VM belongs to a running scheduler job routes through the
+// plan-aware path — the worker migrates, and the scheduler's plan shows
+// the new member.
+func TestAutonomicActionRelocatesSchedulerWorker(t *testing.T) {
+	f, s := bigCloudFederation(t, 41, 2, sched.Config{})
+	s.AddTenant("t", 1)
+	id, err := s.Submit(sched.JobSpec{Tenant: "t", Name: "steady", Workers: 2,
+		CoresPerWorker: 2, EstimateSeconds: 200,
+		MR: mapreduce.Job{Name: "steady", NumMaps: 8, NumReduces: 1, MapCPU: 100, ReduceCPU: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	f.K.At(40*sim.Second, func() {
+		for _, name := range f.VMNames() {
+			if c := f.CloudOf(name); c != nil && c.Name == "cloud0" {
+				if !f.executeAction(autonomic.Action{VM: name, From: "cloud0", To: "cloud1", Reason: "test"}) {
+					t.Error("executeAction rejected a movable scheduler worker")
+				}
+				moved = true
+				return
+			}
+		}
+		t.Error("no scheduler VM found on cloud0")
+	})
+	f.K.Run()
+	if !moved {
+		return
+	}
+	ji, _ := s.Poll(id)
+	if ji.State != sched.Done {
+		t.Fatalf("job state %v err %v", ji.State, ji.Err)
+	}
+	if ji.Plan.WorkersOn("cloud1") != 1 || ji.Plan.WorkersOn("cloud0") != 1 {
+		t.Errorf("plan %v after autonomic relocation, want 1 worker on each cloud", ji.Plan)
+	}
+	if f.Migrations != 1 {
+		t.Errorf("Migrations = %d, want 1", f.Migrations)
+	}
+}

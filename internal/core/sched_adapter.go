@@ -7,6 +7,7 @@ import (
 	"repro/internal/capacity"
 	"repro/internal/emr"
 	"repro/internal/mapreduce"
+	"repro/internal/migration"
 	"repro/internal/netmon"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -29,6 +30,11 @@ type SchedulerOptions struct {
 	// MemPagesPerWorker sizes worker VMs. Zero means 8192 (32 MiB), which
 	// keeps simulations fast.
 	MemPagesPerWorker int
+	// SuspendResumeMigration makes scheduler-driven relocations (the
+	// consolidation pass, autonomic Actions on scheduler jobs) use the
+	// suspend/resume transfer instead of live pre-copy — cheaper on the
+	// WAN, at the price of downtime for the moved workers.
+	SuspendResumeMigration bool
 	// Sched tunes the scheduler itself.
 	Sched sched.Config
 }
@@ -61,6 +67,14 @@ type launchedJob struct {
 	// extras lists the clouds hosting elastically grown workers, one entry
 	// per worker in grow order; Shrink releases from the end.
 	extras []string
+	// preempted marks a job torn down by the scheduler's eviction pass: its
+	// cluster is gone and any straggling completion must be dropped.
+	preempted bool
+	// relocations counts in-flight worker migrations; while nonzero the job
+	// is not preemptible (the VMs' ledger cores are already retargeted to
+	// the destination while CloudOf still answers the source — an eviction
+	// in that window would split the accounting across two clouds).
+	relocations int
 }
 
 // EnableScheduler creates the federation-wide job scheduler and starts its
@@ -253,6 +267,118 @@ func (h *fedHandle) Progress() (int, int, int, int) {
 		return 0, 0, 0, 0
 	}
 	return h.lj.vc.MapReduce().Progress()
+}
+
+// Preemptible implements sched.Preemptor: a job whose cluster is still
+// provisioning cannot free its cores synchronously, and one with a worker
+// migration in flight has its capacity split across clouds — neither is a
+// victim candidate.
+func (h *fedHandle) Preemptible() bool {
+	return h.lj.vc != nil && !h.lj.preempted && h.lj.relocations == 0
+}
+
+// Preempt implements sched.Preemptor: the gang's committed cores convert
+// per cloud into beneficiary shield reservations through the ledger's
+// atomic eviction transition, then the worker VMs tear down through the
+// ledger-skipping release (their ledger side already moved). No Outcome is
+// delivered — the scheduler requeues the job.
+func (h *fedHandle) Preempt(at sim.Time) []*capacity.Lease {
+	lj := h.lj
+	if lj.vc == nil || lj.preempted {
+		return nil
+	}
+	lj.preempted = true
+	f := h.b.f
+	byCloud := make(map[string]int)
+	vms := lj.vc.VMs()
+	for _, v := range vms {
+		if c := f.CloudOf(v.Name); c != nil {
+			byCloud[c.Name] += v.Cores
+		}
+	}
+	clouds := make([]string, 0, len(byCloud))
+	for c := range byCloud {
+		clouds = append(clouds, c)
+	}
+	sort.Strings(clouds)
+	var shields []*capacity.Lease
+	for _, cloud := range clouds {
+		if sh, err := f.ledger.EvictCommitted(cloud, byCloud[cloud], at); err == nil {
+			shields = append(shields, sh)
+		}
+	}
+	h.b.release(lj)
+	lj.vc.evictAll()
+	return shields
+}
+
+// Relocate implements sched.Relocator: `workers` of the job's workers on
+// `from` live-migrate to `to` (or suspend/resume, per SchedulerOptions),
+// with the secure handshake, the atomic committed-core retarget, overlay
+// reconfiguration, and MapReduce rebinding per VM; the backend's own plan
+// copy and extras bookkeeping follow on success.
+func (h *fedHandle) Relocate(from, to string, workers int, onDone func(error)) {
+	lj := h.lj
+	if lj.vc == nil {
+		h.b.f.K.Schedule(0, func() { onDone(fmt.Errorf("core: job cluster not up yet")) })
+		return
+	}
+	names := lj.vc.VMsAt(from)
+	if len(names) < workers {
+		h.b.f.K.Schedule(0, func() {
+			onDone(fmt.Errorf("core: job has %d workers on %s, relocate wants %d", len(names), from, workers))
+		})
+		return
+	}
+	// notify=false: the scheduler initiated this move and rewrites the
+	// job's plan in its own completion callback.
+	h.b.relocateWorkers(lj, from, to, names[:workers], false, onDone)
+}
+
+// relocateWorkers migrates the named worker VMs of one scheduler job and
+// reconciles every record that tracks where the gang lives: the launched
+// job's plan copy, its extras list, the owner map, and the scheduler's
+// plan and release entries via JobRelocated. A partially failed batch is
+// reconciled for exactly the workers that DID move (their ledger cores and
+// MapReduce bindings are already at the destination) — the error still
+// propagates, but no record is left describing the old placement. The
+// scheduler is notified for backend-initiated moves (notify, e.g.
+// autonomic Actions) and for partial scheduler-initiated ones (whose own
+// completion callback skips the plan rewrite on error).
+func (b *fedBackend) relocateWorkers(lj *launchedJob, from, to string, names []string, notify bool, onDone func(error)) {
+	opts := DefaultMigrate()
+	if b.opt.SuspendResumeMigration {
+		opts.Live = false
+	}
+	lj.relocations++
+	lj.vc.MigrateWorkersOpts(names, to, opts, 2, func(rs []migration.Result, err error) {
+		lj.relocations--
+		// MigrateSet reports one Result per VM that completed the move.
+		if moved := len(rs); moved > 0 && !lj.preempted {
+			// Base-plan workers move the plan; any remainder must have been
+			// elastic extras, whose cloud labels follow instead.
+			baseMoved := lj.plan.WorkersOn(from)
+			if baseMoved > moved {
+				baseMoved = moved
+			}
+			lj.plan = lj.plan.MoveWorkers(from, to, baseMoved)
+			for n := moved - baseMoved; n > 0; n-- {
+				for k, c := range lj.extras {
+					if c == from {
+						lj.extras[k] = to
+						break
+					}
+				}
+			}
+			b.adopt(lj)
+			if baseMoved > 0 && (notify || err != nil) {
+				b.s.JobRelocated(lj.id, from, to, baseMoved)
+			}
+		}
+		if onDone != nil {
+			onDone(err)
+		}
+	})
 }
 
 // adopt (re)registers every live VM of the job as owned, so revocations and

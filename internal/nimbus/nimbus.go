@@ -385,6 +385,23 @@ func (c *Cloud) bind(v *vm.VM, h *Host) {
 
 // Release frees v's resources on this cloud (termination or migration away).
 func (c *Cloud) Release(v *vm.VM) {
+	if c.releaseHost(v) {
+		c.ledger.Uncommit(c.Name, v.Cores)
+	}
+}
+
+// ReleaseLedgered frees v's host resources without touching the capacity
+// ledger — the teardown half of a forced transition
+// (capacity.Ledger.EvictCommitted, capacity.Ledger.Retarget) whose ledger
+// side already happened in one atomic step. Using Release here instead
+// would Uncommit a second time and mint capacity.
+func (c *Cloud) ReleaseLedgered(v *vm.VM) {
+	c.releaseHost(v)
+}
+
+// releaseHost frees v's host cores/pages and stops its billing, reporting
+// whether the VM was found here.
+func (c *Cloud) releaseHost(v *vm.VM) bool {
 	for _, h := range c.hosts {
 		if _, ok := h.vms[v.Name]; ok {
 			c.accrue()
@@ -392,11 +409,25 @@ func (c *Cloud) Release(v *vm.VM) {
 			h.usedPages -= v.Mem.NumPages()
 			delete(h.vms, v.Name)
 			c.runningCores -= v.Cores
-			c.ledger.Uncommit(c.Name, v.Cores)
-			return
+			return true
 		}
 	}
+	return false
 }
+
+// hostFor returns the first host with room for the VM, or nil.
+func (c *Cloud) hostFor(v *vm.VM) *Host {
+	for _, h := range c.hosts {
+		if h.FreeCores() >= v.Cores && h.FreePages() >= v.Mem.NumPages() {
+			return h
+		}
+	}
+	return nil
+}
+
+// CanHost reports whether some host has room for the VM — the host-level
+// precheck callers run before an atomic ledger retarget.
+func (c *Cloud) CanHost(v *vm.VM) bool { return c.hostFor(v) != nil }
 
 // Adopt places an inbound migrated VM onto a host with capacity and returns
 // that host (nil if the cloud is full). The caller performs the actual
@@ -404,18 +435,32 @@ func (c *Cloud) Release(v *vm.VM) {
 // and placement are one instant here, so the ledger is charged and
 // committed in a single step.
 func (c *Cloud) Adopt(v *vm.VM) *Host {
-	for _, h := range c.hosts {
-		if h.FreeCores() >= v.Cores && h.FreePages() >= v.Mem.NumPages() {
-			if err := c.ledger.CommitNow(c.Name, v.Cores); err != nil {
-				return nil
-			}
-			h.usedCores += v.Cores
-			h.usedPages += v.Mem.NumPages()
-			c.bind(v, h)
-			return h
-		}
+	h := c.hostFor(v)
+	if h == nil {
+		return nil
 	}
-	return nil
+	if err := c.ledger.CommitNow(c.Name, v.Cores); err != nil {
+		return nil
+	}
+	h.usedCores += v.Cores
+	h.usedPages += v.Mem.NumPages()
+	c.bind(v, h)
+	return h
+}
+
+// AdoptLedgered places an inbound VM whose ledger transition already
+// happened (capacity.Ledger.Retarget moved its committed cores here
+// atomically with the source release) — host-level placement and billing
+// only. nil only if no host has room, which CanHost rules out beforehand.
+func (c *Cloud) AdoptLedgered(v *vm.VM) *Host {
+	h := c.hostFor(v)
+	if h == nil {
+		return nil
+	}
+	h.usedCores += v.Cores
+	h.usedPages += v.Mem.NumPages()
+	c.bind(v, h)
+	return h
 }
 
 // HostOf returns the host running the named VM, or nil.

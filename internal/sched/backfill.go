@@ -36,18 +36,51 @@ type reservation struct {
 
 // holdReservation registers the blocked head job's future claim in the
 // capacity ledger (one lease per member cloud) and makes it the
-// scheduler's current reservation, replacing any previous one.
-func (s *Scheduler) holdReservation(r *reservation, cpw int) {
+// scheduler's current reservation, replacing any previous one. With shade
+// false (reservation aging fired) the claim still gates backfill this cycle
+// but takes no ledger leases, so elastic growth stops being shaded by a
+// start estimate that keeps slipping.
+func (s *Scheduler) holdReservation(r *reservation, cpw int, shade bool) {
 	s.dropReservation()
-	l := s.B.Ledger()
-	for _, m := range r.plan.Members {
-		le, err := l.Reserve(m.Cloud, m.Workers*cpw, r.at)
-		if err != nil {
-			continue // unknown cloud: the snapshot and ledger disagree; skip
+	if shade {
+		l := s.B.Ledger()
+		for _, m := range r.plan.Members {
+			le, err := l.Reserve(m.Cloud, m.Workers*cpw, r.at)
+			if err != nil {
+				continue // unknown cloud: the snapshot and ledger disagree; skip
+			}
+			r.leases = append(r.leases, le)
 		}
-		r.leases = append(r.leases, le)
 	}
 	s.resv = r
+}
+
+// trackSlips advances the reservation-aging state for the freshly
+// (re)computed head reservation and reports whether aging fired: the same
+// job's reserved start moved later Config.maxSlips consecutive times. A
+// recompute that holds or improves the start — including a cache hit, which
+// proves the inputs were unchanged — breaks the consecutive chain.
+func (s *Scheduler) trackSlips(r *reservation, hit bool) bool {
+	max := s.cfg.maxSlips()
+	if max <= 0 {
+		return false
+	}
+	if r.job != s.agingJob {
+		s.agingJob, s.agingAt, s.agingSlips = r.job, r.at, 0
+		return false
+	}
+	if hit || r.at <= s.agingAt {
+		s.agingAt, s.agingSlips = r.at, 0
+		return false
+	}
+	s.agingAt = r.at
+	s.agingSlips++
+	if s.agingSlips < max {
+		return false
+	}
+	s.agingSlips = 0 // aging fired: start a fresh observation window
+	s.ReservationAgings++
+	return true
 }
 
 // dropReservation releases the current reservation's ledger leases.
@@ -59,6 +92,96 @@ func (s *Scheduler) dropReservation() {
 		le.Release()
 	}
 	s.resv = nil
+}
+
+// resvCache is the blocked head's reservation recompute cache. reserve()
+// is a pure function of the job, the cycle's working free vector, the
+// release snapshot, and the placement policy's inputs — so a cycle in
+// which none of those moved can reuse the previous answer instead of
+// walking every release instant through the policy again. Validity is
+// keyed on the job ID, the release-list epoch (bumped by every insert,
+// remove, and pattern event), the ledger generation, and a byte-compare of
+// the free vector; it never engages while any release entry is overdue
+// (the overdue remap folds the current time into the snapshot) or for
+// policies that draw randomness (see cacheablePolicy).
+type resvCache struct {
+	ok   bool
+	job  string
+	ver  uint64
+	gen  uint64
+	free []int
+	sums []int // relSumAtResv at the reservation instant
+	plan Plan
+	at   sim.Time
+}
+
+// cacheablePolicy marks placement policies whose Choose is a pure function
+// of (job, view) — no RNG draws, no mutable internal state. Only these let
+// the reservation recompute cache engage (skipping a RandomPlacement walk
+// would desynchronize the kernel RNG stream).
+type cacheablePolicy interface{ PureChoose() bool }
+
+// cachedReserve returns the head job's reservation, reusing the cached one
+// when provably unchanged and otherwise recomputing it from a fresh release
+// snapshot (taken lazily into *releases). On a hit the per-cloud release
+// sums at the reservation instant are restored from the cache too, so the
+// backfill checks downstream see exactly the state a recompute would have
+// produced.
+func (s *Scheduler) cachedReserve(j *Job, v *CloudView, releases *[]coreRelease, have *bool) (reservation, bool, bool) {
+	if s.resvCacheValid(j, v) {
+		s.ResvCacheHits++
+		s.relSumAtResv = append(s.relSumAtResv[:0], s.rcache.sums...)
+		return reservation{job: j.ID, plan: s.rcache.plan, at: s.rcache.at}, true, true
+	}
+	// (Re)take the release snapshot lazily: a dispatch since the last
+	// snapshot (possible when an earlier reservation attempt failed) adds a
+	// release the next reserve() walk must see — exactly the old
+	// rebuild-per-blocked-job behavior, minus the rebuilds whose inputs
+	// could not have changed.
+	if !*have || s.relSnapDirty {
+		*releases = s.snapshotReleases()
+		*have, s.relSnapDirty = true, false
+	}
+	r, ok := s.reserve(j, v, *releases)
+	return r, ok, false
+}
+
+// resvCacheValid reports whether the cached reservation may stand in for a
+// recompute this cycle.
+func (s *Scheduler) resvCacheValid(j *Job, v *CloudView) bool {
+	rc := &s.rcache
+	if !rc.ok || rc.job != j.ID || rc.ver != s.resvEpoch || rc.gen != s.B.Ledger().Generation() {
+		return false
+	}
+	if cp, ok := s.cfg.Placement.(cacheablePolicy); !ok || !cp.PureChoose() {
+		return false
+	}
+	if len(s.releases) > 0 && s.releases[0].at <= s.K.Now() {
+		return false // overdue entries remap to now+1s: time-dependent
+	}
+	if len(rc.free) != len(v.free) {
+		return false
+	}
+	for i, f := range v.free {
+		if rc.free[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheReservation records a freshly computed reservation (and the cycle's
+// release sums at its instant) for reuse by unchanged cycles.
+func (s *Scheduler) cacheReservation(j *Job, v *CloudView, r *reservation) {
+	rc := &s.rcache
+	rc.ok = true
+	rc.job = j.ID
+	rc.ver = s.resvEpoch
+	rc.gen = s.B.Ledger().Generation()
+	rc.free = append(rc.free[:0], v.free...)
+	rc.sums = append(rc.sums[:0], s.relSumAtResv...)
+	rc.plan = r.plan
+	rc.at = r.at
 }
 
 // coreRelease is one running job's estimated hand-back of cores on one
@@ -102,6 +225,7 @@ func (s *Scheduler) insertReleases(j *Job) {
 		s.releases[i] = e
 	}
 	s.relSnapDirty = true
+	s.resvEpoch++
 }
 
 // removeReleases drops the job's entries (contiguous: they share eta and
@@ -116,6 +240,7 @@ func (s *Scheduler) removeReleases(j *Job) {
 	}
 	if n > i {
 		s.releases = append(s.releases[:i], s.releases[n:]...)
+		s.resvEpoch++
 	}
 }
 

@@ -17,10 +17,38 @@ import "repro/internal/sim"
 // scratch first so backend callbacks that complete a job mid-pass cannot
 // disturb the iteration.
 func (s *Scheduler) elasticTick() {
+	// Reservation aging is clock-driven: a quiet system (no completions, no
+	// submissions) runs no cycles, so a slipping reservation would never be
+	// audited. The elastic ticker doubles as that audit clock.
+	if s.cfg.maxSlips() > 0 && s.resv != nil {
+		s.kick()
+	}
 	s.runScratch = append(s.runScratch[:0], s.running...)
 	for _, j := range s.runScratch {
 		if j.State != Running || j.handle == nil {
 			continue
+		}
+		// Forced-preempt path: the voluntary shrink below hands back only
+		// elastic extras; a backfilled job that overran its estimate badly
+		// enough while the head's reservation waits gets the whole gang
+		// reclaimed through the same eviction machinery as head-driven
+		// preemption. The shields it mints persist until the next cycle so
+		// an interleaved grow cannot take the freed cores first.
+		if s.cfg.EnablePreemption && s.resv != nil && s.preemptible(j) &&
+			float64(s.K.Now()-j.Started) > s.cfg.PreemptOverrunFactor*float64(j.estDuration) {
+			s.ForcedPreemptions++
+			s.shields = append(s.shields, s.evict(j, s.resv.at)...)
+			s.kick()
+			continue
+		}
+		// Consolidation pass: a spanning gang whose whole worker set now
+		// fits one of its member clouds migrates onto it (see relocate.go).
+		if s.cfg.EnableConsolidation && j.Plan.Spanning() && !j.relocating {
+			if rel, ok := j.handle.(Relocator); ok {
+				if to := s.consolidationTarget(j); to != "" {
+					s.startConsolidation(j, rel, to)
+				}
+			}
 		}
 		md, mt, rd, rt := j.handle.Progress()
 		if j.Spec.Deadline > 0 {

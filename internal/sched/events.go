@@ -64,6 +64,9 @@ func (s *Scheduler) Notify(ev Event) {
 		if ev.Tenant != "" && ev.Pattern != "" {
 			s.patternOf[ev.Tenant] = ev.Pattern
 			s.PatternEvents++
+			// Pattern boosts feed placement scoring, which the cached head
+			// reservation baked in — invalidate it.
+			s.resvEpoch++
 		}
 	}
 }

@@ -91,6 +91,42 @@ func (p Plan) GrowCandidates(clouds []string) (members, spill []string) {
 	return members, spill
 }
 
+// MoveWorkers returns a copy of the plan with up to `workers` workers moved
+// from one member onto another (merged into an existing member or appended
+// as a new one; a fully drained member disappears). The cost-breakdown
+// fields are zeroed — they described the old shape. Shared by the
+// scheduler's relocation bookkeeping and the backends' own plan copies so
+// the two cannot drift.
+func (p Plan) MoveWorkers(from, to string, workers int) Plan {
+	out := Plan{Members: make([]Member, 0, len(p.Members))}
+	moved := 0
+	for _, m := range p.Members {
+		if m.Cloud == from {
+			take := workers
+			if take > m.Workers {
+				take = m.Workers
+			}
+			m.Workers -= take
+			moved = take
+			if m.Workers == 0 {
+				continue
+			}
+		}
+		out.Members = append(out.Members, m)
+	}
+	if moved == 0 {
+		return Plan{Members: append(out.Members[:0:0], p.Members...)}
+	}
+	for i := range out.Members {
+		if out.Members[i].Cloud == to {
+			out.Members[i].Workers += moved
+			return out
+		}
+	}
+	out.Members = append(out.Members, Member{Cloud: to, Workers: moved})
+	return out
+}
+
 // String renders "cloud0:16+cloud1:8".
 func (p Plan) String() string {
 	if p.Empty() {
@@ -314,6 +350,10 @@ type BestScore struct{}
 // Name implements PlacementPolicy.
 func (BestScore) Name() string { return "best-score" }
 
+// PureChoose marks BestScore's Choose as a pure function of (job, view):
+// the blocked head's reservation recompute cache may reuse its answers.
+func (BestScore) PureChoose() bool { return true }
+
 // Choose implements PlacementPolicy. Candidate plans are scored in
 // scheduler-owned scratch buffers; only the winning plan's members are
 // copied out, so a Choose that places nothing allocates nothing.
@@ -438,6 +478,11 @@ type RandomPlacement struct{}
 
 // Name implements PlacementPolicy.
 func (RandomPlacement) Name() string { return "random" }
+
+// SingleCloudOnly tells the scheduler this policy never spans, enabling the
+// per-cloud blocked-job watermark (frees on clouds smaller than the gang
+// can never wake a job queued under it).
+func (RandomPlacement) SingleCloudOnly() bool { return true }
 
 // Choose implements PlacementPolicy.
 func (RandomPlacement) Choose(s *Scheduler, j *Job, v *CloudView) Plan {

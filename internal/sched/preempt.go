@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/capacity"
+	"repro/internal/sim"
+)
+
+// Spot-priced preemption: placement decisions become revocable. When the
+// blocked head job's reservation has aged out (its reserved start slipped
+// Config.maxSlips consecutive recomputes — the signature of backfilled jobs
+// overrunning the estimates that let them slide past the head), the
+// scheduler evicts the cheapest set of backfilled jobs whose cores let the
+// head start now, instead of waiting for releases that keep not happening.
+//
+// Eviction price is remaining work × tenant share deficit: a victim with
+// most of its run still ahead wastes little completed work, and a victim
+// whose tenant is over its entitled share owes the capacity anyway. Victims
+// requeue with their queue position (submission order within the tenant
+// queue) and progress credit (the executed fraction discounts their next
+// estimate and charge) preserved, and a per-job preemption cap keeps
+// repeated eviction from starving anyone.
+//
+// The capacity side is a first-class ledger transition, not a release +
+// acquire race: each victim lease converts to a beneficiary reservation
+// (capacity.Ledger.Evict) in one step, so nothing can probe the freed cores
+// away between the eviction and the head's dispatch.
+
+// Preemptor is the optional Handle extension backends implement to support
+// eviction: Preempt tears the job's workers down immediately — without
+// delivering an Outcome — and returns the shield leases minted by the
+// ledger eviction transitions (Reserved at `at` for the beneficiary). The
+// scheduler releases the shields once the beneficiary has its capacity.
+type Preemptor interface {
+	// Preemptible reports whether the job can be torn down right now (a
+	// cluster still provisioning cannot free its cores synchronously).
+	Preemptible() bool
+	Preempt(at sim.Time) []*capacity.Lease
+}
+
+// preemptible reports whether a running job is an eviction candidate: only
+// backfilled jobs (they slid past the blocked head; evicting an in-order
+// dispatch would break fair ordering), on capacity the scheduler manages,
+// under the per-job preemption cap, not mid-relocation (tearing down a
+// half-migrated gang would split its accounting across two clouds), with a
+// backend that can tear them down.
+func (s *Scheduler) preemptible(j *Job) bool {
+	if j.State != Running || !j.Backfilled || j.Spec.External() || j.handle == nil || j.relocating {
+		return false
+	}
+	if j.Preemptions >= s.cfg.MaxPreemptions {
+		return false
+	}
+	p, ok := j.handle.(Preemptor)
+	return ok && p.Preemptible()
+}
+
+// evictPrice prices evicting j now: estimated remaining core-seconds scaled
+// by the victim tenant's share deficit. deficit = entitled − delivered, so
+// an underserved tenant's jobs are expensive (they are owed capacity) and
+// an overserved tenant's cheap. The factor is floored so price stays
+// ordered by remaining work even at extreme surpluses.
+func (s *Scheduler) evictPrice(j *Job, now sim.Time, shares, entitled map[string]float64) float64 {
+	remaining := (j.Started + j.estDuration - now).Seconds()
+	if remaining < 0 {
+		remaining = 0
+	}
+	work := remaining * float64(j.coresNow)
+	factor := 1 + (entitled[j.Spec.Tenant] - shares[j.Spec.Tenant])
+	if factor < 0.1 {
+		factor = 0.1
+	}
+	return work * factor
+}
+
+// chooseVictims picks the cheapest set of backfilled jobs whose freed cores
+// give the head job a plan right now: candidates are sorted by eviction
+// price and added to a what-if view one at a time until the placement
+// policy produces a plan. nil when even evicting every candidate leaves the
+// head unplaceable (the eviction would be pure waste, so none happens).
+func (s *Scheduler) chooseVictims(head *Job, v *CloudView) []*Job {
+	cand := s.evictCand[:0]
+	for _, j := range s.running {
+		if j != head && s.preemptible(j) {
+			cand = append(cand, j)
+		}
+	}
+	s.evictCand = cand
+	if len(cand) == 0 {
+		return nil
+	}
+	now := s.K.Now()
+	shares, entitled := s.Shares(), s.EntitledShares()
+	prices := make(map[*Job]float64, len(cand))
+	for _, j := range cand {
+		prices[j] = s.evictPrice(j, now, shares, entitled)
+	}
+	sort.Slice(cand, func(i, k int) bool {
+		if prices[cand[i]] != prices[cand[k]] {
+			return prices[cand[i]] < prices[cand[k]]
+		}
+		return cand[i].seq < cand[k].seq // determinism
+	})
+	av := &s.evictView
+	av.shareIndex(v)
+	for n, victim := range cand {
+		// Only the victim's base plan is credited to the what-if view: the
+		// scheduler does not know which clouds host its elastic extras, and
+		// under-crediting is the safe direction — at worst one more victim
+		// than strictly necessary is evicted, never a head that cannot
+		// actually start.
+		cpw := victim.coresPerWorker()
+		for _, m := range victim.Plan.Members {
+			if p := av.Pos(m.Cloud); p >= 0 {
+				av.free[p] += m.Workers * cpw
+			}
+		}
+		if plan := s.cfg.Placement.Choose(s, head, av); !plan.Empty() {
+			return cand[:n+1]
+		}
+	}
+	return nil
+}
+
+// preemptOutcome reports what the eviction pass did.
+type preemptOutcome int
+
+const (
+	// preemptNone: no viable victim set — nothing was touched.
+	preemptNone preemptOutcome = iota
+	// preemptDispatched: victims evicted, head dispatched on their cores.
+	preemptDispatched
+	// preemptEvictedOnly: victims were evicted and requeued but the head
+	// still found no plan (a backend freed fewer cores than the victims'
+	// recorded plans promised — e.g. unreplaced spot revocations). The
+	// caller must not reuse a reservation computed before the evictions:
+	// its release walk includes the victims' phantom entries.
+	preemptEvictedOnly
+)
+
+// preemptFor runs the eviction pass for the blocked head job at the front
+// of tenant t's queue. On preemptDispatched the victims are torn down and
+// requeued and the head runs on their cores; the caller's cycle continues
+// with a re-snapshotted view. preemptNone leaves everything as it was (no
+// victim is evicted unless the head provably starts).
+func (s *Scheduler) preemptFor(t *Tenant, head *Job, v *CloudView) preemptOutcome {
+	victims := s.chooseVictims(head, v)
+	if victims == nil {
+		return preemptNone
+	}
+	now := s.K.Now()
+	var shields []*capacity.Lease
+	for _, victim := range victims {
+		shields = append(shields, s.evict(victim, now)...)
+	}
+	// Backend teardown freed the cores synchronously (admission is
+	// synchronous since the unified ledger): re-snapshot and place the head.
+	// The mid-cycle frees must advance the watermark clocks here —
+	// observeFrees only diffs at cycle starts, and whatever the head does
+	// not consume would otherwise never wake other unfit-marked jobs.
+	s.evictPrev = append(s.evictPrev[:0], v.free...)
+	v.Reset(s.snapshotClouds())
+	for i, c := range v.Clouds {
+		if i < len(s.evictPrev) {
+			if d := v.free[i] - s.evictPrev[i]; d > 0 {
+				s.freedCum += int64(d)
+				s.freedBy[c.Name] += int64(d)
+			}
+		}
+	}
+	plan := s.cfg.Placement.Choose(s, head, v)
+	if plan.Empty() {
+		// Cannot happen while the what-if view mirrors backend frees; if a
+		// backend ever under-frees, the victims stay requeued (they will
+		// redispatch) and the head keeps waiting on a fresh reservation.
+		for _, le := range shields {
+			le.Release()
+		}
+		return preemptEvictedOnly
+	}
+	s.dispatch(t, head, plan, false, v)
+	cpw := head.coresPerWorker()
+	for _, m := range plan.Members {
+		v.take(m.Cloud, m.Workers*cpw)
+	}
+	for _, le := range shields {
+		le.Release()
+	}
+	s.agingJob, s.agingSlips = "", 0
+	return preemptDispatched
+}
+
+// evict tears one victim down and requeues it: progress credit is computed
+// from the handle's last observed progress, the tenant's accounts are
+// trued up to the work actually delivered, and the job re-enters its
+// tenant's queue at its submission-order position.
+func (s *Scheduler) evict(victim *Job, at sim.Time) []*capacity.Lease {
+	var credit float64
+	if md, mt, rd, rt := victim.handle.Progress(); mt+rt > 0 {
+		credit = float64(md+rd) / float64(mt+rt)
+	}
+	shields := victim.handle.(Preemptor).Preempt(at)
+	s.Preemptions++
+	victim.Preemptions++
+	s.requeue(victim, credit)
+	return shields
+}
+
+// requeue moves a just-evicted job from running back to queued, preserving
+// queue position credit (it re-enters the tenant queue in submission order,
+// ahead of everything submitted after it) and progress credit (the executed
+// fraction of the original work discounts the next dispatch's estimate).
+func (s *Scheduler) requeue(j *Job, progressFrac float64) {
+	t := s.tenants[j.Spec.Tenant]
+	now := s.K.Now()
+	// Bank the work actually delivered and back out the unused remainder of
+	// the dispatch-time charge — the same true-up a completion performs.
+	s.trueUp(t, j, now)
+	s.removeReleases(j)
+	s.dropRunning(j)
+	s.relSnapDirty = true
+	// Progress credit compounds across evictions: the last dispatch ran
+	// (1 − creditFrac) of the original work, of which progressFrac finished.
+	if progressFrac > 0 {
+		j.creditFrac += progressFrac * (1 - j.creditFrac)
+		if j.creditFrac > 0.95 {
+			j.creditFrac = 0.95 // keep the re-estimate strictly positive
+		}
+	}
+	j.State = Queued
+	j.handle = nil
+	j.dispatched = false
+	j.Backfilled = false
+	j.Plan = Plan{}
+	j.Cloud = ""
+	j.coresNow, j.accrued, j.charged = 0, 0, 0
+	j.deadlineGrown, j.spotReplaced, j.shrunk = 0, 0, false
+	j.relocating = false
+	j.unfit = false
+	// Submission-order insert: everything the victim originally preceded,
+	// it still precedes.
+	i := sort.Search(len(t.queue), func(k int) bool { return t.queue[k].seq > j.seq })
+	t.queue = append(t.queue, nil)
+	copy(t.queue[i+1:], t.queue[i:])
+	t.queue[i] = j
+	// Keep this cycle's scan position pointing at the same next-unexamined
+	// entry (and the head job it is about to dispatch).
+	if t.scanCycle == s.Cycles && i <= t.scan {
+		t.scan++
+	}
+	s.nQueued++
+}

@@ -127,6 +127,9 @@ type Job struct {
 	GrewBy int
 	// Revocations counts spot workers lost mid-job.
 	Revocations int
+	// Preemptions counts forced evictions this job suffered (each one
+	// requeued it with queue position and progress credit preserved).
+	Preemptions int
 	Outcome     Outcome
 
 	seq         int
@@ -138,10 +141,16 @@ type Job struct {
 	// the whole-worker slot count available at that instant and unfitFreed
 	// the scheduler's cumulative freed-core clock. Until enough cores free
 	// up to possibly close the gap, later cycles skip re-running placement
-	// for this job (see Scheduler.canFit).
-	unfit      bool
-	unfitSlots int
-	unfitFreed int64
+	// for this job (see Scheduler.canFit). Under a single-cloud-only policy
+	// the record is per-cloud instead (unfitMarks): one {slots, freed-clock}
+	// entry per cloud that could ever host the gang, so frees on clouds the
+	// job can never use do not wake it.
+	unfit         bool
+	unfitSlots    int
+	unfitFreed    int64
+	unfitPerCloud bool
+	unfitGen      uint64
+	unfitMarks    []unfitMark
 	// Delivered-capacity integration: coresNow is the core count the job
 	// holds right now; accrued is core-seconds banked at resize events
 	// (grow/shrink/revocation), so Shares attributes elapsed time at the
@@ -155,6 +164,21 @@ type Job struct {
 	deadlineGrown int
 	spotReplaced  int
 	shrunk        bool
+	// creditFrac is the fraction of the job's original work already
+	// executed before an eviction: a requeued victim's next dispatch
+	// estimates, charges, and reserves only the remaining work.
+	creditFrac float64
+	// relocating guards one in-flight consolidation migration per job.
+	relocating bool
+}
+
+// unfitMark is one cloud's entry in a single-cloud job's watermark record:
+// the whole-worker slots it offered at the failed placement and the value
+// of that cloud's freed-core clock at that instant.
+type unfitMark struct {
+	cloud string
+	slots int
+	freed int64
 }
 
 // coresPerWorker returns the normalised per-worker core count.
@@ -213,16 +237,22 @@ func (j *Job) Wait(now sim.Time) sim.Time {
 }
 
 // estimate returns the speed-1 runtime estimate in seconds, excluding any
-// input-streaming penalty (see Scheduler.estimateAt).
+// input-streaming penalty (see Scheduler.estimateAt). A preempted job
+// carries progress credit: only the uncredited remainder of the original
+// work is estimated (and charged, and reserved) on its next dispatch.
 func (j *Job) estimate() float64 {
-	if j.Spec.EstimateSeconds > 0 {
-		return j.Spec.EstimateSeconds
+	est := j.Spec.EstimateSeconds
+	if est <= 0 {
+		work := j.Spec.MR.SerialWork()
+		if work <= 0 {
+			work = 1
+		}
+		est = work / float64(j.Cores())
 	}
-	work := j.Spec.MR.SerialWork()
-	if work <= 0 {
-		work = 1
+	if j.creditFrac > 0 {
+		est *= 1 - j.creditFrac
 	}
-	return work / float64(j.Cores())
+	return est
 }
 
 // estimateAt returns the runtime estimate in seconds for running under the
@@ -299,6 +329,7 @@ type JobInfo struct {
 	Backfilled  bool
 	GrewBy      int
 	Revocations int
+	Preemptions int
 	Result      mapreduce.Result
 	Err         error
 }
@@ -405,6 +436,36 @@ type Config struct {
 	// DisableSpotReplacement stops the scheduler from growing an on-demand
 	// replacement when a spot worker is revoked mid-job.
 	DisableSpotReplacement bool
+	// EnablePreemption makes placement revocable: when the blocked head
+	// job's reservation has slipped ReservationMaxSlips consecutive times,
+	// the cheapest set of backfilled jobs (priced by remaining work x the
+	// victim tenant's share deficit) is evicted, requeued with queue
+	// position and progress credit preserved, and the head starts on the
+	// freed cores. Off by default: with it off every dispatch decision is
+	// final, exactly the pre-preemption scheduler.
+	EnablePreemption bool
+	// ReservationMaxSlips is the reservation-aging bound: after N
+	// consecutive recomputes each moved the reserved start later, the
+	// reservation's ledger hold is dropped for a cycle (a misestimated gang
+	// cannot shade elastic growth forever) and, with EnablePreemption, the
+	// eviction pass fires. Zero means 3 when EnablePreemption is set and
+	// disabled otherwise; negative disables aging outright.
+	ReservationMaxSlips int
+	// PreemptOverrunFactor is the elastic pass's forced-preempt bound: a
+	// running backfilled job whose elapsed time exceeds factor x its
+	// dispatch estimate while a reservation is waiting is evicted outright
+	// (the voluntary shrink path only returns elastic extras; this one
+	// reclaims the whole gang through the same eviction machinery). Zero
+	// means 2.0. Only active with EnablePreemption.
+	PreemptOverrunFactor float64
+	// MaxPreemptions bounds how many times one job may be evicted, so
+	// repeated preemption cannot starve a victim. Zero means 3.
+	MaxPreemptions int
+	// EnableConsolidation turns on the elastic consolidation pass: a
+	// running spanning gang whose whole worker set fits on one of its
+	// member clouds is live-migrated onto it (backends exposing Relocator),
+	// cutting its cross-site shuffle to zero. Off by default.
+	EnableConsolidation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -438,7 +499,25 @@ func (c Config) withDefaults() Config {
 	if c.DeadlineMargin == 0 {
 		c.DeadlineMargin = 30 * sim.Second
 	}
+	if c.PreemptOverrunFactor == 0 {
+		c.PreemptOverrunFactor = 2.0
+	}
+	if c.MaxPreemptions == 0 {
+		c.MaxPreemptions = 3
+	}
 	return c
+}
+
+// maxSlips returns the effective reservation-aging bound (0 = aging off).
+func (c Config) maxSlips() int {
+	switch {
+	case c.ReservationMaxSlips > 0:
+		return c.ReservationMaxSlips
+	case c.ReservationMaxSlips == 0 && c.EnablePreemption:
+		return 3
+	default:
+		return 0
+	}
 }
 
 // Scheduler is the federation-wide arbiter.
@@ -474,6 +553,29 @@ type Scheduler struct {
 	// backfill.go). Each cycle refreshes it against current estimates.
 	resv *reservation
 
+	// Reservation aging: agingJob/agingAt/agingSlips track how many
+	// consecutive recomputes moved the same head job's reserved start later.
+	// At Config.maxSlips the reservation's ledger hold is dropped for the
+	// cycle and, with preemption on, the eviction pass fires (preempt.go).
+	agingJob   string
+	agingAt    sim.Time
+	agingSlips int
+
+	// rcache is the blocked head's reservation recompute cache: keyed on
+	// the job, the release-list epoch, the ledger generation, and the
+	// cycle's working free vector, a cycle in which none of those moved
+	// reuses the previous reservation instead of walking reserve() again.
+	// resvEpoch bumps on every release insert/remove and pattern event.
+	rcache    resvCache
+	resvEpoch uint64
+
+	// shields are beneficiary reservations minted by ledger evictions
+	// (capacity.Ledger.Evict) that outlive their cycle — the elastic
+	// forced-preempt path holds them so a grow between cycles cannot take
+	// the freed cores before the reserved head sees them. Released at the
+	// next cycle start.
+	shields []*capacity.Lease
+
 	// releases is the maintained pending-release list: one entry per
 	// running job's plan member, sorted by (eta, job, cloud). dispatch
 	// inserts and complete removes, so blocked cycles snapshot it instead
@@ -487,13 +589,23 @@ type Scheduler struct {
 	// gains observed at cycle starts (completions, shrinks, revocations,
 	// resizes — measured as snapshot-vs-previous-cycle-end, so capacity
 	// added behind the scheduler's back counts too); prevFree is the
-	// previous cycle's end-of-cycle free vector it diffs against.
+	// previous cycle's end-of-cycle free vector it diffs against. freedBy
+	// is the same clock kept per cloud, so single-cloud-only policies can
+	// ignore frees on clouds their jobs can never use (see canFit).
 	freedCum int64
 	prevFree map[string]int
+	freedBy  map[string]int64
+
+	// singleCloud records that the placement policy never spans (optional
+	// SingleCloudOnly interface), enabling the per-cloud watermark marks.
+	singleCloud bool
 
 	// Per-cycle scratch, reused across cycles.
 	view         CloudView
 	resvView     CloudView // reserve()'s what-if copy of the view
+	evictView    CloudView // preemption's what-if copy (freed victim cores)
+	evictCand    []*Job    // preemption victim-candidate scratch
+	evictPrev    []int     // pre-eviction free vector (watermark credit)
 	snapScratch  []CloudInfo
 	relScratch   []coreRelease // snapshotReleases output buffer
 	overScratch  []coreRelease // snapshotReleases overdue-remap buffer
@@ -533,12 +645,25 @@ type Scheduler struct {
 	SpotRevocations    int
 	SpotReplacements   int
 	PatternEvents      int
+	// Preemptions counts evicted jobs (head-driven), ForcedPreemptions the
+	// elastic overrun evictions among them; ReservationAgings counts cycles
+	// where a slipping reservation's ledger hold was dropped.
+	Preemptions       int
+	ForcedPreemptions int
+	ReservationAgings int
+	// ConsolidationRequests counts consolidation migrations issued;
+	// Consolidations counts the ones that completed and rewrote the plan.
+	ConsolidationRequests int
+	Consolidations        int
+	// ResvCacheHits counts blocked-head cycles that reused the cached
+	// reservation instead of re-walking reserve().
+	ResvCacheHits int
 }
 
 // New builds a scheduler over the backend. Call Start to enable the elastic
 // policy loop; submission and dispatch work without it.
 func New(b Backend, cfg Config) *Scheduler {
-	return &Scheduler{
+	s := &Scheduler{
 		K:         b.Kernel(),
 		B:         b,
 		cfg:       cfg.withDefaults(),
@@ -546,8 +671,13 @@ func New(b Backend, cfg Config) *Scheduler {
 		active:    make(map[string]*Job),
 		archive:   make(map[string]*Job),
 		prevFree:  make(map[string]int),
+		freedBy:   make(map[string]int64),
 		patternOf: make(map[string]string),
 	}
+	if sc, ok := s.cfg.Placement.(interface{ SingleCloudOnly() bool }); ok {
+		s.singleCloud = sc.SingleCloudOnly()
+	}
+	return s
 }
 
 // jobByID looks a job up in the active set, then the archive.
@@ -667,7 +797,8 @@ func (s *Scheduler) Poll(id string) (JobInfo, bool) {
 		State: j.State, Submitted: j.Submitted, Started: j.Started,
 		Finished: j.Finished, Wait: j.Wait(s.K.Now()),
 		Backfilled: j.Backfilled, GrewBy: j.GrewBy, Revocations: j.Revocations,
-		Result: j.Outcome.Result, Err: j.Outcome.Err,
+		Preemptions: j.Preemptions,
+		Result:      j.Outcome.Result, Err: j.Outcome.Err,
 	}, true
 }
 
@@ -708,6 +839,7 @@ func (s *Scheduler) cycle() {
 	s.cyclePending = false
 	s.Cycles++
 	s.dropReservation()
+	s.dropShields()
 	v := &s.view
 	v.Reset(s.snapshotClouds())
 	s.observeFrees(v)
@@ -743,16 +875,7 @@ func (s *Scheduler) cycle() {
 			continue
 		}
 		if s.resv == nil {
-			// (Re)take the release snapshot lazily: a dispatch since the
-			// last snapshot (possible when an earlier reservation attempt
-			// failed) adds a release the next reserve() walk must see —
-			// exactly the old rebuild-per-blocked-job behavior, minus the
-			// rebuilds whose inputs could not have changed.
-			if !haveReleases || s.relSnapDirty {
-				releases = s.snapshotReleases()
-				haveReleases, s.relSnapDirty = true, false
-			}
-			r, ok := s.reserve(j, v, releases)
+			r, ok, hit := s.cachedReserve(j, v, &releases, &haveReleases)
 			if !ok {
 				if fits, _ := s.fitsFederation(j); !fits {
 					// Even with every running job drained the demand never
@@ -767,8 +890,33 @@ func (s *Scheduler) cycle() {
 				t.scan++
 				continue
 			}
-			s.holdReservation(&r, j.coresPerWorker())
-			s.sumReleasesAt(v, releases, r.at)
+			aged := s.trackSlips(&r, hit)
+			if aged && s.cfg.EnablePreemption {
+				switch s.preemptFor(t, j, v) {
+				case preemptDispatched:
+					// The head dispatched on evicted cores; the view was
+					// re-snapshotted and the release snapshot invalidated.
+					// Serve the next tenant.
+					continue
+				case preemptEvictedOnly:
+					// Victims are gone but the head still has no plan: the
+					// reservation computed above walks their phantom release
+					// entries. Recompute it against the post-eviction state
+					// (the requeues dirtied the release snapshot and bumped
+					// the epoch, so this is a genuine re-walk).
+					if r2, ok2, _ := s.cachedReserve(j, v, &releases, &haveReleases); ok2 {
+						r, hit = r2, false
+					}
+				}
+			}
+			// An aged reservation is held for backfill gating but without
+			// its ledger leases this cycle — the drop-and-refail step that
+			// stops a misestimated gang from shading elastic growth forever.
+			s.holdReservation(&r, j.coresPerWorker(), !aged)
+			if !hit {
+				s.sumReleasesAt(v, releases, r.at)
+				s.cacheReservation(j, v, &r)
+			}
 			if s.cfg.DisableBackfill {
 				break
 			}
@@ -776,6 +924,16 @@ func (s *Scheduler) cycle() {
 		t.scan++
 	}
 	s.saveEndFrees(v)
+}
+
+// dropShields releases eviction shields carried over from the previous
+// cycle (the forced-preempt path mints them; the freed cores are now
+// visible in this cycle's snapshot, so the reserved head can claim them).
+func (s *Scheduler) dropShields() {
+	for _, le := range s.shields {
+		le.Release()
+	}
+	s.shields = s.shields[:0]
 }
 
 // observeFrees advances the watermark clock by the free cores gained since
@@ -786,6 +944,7 @@ func (s *Scheduler) observeFrees(v *CloudView) {
 	for i, c := range v.Clouds {
 		if d := v.free[i] - s.prevFree[c.Name]; d > 0 {
 			s.freedCum += int64(d)
+			s.freedBy[c.Name] += int64(d)
 		}
 	}
 }
@@ -806,11 +965,34 @@ func (s *Scheduler) saveEndFrees(v *CloudView) {
 // so unfitSlots + freedSince < workers proves placement would fail without
 // running it. Sound, never stale: capacity appearing from outside the
 // scheduler's own bookkeeping still advances the clock via observeFrees.
+//
+// Under a single-cloud-only policy the record is per-cloud: the job wakes
+// only when some cloud that could ever host the whole gang (total ≥ demand)
+// has freed enough since its mark — frees on clouds the policy can never
+// choose for it are ignored, so a flurry of small completions elsewhere
+// does not re-run placement for a job they cannot help. A ledger generation
+// bump (cloud added, resized, or a forced transition) voids the marks.
 func (s *Scheduler) canFit(j *Job) bool {
-	return !j.unfit || j.unfitSlots+int(s.freedCum-j.unfitFreed) >= j.workers()
+	if !j.unfit {
+		return true
+	}
+	if j.unfitPerCloud {
+		if j.unfitGen != s.B.Ledger().Generation() {
+			return true
+		}
+		for _, m := range j.unfitMarks {
+			if m.slots+int(s.freedBy[m.cloud]-m.freed) >= j.workers() {
+				return true
+			}
+		}
+		return false
+	}
+	return j.unfitSlots+int(s.freedCum-j.unfitFreed) >= j.workers()
 }
 
-// markUnfit records the failed placement's slot availability for canFit.
+// markUnfit records the failed placement's slot availability for canFit —
+// federation-wide for spanning-capable policies, per-eligible-cloud for
+// single-cloud-only ones.
 func (s *Scheduler) markUnfit(j *Job, v *CloudView) {
 	cpw := j.coresPerWorker()
 	slots := 0
@@ -820,6 +1002,23 @@ func (s *Scheduler) markUnfit(j *Job, v *CloudView) {
 		}
 	}
 	j.unfit, j.unfitSlots, j.unfitFreed = true, slots, s.freedCum
+	j.unfitPerCloud = s.singleCloud
+	if !s.singleCloud {
+		return
+	}
+	j.unfitGen = s.B.Ledger().Generation()
+	j.unfitMarks = j.unfitMarks[:0]
+	need := j.Cores()
+	for i, c := range v.Clouds {
+		if c.TotalCores < need {
+			continue // can never host the gang: its frees are noise
+		}
+		sl := 0
+		if v.free[i] > 0 {
+			sl = v.free[i] / cpw
+		}
+		j.unfitMarks = append(j.unfitMarks, unfitMark{cloud: c.Name, slots: sl, freed: s.freedBy[c.Name]})
+	}
 }
 
 // dispatch starts a placed job through the backend.

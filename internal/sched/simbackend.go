@@ -29,6 +29,14 @@ type SimBackend struct {
 	// 100 MB/s.
 	DefaultBandwidth float64
 
+	// Overrun optionally scales a launched job's actual runtime relative to
+	// its plan-level estimate (nil or <=0 returns: estimates are exact).
+	// The job's ledger lease keeps its *estimated* end — exactly the
+	// optimistic-estimate situation a real federation produces, where
+	// releases go overdue, reservations slip, and preemption earns its
+	// keep.
+	Overrun func(j *Job) float64
+
 	// Launches counts Launch calls.
 	Launches int
 
@@ -193,6 +201,83 @@ func (h *SimHandle) growTarget(per int) string {
 	return h.b.ledger.PickGrowTarget(members, spill, per, h.b.k.Now(), nil)
 }
 
+// Preemptible implements Preemptor: a synthetic job can always be torn
+// down while it runs (capacity is plain ledger leases).
+func (h *SimHandle) Preemptible() bool { return !h.finished }
+
+// Preempt implements Preemptor: every lease the job holds converts to a
+// beneficiary reservation at `at` through the ledger's atomic eviction
+// transition, and the scheduled completion is disarmed — the job delivers
+// no Outcome (the scheduler requeues it instead).
+func (h *SimHandle) Preempt(at sim.Time) []*capacity.Lease {
+	if h.finished {
+		return nil
+	}
+	h.finished = true
+	var shields []*capacity.Lease
+	for _, le := range h.base {
+		if sh, _ := h.b.ledger.Evict(le, at); sh != nil {
+			shields = append(shields, sh)
+		}
+	}
+	for _, le := range h.extras {
+		if sh, _ := h.b.ledger.Evict(le, at); sh != nil {
+			shields = append(shields, sh)
+		}
+	}
+	h.extras = nil
+	return shields
+}
+
+// Relocate implements Relocator: the job's base leases on `from` retarget
+// to `to` through the ledger's atomic move (estimated ends carry over), and
+// the handle's plan copy follows — mirroring what the federation backend
+// does with live VM migration, so sched-layer consolidation tests need no
+// nimbus/migration stack underneath.
+func (h *SimHandle) Relocate(from, to string, workers int, onDone func(error)) {
+	per := h.j.coresPerWorker()
+	cores := workers * per
+	var err error
+	var moved []*capacity.Lease
+	for i := 0; i < len(h.base) && cores > 0 && err == nil; i++ {
+		le := h.base[i]
+		if !le.Active() || le.Cloud != from {
+			continue
+		}
+		take := cores
+		if take > le.Cores {
+			take = le.Cores
+		}
+		var nl *capacity.Lease
+		nl, err = le.Retarget(to, take)
+		if err != nil {
+			break
+		}
+		moved = append(moved, nl)
+		cores -= take
+	}
+	if err == nil && cores > 0 {
+		err = fmt.Errorf("sched: job holds fewer than %d workers on %s", workers, from)
+	}
+	if err != nil {
+		// All-or-nothing: a half-moved gang would leave the plan lying
+		// about where its leases live — retarget the moved slices back.
+		for _, nl := range moved {
+			if back, rerr := nl.Retarget(from, nl.Cores); rerr == nil {
+				h.base = append(h.base, back)
+			} else {
+				h.base = append(h.base, nl) // unreachable: the cores just left
+			}
+		}
+	} else {
+		h.base = append(h.base, moved...)
+		h.plan = h.plan.MoveWorkers(from, to, workers)
+	}
+	if onDone != nil {
+		h.b.k.Schedule(0, func() { onDone(err) })
+	}
+}
+
 // Shrink implements Handle: releases elastic extras only, newest first.
 func (h *SimHandle) Shrink(n int) int {
 	h.ShrinkCalls++
@@ -245,7 +330,12 @@ func (b *SimBackend) Launch(j *Job, plan Plan, onDone func(Outcome)) (Handle, er
 	b.view.Reset(b.snapScratch)
 	secs := planEstimateSeconds(b, j, plan, &b.view)
 	h := &SimHandle{b: b, j: j, plan: plan, started: b.k.Now(), duration: sim.FromSeconds(secs)}
-	eta := h.started + h.duration
+	eta := h.started + h.duration // the estimate, even when the run overruns
+	if b.Overrun != nil {
+		if f := b.Overrun(j); f > 0 {
+			h.duration = sim.FromSeconds(secs * f)
+		}
+	}
 	rollback := func() {
 		for _, prev := range h.base {
 			prev.Release()
