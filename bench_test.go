@@ -84,8 +84,8 @@ func BenchmarkSchedulerCycle(b *testing.B) {
 			}
 		}
 		k.Run()
-		if s.Completed != 1000 {
-			b.Fatalf("completed %d of 1000 jobs", s.Completed)
+		if s.Completed() != 1000 {
+			b.Fatalf("completed %d of 1000 jobs", s.Completed())
 		}
 	}
 }
@@ -136,8 +136,8 @@ func BenchmarkSchedulerSteadyState(b *testing.B) {
 		}
 		k.Schedule(0, arrive)
 		k.Run()
-		if s.Completed != jobs {
-			b.Fatalf("completed %d of %d jobs", s.Completed, jobs)
+		if s.Completed() != jobs {
+			b.Fatalf("completed %d of %d jobs", s.Completed(), jobs)
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs), "ns/job")
@@ -178,10 +178,10 @@ func BenchmarkGangPlacement(b *testing.B) {
 			}
 		}
 		k.Run()
-		if s.Completed != 300 {
-			b.Fatalf("completed %d of 300 jobs", s.Completed)
+		if s.Completed() != 300 {
+			b.Fatalf("completed %d of 300 jobs", s.Completed())
 		}
-		if s.SpanningDispatched == 0 {
+		if s.SpanningDispatched() == 0 {
 			b.Fatal("no spanning plans dispatched")
 		}
 	}

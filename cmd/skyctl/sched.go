@@ -5,14 +5,18 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/mapreduce"
 	"repro/internal/metrics"
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -39,6 +43,9 @@ func runSched(args []string) {
 		spikeAt   = fs.Duration("spike-at", time.Minute, "spot price spike time (with -spot)")
 		until     = fs.Duration("until", 15*time.Minute, "measurement horizon (virtual time)")
 		wanMB     = fs.Int("wan-mb", 60, "inter-cloud link bandwidth, MB/s")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/trace on this address while the run steps")
+		traceOut    = fs.String("trace-out", "", "append scheduler decision trace JSONL to this file")
 	)
 	fs.Parse(args)
 
@@ -63,6 +70,20 @@ func runSched(args []string) {
 	cfg := sched.Config{}
 	if *random {
 		cfg.Placement = sched.RandomPlacement{}
+	}
+	tracer := obs.NewTracer(4096)
+	if *traceOut != "" || *metricsAddr != "" {
+		cfg.Trace = tracer
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer traceFile.Close()
+		tracer.SetSink(traceFile)
 	}
 	s := f.EnableScheduler(core.SchedulerOptions{Sched: cfg})
 	for name, w := range weights {
@@ -98,7 +119,36 @@ func runSched(args []string) {
 		}
 	}
 
-	f.K.RunUntil(sim.FromSeconds(until.Seconds()))
+	horizon := sim.FromSeconds(until.Seconds())
+	if *metricsAddr != "" {
+		// Collectors read live model state, so scrapes must not interleave
+		// with kernel events: the registry takes a lock around every scrape
+		// and the run steps the kernel in one-virtual-second chunks under
+		// the same lock. Virtual time is decoupled from wall time — the
+		// server stays up only while the process runs.
+		var mu sync.Mutex
+		s.Obs().SetScrapeLock(&mu)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.Obs().Handler())
+		mux.Handle("/debug/trace", tracer.Handler())
+		srv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		fmt.Printf("serving /metrics and /debug/trace on %s\n", *metricsAddr)
+		// Pace virtual time: an unpaced run finishes in tens of wall
+		// milliseconds, leaving no window for a scraper to connect.
+		for now := sim.Time(0); now < horizon; now += sim.Second {
+			mu.Lock()
+			f.K.RunUntil(now + sim.Second)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+		}
+	} else {
+		f.K.RunUntil(horizon)
+	}
 
 	shares := s.Shares()
 	entitled := s.EntitledShares()
@@ -133,21 +183,19 @@ func runSched(args []string) {
 	}
 	fmt.Println(t)
 
-	st := metrics.NewTable("scheduler counters", "metric", "value")
-	st.AddRowf("cycles", s.Cycles)
-	st.AddRowf("dispatched", s.Dispatched)
-	st.AddRowf("spanning plans", s.SpanningDispatched)
-	st.AddRowf("backfilled", s.Backfills)
-	st.AddRowf("completed", s.Completed)
-	st.AddRowf("grow requests", s.GrowRequests)
-	st.AddRowf("shrink requests", s.ShrinkRequests)
-	st.AddRowf("spot revocations / replacements", fmt.Sprintf("%d / %d", s.SpotRevocations, s.SpotReplacements))
+	fmt.Println(obs.SnapshotTable(s.Obs(), "scheduler metrics",
+		"sky_sched_", "sky_capacity_", "!sky_sched_phase_seconds"))
+
+	st := metrics.NewTable("run totals", "metric", "value")
 	st.AddRowf("WAN bytes", metrics.FmtBytes(f.Net.TotalWANBytes()))
 	var cost float64
 	for _, c := range f.Clouds() {
 		cost += c.Cost()
 	}
 	st.AddRowf("compute cost ($)", cost)
+	if *traceOut != "" {
+		st.AddRowf("trace events", tracer.Len())
+	}
 	fmt.Println(st)
 }
 

@@ -73,7 +73,7 @@ func main() {
 
 	hi, _ := s.Poll(head)
 	fmt.Printf("head: started=%v makespan=%v (reservation aged %d time(s); %d evictions, %d of them forced)\n",
-		hi.Started, hi.Finished-hi.Submitted, s.ReservationAgings, s.Preemptions, s.ForcedPreemptions)
+		hi.Started, hi.Finished-hi.Submitted, s.ReservationAgings(), s.Preemptions(), s.ForcedPreemptions())
 	victimsDone := 0
 	for _, id := range burst {
 		ji, _ := s.Poll(id)
@@ -90,7 +90,7 @@ func main() {
 		fmt.Println("FAIL: head never finished")
 		os.Exit(1)
 	}
-	if s.Preemptions == 0 {
+	if s.Preemptions() == 0 {
 		fmt.Println("FAIL: no evictions — the head waited for the burst to drain")
 		os.Exit(1)
 	}

@@ -9,20 +9,30 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mapreduce"
 	"repro/internal/metrics"
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/vm"
 )
 
 func main() {
+	traceOut := flag.String("trace-out", "", "write scheduler decision trace JSONL to this file")
+	metricsOut := flag.String("metrics-out", "", "write a final Prometheus text snapshot to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/trace while the run steps")
+	flag.Parse()
+
 	const seed = 42
 	f := core.NewFederation(seed)
 	for i := 0; i < 2; i++ {
@@ -38,7 +48,21 @@ func main() {
 	}
 	f.SetWANLatency("cloud0", "cloud1", 60*sim.Millisecond)
 
-	s := f.EnableScheduler(core.SchedulerOptions{})
+	cfg := sched.Config{}
+	tracer := obs.NewTracer(4096)
+	if *traceOut != "" || *metricsAddr != "" {
+		cfg.Trace = tracer
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		tracer.SetSink(tf)
+	}
+	s := f.EnableScheduler(core.SchedulerOptions{Sched: cfg})
 	s.AddTenant("gold", 3)
 	s.AddTenant("silver", 1)
 
@@ -64,7 +88,42 @@ func main() {
 	}
 
 	// Run while both tenants still hold a backlog, then measure shares.
-	f.K.RunUntil(900 * sim.Second)
+	if *metricsAddr != "" {
+		// Scrapes must not interleave with kernel events: the registry locks
+		// around each scrape and the kernel steps in one-virtual-second
+		// chunks under the same lock.
+		var mu sync.Mutex
+		s.Obs().SetScrapeLock(&mu)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.Obs().Handler())
+		mux.Handle("/debug/trace", tracer.Handler())
+		go http.ListenAndServe(*metricsAddr, mux)
+		fmt.Printf("serving /metrics and /debug/trace on %s\n", *metricsAddr)
+		// Pace virtual time: without a delay the whole 900-second run
+		// finishes in tens of wall milliseconds and no scraper ever sees
+		// the endpoints up.
+		for now := sim.Time(0); now < 900*sim.Second; now += sim.Second {
+			mu.Lock()
+			f.K.RunUntil(now + sim.Second)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+		}
+	} else {
+		f.K.RunUntil(900 * sim.Second)
+	}
+
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+		if _, err := s.Obs().WriteTo(mf); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+		mf.Close()
+	}
 
 	perCloud := map[string]int{}
 	done := 0
@@ -80,7 +139,7 @@ func main() {
 		}
 	}
 	fmt.Printf("t=%v: %d jobs finished, %d dispatched, %d backfilled, placement: cloud0=%d cloud1=%d\n",
-		f.K.Now(), done, s.Dispatched, s.Backfills, perCloud["cloud0"], perCloud["cloud1"])
+		f.K.Now(), done, s.Dispatched(), s.Backfills(), perCloud["cloud0"], perCloud["cloud1"])
 	if ji, ok := s.Poll(ids["silver"][0]); ok {
 		fmt.Printf("poll %s: state=%v cloud=%s wait=%v makespan=%v\n",
 			ji.ID, ji.State, ji.Cloud, ji.Wait, ji.Result.Makespan)
@@ -109,5 +168,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("OK: delivered shares within %.1f%% of configured weights; backfills=%d\n",
-		worst*100, s.Backfills)
+		worst*100, s.Backfills())
 }

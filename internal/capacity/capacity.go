@@ -197,6 +197,10 @@ type Ledger struct {
 	// Evictions and Retargets count forced transitions, for stats surfaces.
 	Evictions int
 	Retargets int
+
+	// m mirrors transition counts into a registry when Instrument was
+	// called; zero-value (nil instruments) otherwise.
+	m ledgerMetrics
 }
 
 // New returns an empty ledger.
@@ -352,6 +356,7 @@ func (a *account) loadAt(t sim.Time) int {
 // denied when it would eat cores a backfill reservation needs at its future
 // start, even though the cloud has room today.
 func (l *Ledger) Probe(cloud string, cores int, at sim.Time) bool {
+	l.m.probes.Inc()
 	if l.accounts[cloud] == nil {
 		return false
 	}
@@ -383,6 +388,7 @@ func (l *Ledger) AcquireUntil(cloud string, cores int, end sim.Time) (*Lease, er
 	if free := l.Free(cloud); free < cores {
 		return nil, fmt.Errorf("capacity: %s has %d free cores, need %d", cloud, free, cores)
 	}
+	l.m.acquires.Inc()
 	return l.newLease(a, cores, Held, 0, end), nil
 }
 
@@ -399,6 +405,7 @@ func (l *Ledger) Reserve(cloud string, cores int, at sim.Time) (*Lease, error) {
 	if cores < 0 {
 		return nil, fmt.Errorf("capacity: negative reservation of %d cores on %s", cores, cloud)
 	}
+	l.m.reserves.Inc()
 	return l.newLease(a, cores, Reserved, at, 0), nil
 }
 
@@ -517,6 +524,7 @@ func (l *Ledger) Evict(victim *Lease, at sim.Time) (*Lease, error) {
 		return nil, err
 	}
 	l.Evictions++
+	l.m.evictions.Inc()
 	l.gen++
 	return shield, nil
 }
@@ -540,6 +548,7 @@ func (l *Ledger) EvictCommitted(cloud string, cores int, at sim.Time) (*Lease, e
 	a.committed -= cores
 	shield := l.newLease(a, cores, Reserved, at, 0)
 	l.Evictions++
+	l.m.evictions.Inc()
 	l.gen++
 	return shield, nil
 }
@@ -569,6 +578,7 @@ func (l *Ledger) Retarget(from, to string, cores int) error {
 	src.committed -= cores
 	dst.committed += cores
 	l.Retargets++
+	l.m.retargets.Inc()
 	l.gen++
 	return nil
 }
@@ -617,6 +627,7 @@ func (le *Lease) Retarget(to string, cores int) (*Lease, error) {
 	}
 	moved := l.newLease(dst, cores, le.Kind, le.At, le.End)
 	l.Retargets++
+	l.m.retargets.Inc()
 	l.gen++
 	return moved, nil
 }

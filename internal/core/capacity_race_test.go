@@ -185,7 +185,7 @@ func TestFedGrowDeniedByReservation(t *testing.T) {
 		if ji.GrewBy != 0 {
 			t.Errorf("grow spilled onto the reserved cloud: GrewBy=%d at t=440", ji.GrewBy)
 		}
-		if s.GrowRequests == 0 {
+		if s.GrowRequests() == 0 {
 			t.Error("no grow was ever attempted; the race was not exercised")
 		}
 	})

@@ -16,6 +16,7 @@ import (
 	"repro/internal/migration"
 	"repro/internal/netmon"
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/secure"
 	"repro/internal/sim"
@@ -58,11 +59,18 @@ type Federation struct {
 	// destination cloud's site registry) for every federation migration.
 	UseShrinker bool
 
+	// Obs is the federation-wide metrics registry: the capacity ledger,
+	// every member cloud, and the scheduler (unless Config.Obs overrides)
+	// register their instruments here, so one scrape covers the whole stack.
+	Obs *obs.Registry
+
 	// Stats.
 	Migrations     int
 	MigrationBytes int64
 	SpotMigrations int
 	SpotKills      int
+
+	m coreMetrics
 }
 
 type managedVM struct {
@@ -75,7 +83,8 @@ func NewFederation(seed int64) *Federation {
 	k := sim.NewKernel(seed)
 	net := simnet.New(k)
 	auth := secure.NewAuthority(seed ^ 0x5ec)
-	return &Federation{
+	reg := obs.NewRegistry()
+	f := &Federation{
 		K:           k,
 		Net:         net,
 		Overlay:     vine.New(net),
@@ -86,7 +95,11 @@ func NewFederation(seed int64) *Federation {
 		Broker:      secure.NewBroker(net, auth, secure.Config{}),
 		creds:       make(map[string]secure.Credential),
 		UseShrinker: true,
+		Obs:         reg,
+		m:           newCoreMetrics(reg),
 	}
+	f.ledger.Instrument(reg)
+	return f
 }
 
 // AddCloud creates a cloud in the federation, installs its ViNe router,
@@ -94,6 +107,9 @@ func NewFederation(seed int64) *Federation {
 // federation-wide capacity ledger.
 func (f *Federation) AddCloud(cfg nimbus.Config) *nimbus.Cloud {
 	cfg.Ledger = f.ledger
+	if cfg.Obs == nil {
+		cfg.Obs = f.Obs
+	}
 	c := nimbus.New(f.Net, cfg)
 	f.clouds[cfg.Name] = c
 	vr := c.Site.AddNode(cfg.Name+"/vine-router", 1<<30)
@@ -301,11 +317,15 @@ func (f *Federation) MigrateVM(name, dstCloud string, opts MigrateOptions, onDon
 		MigrateDisk: opts.WithDisk,
 		DedupDisk:   opts.WithDisk && f.UseShrinker,
 	}
+	migStart := f.K.Now()
 	run := func() {
 		done := func(r migration.Result) {
 			m.cloud = dst
 			f.Migrations++
 			f.MigrationBytes += r.WireBytes
+			f.m.migrations.Inc()
+			f.m.migrationBytes.Add(r.WireBytes)
+			f.m.migrationSeconds.Observe((f.K.Now() - migStart).Seconds())
 			if opts.Reconfigure {
 				f.Overlay.VMMoved(v.VirtualIP, dstHost.Node, true, nil)
 			} else {
@@ -404,10 +424,12 @@ func (f *Federation) EnableMigratableSpot(cloud string) {
 		}
 		if target == "" {
 			f.SpotKills++
+			f.m.spotKills.Inc()
 			f.releaseVM(v)
 			return
 		}
 		f.SpotMigrations++
+		f.m.spotMigrations.Inc()
 		f.MigrateVM(v.Name, target, DefaultMigrate(), nil)
 	}
 }

@@ -74,8 +74,8 @@ func TestFederationPreemption(t *testing.T) {
 	if hi.State != sched.Done || li.State != sched.Done {
 		t.Fatalf("states: head=%v (err %v) liar=%v (err %v)", hi.State, hi.Err, li.State, li.Err)
 	}
-	if s.Preemptions != 1 || li.Preemptions != 1 {
-		t.Fatalf("Preemptions: scheduler=%d liar=%d, want 1/1", s.Preemptions, li.Preemptions)
+	if s.Preemptions() != 1 || li.Preemptions != 1 {
+		t.Fatalf("Preemptions: scheduler=%d liar=%d, want 1/1", s.Preemptions(), li.Preemptions)
 	}
 	// Without preemption the head cannot start before the liar's true
 	// completion (~230 s); with it, eviction fires a few slips after t≈75.
@@ -128,8 +128,8 @@ func TestFederationConsolidation(t *testing.T) {
 	if ji.State != sched.Done {
 		t.Fatalf("gang state %v err %v", ji.State, ji.Err)
 	}
-	if s.Consolidations != 1 {
-		t.Fatalf("Consolidations = %d, want 1", s.Consolidations)
+	if s.Consolidations() != 1 {
+		t.Fatalf("Consolidations = %d, want 1", s.Consolidations())
 	}
 	if ji.Plan.Spanning() || ji.Plan.Workers() != 24 {
 		t.Fatalf("gang plan after consolidation = %v, want 24 workers on one cloud", ji.Plan)

@@ -90,6 +90,9 @@ func (f *Federation) EnableScheduler(opt SchedulerOptions) *sched.Scheduler {
 	if opt.MemPagesPerWorker <= 0 {
 		opt.MemPagesPerWorker = 8192
 	}
+	if opt.Sched.Obs == nil {
+		opt.Sched.Obs = f.Obs
+	}
 	b := &fedBackend{
 		f:     f,
 		opt:   opt,
@@ -480,6 +483,7 @@ func (f *Federation) WireSchedulerSpot(cloud string) {
 	b := f.schedBackend
 	c.Spot.OnRevoke = func(v *vm.VM) {
 		f.SpotKills++
+		f.m.spotKills.Inc()
 		if lj := b.owner[v.Name]; lj != nil && lj.vc != nil {
 			lj.vc.mr.RemoveWorker(v.Name)
 			delete(b.owner, v.Name)

@@ -98,8 +98,8 @@ func TestFederationSchedulerGangSpansClouds(t *testing.T) {
 	if !ji.Plan.Spanning() || ji.Plan.Workers() != 6 {
 		t.Fatalf("plan %v: want a 6-worker plan spanning both clouds", ji.Plan)
 	}
-	if s.SpanningDispatched != 1 {
-		t.Errorf("SpanningDispatched = %d, want 1", s.SpanningDispatched)
+	if s.SpanningDispatched() != 1 {
+		t.Errorf("SpanningDispatched = %d, want 1", s.SpanningDispatched())
 	}
 	// The gang's shuffle really crossed the WAN.
 	if ji.Result.CrossSiteShuffleBytes == 0 {
@@ -143,7 +143,7 @@ func TestFederationSchedulerSpotRevocation(t *testing.T) {
 	if ji.Revocations == 0 {
 		t.Fatal("no revocations observed; spike did not hit the job")
 	}
-	if s.SpotReplacements == 0 {
+	if s.SpotReplacements() == 0 {
 		t.Error("scheduler requested no replacement capacity")
 	}
 	if ji.Result.MapsExecuted < 32 {
@@ -190,9 +190,9 @@ func TestEMRGateRoutesThroughScheduler(t *testing.T) {
 	if !rep.MetDeadline {
 		t.Error("gated job missed a 2-hour deadline")
 	}
-	if s.Dispatched == 0 || s.DeliveredCoreSeconds("analytics") <= 0 {
+	if s.Dispatched() == 0 || s.DeliveredCoreSeconds("analytics") <= 0 {
 		t.Errorf("job did not flow through the scheduler: dispatched=%d delivered=%.0f",
-			s.Dispatched, s.DeliveredCoreSeconds("analytics"))
+			s.Dispatched(), s.DeliveredCoreSeconds("analytics"))
 	}
 }
 
@@ -267,7 +267,7 @@ func TestNotifySchedulerPatterns(t *testing.T) {
 	if ji, _ := s.Poll(id); ji.State != sched.Done {
 		t.Fatalf("job state %v", ji.State)
 	}
-	if s.PatternEvents == 0 {
+	if s.PatternEvents() == 0 {
 		t.Fatal("no pattern events reached the scheduler")
 	}
 	if p := s.PatternOf("a"); p == "" {

@@ -23,8 +23,10 @@ import (
 //     spanning (which tie-breaks to the cheaper, thin-pipe cloud) on
 //     makespan and WAN traffic.
 func E11GangPlacement(seed int64) []*metrics.Table {
+	span, spanSnap := gangSpanVsQueueTable(seed)
 	return []*metrics.Table{
-		gangSpanVsQueueTable(seed),
+		span,
+		spanSnap,
 		gangShuffleAwareTable(seed),
 	}
 }
@@ -49,10 +51,11 @@ func gangFederation(seed int64, cfg sched.Config, prices map[string]float64, wan
 	return f, s
 }
 
-func gangSpanVsQueueTable(seed int64) *metrics.Table {
+func gangSpanVsQueueTable(seed int64) (*metrics.Table, *metrics.Table) {
 	t := metrics.NewTable(
 		"E11a: 48-core job on two 32-core clouds — gang placement vs single-cloud (horizon 2 h)",
 		"placement", "state", "plan", "makespan (s)", "cross-site shuffle", "WAN bytes")
+	var snap *metrics.Table
 	for _, policy := range []sched.PlacementPolicy{sched.BestScore{}, sched.RandomPlacement{}} {
 		f, s := gangFederation(seed, sched.Config{Placement: policy},
 			map[string]float64{"cloud0": 0.08, "cloud1": 0.12},
@@ -73,8 +76,11 @@ func gangSpanVsQueueTable(seed int64) *metrics.Table {
 		}
 		t.AddRowf(policy.Name(), ji.State.String(), ji.Plan.String(), makespan,
 			metrics.FmtBytes(ji.Result.CrossSiteShuffleBytes), metrics.FmtBytes(f.Net.TotalWANBytes()))
+		if snap == nil { // spanning (BestScore) run
+			snap = schedSnapshot(s, "E11a metrics snapshot (gang-placement run)")
+		}
 	}
-	return t
+	return t, snap
 }
 
 // gangShuffleRun executes the E11b scenario — a 48-core job spanning from

@@ -23,8 +23,10 @@ import (
 //     mid-run — live migration over the WAN, ledger cores retargeted —
 //     and its cross-site shuffle fraction drops to 0.
 func E12Preemption(seed int64) []*metrics.Table {
+	preempt, preemptSnap := preemptVsWaitTable(seed)
 	return []*metrics.Table{
-		preemptVsWaitTable(seed),
+		preempt,
+		preemptSnap,
 		consolidationCutTable(seed),
 	}
 }
@@ -82,10 +84,10 @@ func preemptRun(seed int64, cfg sched.Config) (head sched.JobInfo, evicted, forc
 			victimsDone = false
 		}
 	}
-	return hi, sc.Preemptions, sc.ForcedPreemptions, sc.ReservationAgings, victimsDone, sc
+	return hi, sc.Preemptions(), sc.ForcedPreemptions(), sc.ReservationAgings(), victimsDone, sc
 }
 
-func preemptVsWaitTable(seed int64) *metrics.Table {
+func preemptVsWaitTable(seed int64) (*metrics.Table, *metrics.Table) {
 	t := metrics.NewTable(
 		"E12a: blocked 48-core head vs 4 optimistic backfills (est 50 s, real ~250 s), 2 x 32-core clouds",
 		"policy", "head start (s)", "head makespan (s)", "evicted (head+forced)", "agings", "victims finish", "vs wait")
@@ -98,6 +100,7 @@ func preemptVsWaitTable(seed int64) *metrics.Table {
 		done            bool
 	}
 	var rows []row
+	var snap *metrics.Table
 	for _, variant := range []struct {
 		label string
 		cfg   sched.Config
@@ -105,12 +108,15 @@ func preemptVsWaitTable(seed int64) *metrics.Table {
 		{"wait-for-release", sched.Config{}},
 		{"preempt", sched.Config{EnablePreemption: true}},
 	} {
-		hi, evicted, forced, agings, done, _ := preemptRun(seed, variant.cfg)
+		hi, evicted, forced, agings, done, sc := preemptRun(seed, variant.cfg)
 		if hi.State != sched.Done {
 			panic(fmt.Sprintf("E12a: %s head state %v err %v", variant.label, hi.State, hi.Err))
 		}
 		rows = append(rows, row{variant.label, hi.Started.Seconds(),
 			(hi.Finished - hi.Submitted).Seconds(), evicted, forced, agings, done})
+		if variant.cfg.EnablePreemption {
+			snap = schedSnapshot(sc, "E12a metrics snapshot (preempt run)")
+		}
 	}
 	base := rows[0].makespan
 	for _, r := range rows {
@@ -118,7 +124,7 @@ func preemptVsWaitTable(seed int64) *metrics.Table {
 			fmt.Sprintf("%d+%d", r.evicted-r.forced, r.forced), r.agings, r.done,
 			fmt.Sprintf("%.2fx", base/r.makespan))
 	}
-	return t
+	return t, snap
 }
 
 // consolidationRun drives the E12b workload: fillers take 16 cores on each

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapreduce"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -22,10 +23,21 @@ import (
 //     locality-aware placement score and under the random baseline; the
 //     locality-aware policy must win on mean makespan and WAN traffic.
 func E10SchedulerContention(seed int64) []*metrics.Table {
+	fair, fairSnap := schedFairShareTable(seed)
 	return []*metrics.Table{
-		schedFairShareTable(seed),
+		fair,
+		fairSnap,
 		schedPlacementTable(seed),
 	}
+}
+
+// schedSnapshot is the shared metrics view every scheduler experiment
+// prints: the live registry counters, filtered to deterministic families
+// (phase timings are wall-clock and excluded), so experiment tables cannot
+// drift from what the scheduler actually counted.
+func schedSnapshot(s *sched.Scheduler, title string) *metrics.Table {
+	return obs.SnapshotTable(s.Obs(), title,
+		"sky_sched_", "sky_capacity_", "!sky_sched_phase_seconds")
 }
 
 // schedFederation builds a small, contended federation: two clouds of
@@ -45,7 +57,7 @@ func schedFederation(seed int64, cfg sched.Config) (*core.Federation, *sched.Sch
 	return f, s
 }
 
-func schedFairShareTable(seed int64) *metrics.Table {
+func schedFairShareTable(seed int64) (*metrics.Table, *metrics.Table) {
 	f, s := schedFederation(seed, sched.Config{})
 	s.AddTenant("gold", 3)
 	s.AddTenant("silver", 1)
@@ -72,7 +84,7 @@ func schedFairShareTable(seed int64) *metrics.Table {
 	entitled := s.EntitledShares()
 	t := metrics.NewTable(
 		fmt.Sprintf("E10a: weighted fair share under contention, 2 clouds x 32 cores (backfills=%d, cycles=%d)",
-			s.Backfills, s.Cycles),
+			s.Backfills(), s.Cycles()),
 		"tenant", "weight", "entitled share", "delivered share", "relative error", "mean wait (s)", "started")
 	for _, tenant := range []string{"gold", "silver"} {
 		var wait float64
@@ -100,7 +112,7 @@ func schedFairShareTable(seed int64) *metrics.Table {
 		t.AddRowf(tenant, weight, metrics.FmtPct(entitled[tenant]), metrics.FmtPct(shares[tenant]),
 			metrics.FmtPct(rel), wait, started)
 	}
-	return t
+	return t, schedSnapshot(s, "E10a metrics snapshot (fair-share run)")
 }
 
 func schedPlacementTable(seed int64) *metrics.Table {

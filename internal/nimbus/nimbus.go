@@ -16,6 +16,7 @@ import (
 	"repro/internal/capacity"
 	"repro/internal/dedup"
 	"repro/internal/deploy"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/vm"
@@ -77,6 +78,9 @@ type Config struct {
 	// creates a private single-cloud ledger; a federation passes its shared
 	// ledger so schedulers and growers see one account of truth.
 	Ledger *capacity.Ledger
+	// Obs is the metrics registry for admission and lifecycle counters;
+	// a federation passes its shared registry. Nil disables them.
+	Obs *obs.Registry
 }
 
 // Cloud is one IaaS site.
@@ -105,6 +109,8 @@ type Cloud struct {
 	CoreSecondsUsed float64
 	lastAccounting  sim.Time
 	runningCores    int
+
+	m nimbusMetrics
 }
 
 // New builds a cloud as a new site on the network.
@@ -146,6 +152,7 @@ func New(net *simnet.Network, cfg Config) *Cloud {
 	c.ledger = cfg.Ledger
 	c.ledger.AddCloud(cfg.Name, cfg.Hosts*cfg.HostSpec.Cores)
 	c.Spot = newSpotMarket(c, cfg.PricePerCoreHour*0.3)
+	c.m = newNimbusMetrics(cfg.Obs, cfg.Name)
 	return c
 }
 
@@ -256,6 +263,7 @@ func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 	start := k.Now()
 	base := c.Store.Get(req.Image)
 	if base == nil {
+		c.m.deployImageMissing.Inc()
 		k.Schedule(0, func() {
 			onDone(Deployment{Err: fmt.Errorf("nimbus: image %q not in %s repository", req.Image, c.Name)})
 		})
@@ -281,6 +289,7 @@ func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 		}
 		if chosen == nil {
 			rollback()
+			c.m.deployRejected.Inc()
 			k.Schedule(0, func() {
 				onDone(Deployment{Err: fmt.Errorf("nimbus: %s cannot place %d VMs (%d cores free)",
 					c.Name, req.Count, c.FreeCores())})
@@ -295,6 +304,7 @@ func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 	if err != nil {
 		// Host accounting and the ledger disagree — roll back and surface it.
 		rollback()
+		c.m.deployRejected.Inc()
 		k.Schedule(0, func() {
 			onDone(Deployment{Err: fmt.Errorf("nimbus: %s admission: %w", c.Name, err)})
 		})
@@ -335,10 +345,12 @@ func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 			h := placement[i]
 			c.bind(v, h)
 			v.State = vm.StateBooting
+			c.m.vmBooting.Inc()
 			vms[i] = v
 		}
 		// Placement landed: the admission lease converts to committed cores.
 		lease.Commit()
+		c.m.deployPlaced.Inc()
 		dep.VMs = vms
 		// CoW creation is near-instant; full-copy disks take a local clone
 		// pass at NIC speed (image already on host, copy base->instance).
@@ -350,6 +362,7 @@ func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 			c.contextualize(vms, func() {
 				for _, v := range vms {
 					v.State = vm.StateRunning
+					c.m.vmRunning.Inc()
 				}
 				if req.Spot {
 					c.Spot.watch(vms)
@@ -477,6 +490,7 @@ func (c *Cloud) HostOf(name string) *Host {
 func (c *Cloud) Terminate(v *vm.VM) {
 	c.Release(v)
 	v.State = vm.StateTerminated
+	c.m.vmTerminated.Inc()
 }
 
 // contextualize runs the Nimbus contextualization broker exchange: every VM
@@ -492,6 +506,7 @@ func (c *Cloud) contextualize(vms []*vm.VM, onDone func()) {
 	pending := len(vms)
 	for _, v := range vms {
 		v.State = vm.StateContextualizing
+		c.m.vmContextualizing.Inc()
 		h := c.HostOf(v.Name)
 		c.Net.SendMessage(h.Node, c.repoNode, 2048, func() {
 			pending--

@@ -1,0 +1,41 @@
+package nimbus
+
+import "repro/internal/obs"
+
+// Cloud observability: admission outcomes and VM lifecycle transitions,
+// labeled by cloud. A federation passes its shared registry through
+// Config.Obs so every member cloud's families land in one exposition; a
+// standalone cloud with no registry carries nil instruments (every obs
+// method no-ops on nil), so uninstrumented paths pay one nil check.
+
+// nimbusMetrics holds one cloud's label-resolved instruments — children are
+// cached at New so deploy/lifecycle paths never do a registry lookup.
+type nimbusMetrics struct {
+	deployPlaced       *obs.Counter
+	deployRejected     *obs.Counter
+	deployImageMissing *obs.Counter
+
+	vmBooting         *obs.Counter
+	vmContextualizing *obs.Counter
+	vmRunning         *obs.Counter
+	vmTerminated      *obs.Counter
+}
+
+func newNimbusMetrics(reg *obs.Registry, cloud string) nimbusMetrics {
+	if reg == nil {
+		return nimbusMetrics{}
+	}
+	deploys := reg.CounterVec("sky_nimbus_deploys_total",
+		"Deploy requests by outcome.", "cloud", "outcome")
+	trans := reg.CounterVec("sky_nimbus_vm_transitions_total",
+		"VM lifecycle state entries.", "cloud", "state")
+	return nimbusMetrics{
+		deployPlaced:       deploys.With(cloud, "placed"),
+		deployRejected:     deploys.With(cloud, "rejected"),
+		deployImageMissing: deploys.With(cloud, "image_missing"),
+		vmBooting:          trans.With(cloud, "booting"),
+		vmContextualizing:  trans.With(cloud, "contextualizing"),
+		vmRunning:          trans.With(cloud, "running"),
+		vmTerminated:       trans.With(cloud, "terminated"),
+	}
+}

@@ -1,0 +1,574 @@
+// Package obs is the federation's observability substrate: a
+// dependency-free metrics registry (atomic counters, gauges, fixed-bucket
+// histograms, labeled families, Prometheus text-format exposition) and a
+// structured scheduler-decision tracer (trace.go). Every layer on the hot
+// path — sched, capacity, core, nimbus — instruments through it, so the
+// registry is built to cost ~nothing there: instruments are preallocated at
+// registration, increments are single atomic ops, and every instrument
+// method is nil-safe (an uninstrumented layer pays one nil check, no
+// branches into locked structures).
+//
+// Metric names follow the `sky_<layer>_<what>[_total|_seconds|_bytes]`
+// convention and must match ^sky_[a-z0-9_]+$ — registration panics
+// otherwise, and cmd/metriclint enforces the same rule statically.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. All methods are safe on a
+// nil receiver (no-ops reading zero), so uninstrumented code paths need no
+// registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are dropped: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down, stored as float64 bits. Methods
+// are nil-safe like Counter's.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(n int64) { g.Set(float64(n)) }
+
+// Add applies a delta with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are preallocated
+// at registration; Observe is two atomic ops plus a linear bucket scan over
+// a handful of bounds — no allocation, no lock.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	n      atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// sample is one labeled child of a family: exactly one of c/g/h is set.
+type sample struct {
+	labelVals []string
+	c         *Counter
+	g         *Gauge
+	h         *Histogram
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels []string
+	bounds []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]*sample
+}
+
+const labelSep = "\xff"
+
+func (f *family) child(labelVals []string) *sample {
+	if len(labelVals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(labelVals)))
+	}
+	key := strings.Join(labelVals, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.children[key]; s != nil {
+		return s
+	}
+	s := &sample{labelVals: append([]string(nil), labelVals...)}
+	switch f.typ {
+	case "counter":
+		s.c = &Counter{}
+	case "gauge":
+		s.g = &Gauge{}
+	case "histogram":
+		s.h = &Histogram{
+			bounds: f.bounds,
+			counts: make([]atomic.Int64, len(f.bounds)+1),
+		}
+	}
+	f.children[key] = s
+	return s
+}
+
+// sortedChildren returns the family's samples ordered by label values.
+func (f *family) sortedChildren() []*sample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*sample, len(keys))
+	for i, k := range keys {
+		out[i] = f.children[k]
+	}
+	return out
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the child for the given label values, creating it on first
+// use. Hot paths should cache the returned pointer.
+func (v *CounterVec) With(labelVals ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelVals).c
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(labelVals ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelVals).g
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(labelVals ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(labelVals).h
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is idempotent: re-registering a name with
+// the same type and label schema returns the existing instrument (so two
+// layers sharing a registry can both declare the family), and panics on a
+// conflicting redefinition or an invalid name.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	names      []string // sorted family names
+	collectors []func()
+	scrape     sync.Locker
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// ValidName reports whether name matches ^sky_[a-z0-9_]+$.
+func ValidName(name string) bool {
+	const prefix = "sky_"
+	if !strings.HasPrefix(name, prefix) || len(name) == len(prefix) {
+		return false
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, bounds []float64) *family {
+	if !ValidName(name) {
+		panic(fmt.Sprintf("obs: metric name %q does not match ^sky_[a-z0-9_]+$", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s(%d labels), was %s(%d labels)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with label %q, was %q", name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]*sample),
+	}
+	r.families[name] = f
+	i := sort.SearchStrings(r.names, name)
+	r.names = append(r.names, "")
+	copy(r.names[i+1:], r.names[i:])
+	r.names[i] = name
+	return f
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "counter", nil, nil).child(nil).c
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, "counter", labels, nil)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, "gauge", nil, nil).child(nil).g
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, "gauge", labels, nil)}
+}
+
+// Histogram registers (or finds) an unlabeled histogram with the given
+// ascending upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, "histogram", nil, bounds).child(nil).h
+}
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, "histogram", labels, bounds)}
+}
+
+// AddCollector registers a function run at the start of every exposition
+// (WriteTo, Snapshot, the HTTP handler) — the hook layers use to refresh
+// gauges from live state (e.g. the capacity ledger's per-cloud cores)
+// instead of writing them on every mutation.
+func (r *Registry) AddCollector(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// SetScrapeLock installs a lock acquired around collectors and rendering.
+// Surfaces that serve /metrics from a goroutine while the (single-threaded)
+// simulation kernel runs share this lock with their kernel-stepping loop, so
+// collectors never read model state mid-event.
+func (r *Registry) SetScrapeLock(l sync.Locker) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.scrape = l
+}
+
+// collect runs the registered collectors and returns the sorted family list.
+func (r *Registry) collect() []*family {
+	r.mu.Lock()
+	collectors := r.collectors
+	fams := make([]*family, len(r.names))
+	for i, n := range r.names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+	return fams
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// appendLabels renders {a="x",b="y"} from parallel name/value slices, with
+// extra appended last (histogram le). Empty input renders nothing.
+func appendLabels(b []byte, names, vals []string, extraName, extraVal string) []byte {
+	if len(names) == 0 && extraName == "" {
+		return b
+	}
+	b = append(b, '{')
+	for i, n := range names {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, n...)
+		b = append(b, '=', '"')
+		b = append(b, escapeLabel(vals[i])...)
+		b = append(b, '"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, extraName...)
+		b = append(b, '=', '"')
+		b = append(b, extraVal...)
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return b
+}
+
+// WriteTo renders the registry in Prometheus text exposition format
+// (text/plain; version=0.0.4): families sorted by name, children by label
+// values, floats in shortest-roundtrip form — the output is deterministic
+// for a given registry state, so tests can golden-file it.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if l := r.scrapeLock(); l != nil {
+		l.Lock()
+		defer l.Unlock()
+	}
+	fams := r.collect()
+	var buf []byte
+	for _, f := range fams {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ...)
+		buf = append(buf, '\n')
+		for _, s := range f.sortedChildren() {
+			switch f.typ {
+			case "counter":
+				buf = append(buf, f.name...)
+				buf = appendLabels(buf, f.labels, s.labelVals, "", "")
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, s.c.Value(), 10)
+				buf = append(buf, '\n')
+			case "gauge":
+				buf = append(buf, f.name...)
+				buf = appendLabels(buf, f.labels, s.labelVals, "", "")
+				buf = append(buf, ' ')
+				buf = append(buf, formatFloat(s.g.Value())...)
+				buf = append(buf, '\n')
+			case "histogram":
+				cum := int64(0)
+				counts := s.h.BucketCounts()
+				for i, c := range counts {
+					cum += c
+					le := "+Inf"
+					if i < len(s.h.bounds) {
+						le = formatFloat(s.h.bounds[i])
+					}
+					buf = append(buf, f.name...)
+					buf = append(buf, "_bucket"...)
+					buf = appendLabels(buf, f.labels, s.labelVals, "le", le)
+					buf = append(buf, ' ')
+					buf = strconv.AppendInt(buf, cum, 10)
+					buf = append(buf, '\n')
+				}
+				buf = append(buf, f.name...)
+				buf = append(buf, "_sum"...)
+				buf = appendLabels(buf, f.labels, s.labelVals, "", "")
+				buf = append(buf, ' ')
+				buf = append(buf, formatFloat(s.h.Sum())...)
+				buf = append(buf, '\n')
+				buf = append(buf, f.name...)
+				buf = append(buf, "_count"...)
+				buf = appendLabels(buf, f.labels, s.labelVals, "", "")
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, s.h.Count(), 10)
+				buf = append(buf, '\n')
+			}
+		}
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+func (r *Registry) scrapeLock() sync.Locker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scrape
+}
+
+// Handler serves the registry at /metrics in the text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}
+
+// Snapshot returns every counter and gauge value (and each histogram's
+// _count and _sum) keyed by rendered sample name — the one shared stats
+// view surfaces and experiments read, so printed tables cannot drift from
+// the live counters. Collectors run first, exactly as for an exposition.
+func (r *Registry) Snapshot() map[string]float64 {
+	if l := r.scrapeLock(); l != nil {
+		l.Lock()
+		defer l.Unlock()
+	}
+	out := make(map[string]float64)
+	for _, f := range r.collect() {
+		for _, s := range f.sortedChildren() {
+			key := string(appendLabels([]byte(f.name), f.labels, s.labelVals, "", ""))
+			switch f.typ {
+			case "counter":
+				out[key] = float64(s.c.Value())
+			case "gauge":
+				out[key] = s.g.Value()
+			case "histogram":
+				base := string(appendLabels(nil, f.labels, s.labelVals, "", ""))
+				out[f.name+"_count"+base] = float64(s.h.Count())
+				out[f.name+"_sum"+base] = s.h.Sum()
+			}
+		}
+	}
+	return out
+}
+
+// Value returns one counter or gauge sample's value (0 when absent) without
+// running collectors — the cheap accessor hot tests poll.
+func (r *Registry) Value(name string, labelVals ...string) float64 {
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	key := strings.Join(labelVals, labelSep)
+	f.mu.Lock()
+	s := f.children[key]
+	f.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	switch {
+	case s.c != nil:
+		return float64(s.c.Value())
+	case s.g != nil:
+		return s.g.Value()
+	case s.h != nil:
+		return float64(s.h.Count())
+	}
+	return 0
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every instrument type, label
+// escaping, and both histogram tails.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("sky_test_ops_total", "Operations performed.").Add(3)
+	v := r.CounterVec("sky_test_labeled_total", "Labeled operations.", "cloud", "kind")
+	v.With("c\"0\n\\", "x").Inc() // quote, newline, backslash all need escaping
+	v.With("c1", "y").Add(2)
+	r.Gauge("sky_test_level", "Current level.").Set(2.5)
+	h := r.Histogram("sky_test_seconds", "Durations.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // +Inf bucket
+	return r
+}
+
+// TestExpositionGolden pins the text exposition format byte-for-byte:
+// family ordering, HELP/TYPE lines, label escaping, cumulative histogram
+// buckets with the implicit +Inf, and shortest-roundtrip floats.
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := goldenRegistry().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestExpositionDeterministic: two renders of the same registry are
+// byte-identical (map iteration must never leak into the output).
+func TestExpositionDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b bytes.Buffer
+	r.WriteTo(&a)
+	r.WriteTo(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of one registry differ")
+	}
+}
+
+// TestHistogramBuckets pins the boundary rule: a value equal to an upper
+// bound lands in that bucket (le is <=), strictly above moves it up, and
+// everything past the last bound lands in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sky_test_bounds_seconds", "Boundary test.", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 5, 5.1, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 2} // [<=1]=0.5,1  (1,2]=1.0000001,2  (2,5]=5  +Inf=5.1,100
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if sum := h.Sum(); sum < 114.6 || sum > 114.7 {
+		t.Errorf("Sum = %v, want ~114.6", sum)
+	}
+}
+
+// TestInvalidNamePanics: registration outside ^sky_[a-z0-9_]+$ must panic,
+// the dynamic half of the rule cmd/metriclint enforces statically.
+func TestInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"ops_total", "sky_", "sky_Ops", "sky_ops-total", "sky_ops total"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("registering %q did not panic", name)
+				}
+			}()
+			NewRegistry().Counter(name, "bad")
+		}()
+	}
+}
+
+// TestIdempotentRegistration: same name with the same schema returns the
+// same instrument; a conflicting redefinition panics.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("sky_test_shared_total", "Shared.")
+	b := r.Counter("sky_test_shared_total", "Shared.")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("sky_test_shared_total", "Now a gauge.")
+}
+
+// TestNilSafety: every instrument method must no-op on a nil receiver, so
+// uninstrumented layers carry nil pointers instead of branching.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.BucketCounts() != nil {
+		t.Error("nil instruments must read zero")
+	}
+	if cv.With("x") != nil {
+		t.Error("nil vec must return a nil child")
+	}
+}
+
+// TestSnapshotAndValue: the snapshot map keys samples by rendered name and
+// Value reads one sample without running collectors.
+func TestSnapshotAndValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sky_test_a_total", "A.").Add(7)
+	r.CounterVec("sky_test_b_total", "B.", "cloud").With("c0").Add(2)
+	collected := 0
+	r.AddCollector(func() { collected++ })
+	snap := r.Snapshot()
+	if snap["sky_test_a_total"] != 7 {
+		t.Errorf(`snapshot["sky_test_a_total"] = %v, want 7`, snap["sky_test_a_total"])
+	}
+	if snap[`sky_test_b_total{cloud="c0"}`] != 2 {
+		t.Errorf("labeled snapshot key missing: %v", snap)
+	}
+	if collected != 1 {
+		t.Errorf("collectors ran %d times during snapshot, want 1", collected)
+	}
+	if got := r.Value("sky_test_b_total", "c0"); got != 2 {
+		t.Errorf("Value = %v, want 2", got)
+	}
+	if collected != 1 {
+		t.Error("Value must not run collectors")
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// SnapshotTable renders a registry snapshot as an ASCII table, optionally
+// filtered by name prefix: a plain prefix includes matching samples, a
+// "!"-prefixed one excludes them (exclusions win, and with only exclusions
+// everything else is included). This is the one shared stats view:
+// experiments and skyctl print it instead of hand-recomputing numbers from
+// scheduler fields, so their tables cannot drift from the live counters —
+// callers exclude "!sky_sched_phase_seconds" to keep wall-clock phase sums
+// out of deterministic output.
+func SnapshotTable(r *Registry, title string, prefixes ...string) *metrics.Table {
+	t := metrics.NewTable(title, "metric", "value")
+	if r == nil {
+		return t
+	}
+	var include, exclude []string
+	for _, p := range prefixes {
+		if strings.HasPrefix(p, "!") {
+			exclude = append(exclude, p[1:])
+		} else {
+			include = append(include, p)
+		}
+	}
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+next:
+	for k := range snap {
+		for _, p := range exclude {
+			if strings.HasPrefix(k, p) {
+				continue next
+			}
+		}
+		if len(include) > 0 {
+			ok := false
+			for _, p := range include {
+				if strings.HasPrefix(k, p) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.AddRow(k, strconv.FormatFloat(snap[k], 'g', -1, 64))
+	}
+	return t
+}

@@ -79,7 +79,7 @@ func (s *Scheduler) trackSlips(r *reservation, hit bool) bool {
 		return false
 	}
 	s.agingSlips = 0 // aging fired: start a fresh observation window
-	s.ReservationAgings++
+	s.m.reservationAgings.Inc()
 	return true
 }
 
@@ -129,7 +129,7 @@ type cacheablePolicy interface{ PureChoose() bool }
 // produced.
 func (s *Scheduler) cachedReserve(j *Job, v *CloudView, releases *[]coreRelease, have *bool) (reservation, bool, bool) {
 	if s.resvCacheValid(j, v) {
-		s.ResvCacheHits++
+		s.m.resvCacheHits.Inc()
 		s.relSumAtResv = append(s.relSumAtResv[:0], s.rcache.sums...)
 		return reservation{job: j.ID, plan: s.rcache.plan, at: s.rcache.at}, true, true
 	}

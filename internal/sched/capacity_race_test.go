@@ -56,7 +56,7 @@ func TestGrowDeniedByReservation(t *testing.T) {
 		})
 	}
 	k.Run()
-	if s.GrowRequests == 0 {
+	if s.GrowRequests() == 0 {
 		t.Fatal("elastic job never attempted to grow; the race was not exercised")
 	}
 	ei, _ := s.Poll(elastic)

@@ -17,6 +17,12 @@ import "repro/internal/sim"
 // scratch first so backend callbacks that complete a job mid-pass cannot
 // disturb the iteration.
 func (s *Scheduler) elasticTick() {
+	t0 := s.m.clock()
+	defer func() {
+		if d := s.m.clock() - t0; d > 0 {
+			s.m.phaseElastic.Observe(float64(d) * 1e-9)
+		}
+	}()
 	// Reservation aging is clock-driven: a quiet system (no completions, no
 	// submissions) runs no cycles, so a slipping reservation would never be
 	// audited. The elastic ticker doubles as that audit clock.
@@ -36,8 +42,12 @@ func (s *Scheduler) elasticTick() {
 		// an interleaved grow cannot take the freed cores first.
 		if s.cfg.EnablePreemption && s.resv != nil && s.preemptible(j) &&
 			float64(s.K.Now()-j.Started) > s.cfg.PreemptOverrunFactor*float64(j.estDuration) {
-			s.ForcedPreemptions++
-			s.shields = append(s.shields, s.evict(j, s.resv.at)...)
+			var price float64
+			if s.tr != nil { // Shares/EntitledShares allocate; price only feeds the trace
+				price = s.evictPrice(j, s.K.Now(), s.Shares(), s.EntitledShares())
+			}
+			s.m.forcedPreemptions.Inc()
+			s.shields = append(s.shields, s.evict(j, s.resv.at, price, "forced_preempt")...)
 			s.kick()
 			continue
 		}
@@ -56,7 +66,7 @@ func (s *Scheduler) elasticTick() {
 			if eta > j.Spec.Deadline-s.cfg.DeadlineMargin &&
 				(j.Spec.MaxExtraWorkers == 0 || j.deadlineGrown < j.Spec.MaxExtraWorkers) {
 				j.deadlineGrown++
-				s.GrowRequests++
+				s.m.growRequests.Inc()
 				s.growOne(j, &j.deadlineGrown)
 			}
 		}
@@ -66,7 +76,7 @@ func (s *Scheduler) elasticTick() {
 		if j.deadlineGrown > 0 && !j.shrunk && mt > 0 && md >= mt && rt > 0 {
 			j.shrunk = true
 			if n := j.handle.Shrink(j.deadlineGrown); n > 0 {
-				s.ShrinkRequests++
+				s.m.shrinkRequests.Inc()
 				s.resize(j, -n*j.coresPerWorker())
 				s.kick()
 			}

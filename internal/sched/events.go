@@ -47,7 +47,7 @@ func (s *Scheduler) Notify(ev Event) {
 			return
 		}
 		j.Revocations++
-		s.SpotRevocations++
+		s.m.spotRevocations.Inc()
 		if j.State == Running {
 			// The worker is gone: the delivered-capacity ledger shrinks at
 			// this instant (a replacement, if any, re-grows it on arrival).
@@ -55,7 +55,7 @@ func (s *Scheduler) Notify(ev Event) {
 		}
 		if j.State == Running && j.handle != nil && !s.cfg.DisableSpotReplacement {
 			j.spotReplaced++
-			s.SpotReplacements++
+			s.m.spotReplacements.Inc()
 			s.growOne(j, &j.spotReplaced)
 		}
 		// Revocation freed cores on the source cloud.
@@ -63,7 +63,7 @@ func (s *Scheduler) Notify(ev Event) {
 	case EventPatternDetected:
 		if ev.Tenant != "" && ev.Pattern != "" {
 			s.patternOf[ev.Tenant] = ev.Pattern
-			s.PatternEvents++
+			s.m.patternEvents.Inc()
 			// Pattern boosts feed placement scoring, which the cached head
 			// reservation baked in — invalidate it.
 			s.resvEpoch++

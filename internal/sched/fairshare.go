@@ -94,8 +94,8 @@ func (s *Scheduler) nextTenant() *Tenant {
 	var best *Tenant
 	var bestKey float64
 	for _, t := range s.tenantList {
-		if t.scanCycle != s.Cycles {
-			t.scan, t.scanCycle = 0, s.Cycles
+		if t.scanCycle != s.cycleNum {
+			t.scan, t.scanCycle = 0, s.cycleNum
 		}
 		if t.scan >= len(t.queue) {
 			continue

@@ -112,7 +112,7 @@ func TestSharesAccountGrowth(t *testing.T) {
 	id := submitN(t, s, "t", 1, JobSpec{Workers: 2, CoresPerWorker: 2, EstimateSeconds: 200})[0]
 	k.Schedule(100*sim.Second, func() {
 		j := s.jobByID(id)
-		s.GrowRequests++
+		s.m.growRequests.Inc()
 		s.growOne(j, &j.deadlineGrown)
 	})
 	k.Run()

@@ -54,8 +54,8 @@ func TestArchiveVisibility(t *testing.T) {
 			t.Errorf("archived job %s lost its outcome: finished=%v result=%q", id, ji.Finished, ji.Result.Job)
 		}
 	}
-	if s.Completed != 3 || len(s.Jobs()) != 3 {
-		t.Errorf("completed=%d jobs=%d, want 3/3", s.Completed, len(s.Jobs()))
+	if s.Completed() != 3 || len(s.Jobs()) != 3 {
+		t.Errorf("completed=%d jobs=%d, want 3/3", s.Completed(), len(s.Jobs()))
 	}
 }
 
@@ -239,8 +239,8 @@ func TestReleaseListMatchesRebuild(t *testing.T) {
 		})
 	}
 	k.Run()
-	if checks == 0 || s.Completed != 30 {
-		t.Fatalf("checks=%d completed=%d, want >0 and 30", checks, s.Completed)
+	if checks == 0 || s.Completed() != 30 {
+		t.Fatalf("checks=%d completed=%d, want >0 and 30", checks, s.Completed())
 	}
 }
 

@@ -32,8 +32,8 @@ func TestGangSpansWhenNoSingleCloudFits(t *testing.T) {
 	if c0.Free()+c1.Free() != 32-24 {
 		t.Fatalf("free cores c0=%d c1=%d; want 8 total used by the gang", c0.Free(), c1.Free())
 	}
-	if s.SpanningDispatched != 1 {
-		t.Errorf("SpanningDispatched = %d, want 1", s.SpanningDispatched)
+	if s.SpanningDispatched() != 1 {
+		t.Errorf("SpanningDispatched = %d, want 1", s.SpanningDispatched())
 	}
 	k.Run()
 	wi, _ = s.Poll(wide)

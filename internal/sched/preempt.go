@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/capacity"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -79,7 +80,7 @@ func (s *Scheduler) evictPrice(j *Job, now sim.Time, shares, entitled map[string
 // price and added to a what-if view one at a time until the placement
 // policy produces a plan. nil when even evicting every candidate leaves the
 // head unplaceable (the eviction would be pure waste, so none happens).
-func (s *Scheduler) chooseVictims(head *Job, v *CloudView) []*Job {
+func (s *Scheduler) chooseVictims(head *Job, v *CloudView) ([]*Job, map[*Job]float64) {
 	cand := s.evictCand[:0]
 	for _, j := range s.running {
 		if j != head && s.preemptible(j) {
@@ -88,7 +89,7 @@ func (s *Scheduler) chooseVictims(head *Job, v *CloudView) []*Job {
 	}
 	s.evictCand = cand
 	if len(cand) == 0 {
-		return nil
+		return nil, nil
 	}
 	now := s.K.Now()
 	shares, entitled := s.Shares(), s.EntitledShares()
@@ -117,10 +118,10 @@ func (s *Scheduler) chooseVictims(head *Job, v *CloudView) []*Job {
 			}
 		}
 		if plan := s.cfg.Placement.Choose(s, head, av); !plan.Empty() {
-			return cand[:n+1]
+			return cand[:n+1], prices
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // preemptOutcome reports what the eviction pass did.
@@ -145,14 +146,14 @@ const (
 // with a re-snapshotted view. preemptNone leaves everything as it was (no
 // victim is evicted unless the head provably starts).
 func (s *Scheduler) preemptFor(t *Tenant, head *Job, v *CloudView) preemptOutcome {
-	victims := s.chooseVictims(head, v)
+	victims, prices := s.chooseVictims(head, v)
 	if victims == nil {
 		return preemptNone
 	}
 	now := s.K.Now()
 	var shields []*capacity.Lease
 	for _, victim := range victims {
-		shields = append(shields, s.evict(victim, now)...)
+		shields = append(shields, s.evict(victim, now, prices[victim], "preempt")...)
 	}
 	// Backend teardown freed the cores synchronously (admission is
 	// synchronous since the unified ledger): re-snapshot and place the head.
@@ -194,14 +195,21 @@ func (s *Scheduler) preemptFor(t *Tenant, head *Job, v *CloudView) preemptOutcom
 // evict tears one victim down and requeues it: progress credit is computed
 // from the handle's last observed progress, the tenant's accounts are
 // trued up to the work actually delivered, and the job re-enters its
-// tenant's queue at its submission-order position.
-func (s *Scheduler) evict(victim *Job, at sim.Time) []*capacity.Lease {
+// tenant's queue at its submission-order position. price is the victim's
+// eviction price (for the decision trace); kind names the path that chose
+// it ("preempt" for head-driven, "forced_preempt" for elastic overrun).
+func (s *Scheduler) evict(victim *Job, at sim.Time, price float64, kind string) []*capacity.Lease {
 	var credit float64
 	if md, mt, rd, rt := victim.handle.Progress(); mt+rt > 0 {
 		credit = float64(md+rd) / float64(mt+rt)
 	}
+	if s.tr != nil {
+		s.trace(obs.TraceEvent{Kind: kind, Tenant: victim.Spec.Tenant, Job: victim.ID,
+			Cloud: victim.Cloud, Workers: victim.workers(), Cores: victim.coresNow,
+			Price: price, Plan: victim.Plan.String()})
+	}
 	shields := victim.handle.(Preemptor).Preempt(at)
-	s.Preemptions++
+	s.m.preemptions.Inc()
 	victim.Preemptions++
 	s.requeue(victim, credit)
 	return shields
@@ -246,8 +254,9 @@ func (s *Scheduler) requeue(j *Job, progressFrac float64) {
 	t.queue[i] = j
 	// Keep this cycle's scan position pointing at the same next-unexamined
 	// entry (and the head job it is about to dispatch).
-	if t.scanCycle == s.Cycles && i <= t.scan {
+	if t.scanCycle == s.cycleNum && i <= t.scan {
 		t.scan++
 	}
 	s.nQueued++
+	s.m.queuedJobs.SetInt(int64(s.nQueued))
 }

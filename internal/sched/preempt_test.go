@@ -61,10 +61,10 @@ func TestPreemptionLetsHeadStart(t *testing.T) {
 	if hi.Started >= 200*sim.Second {
 		t.Errorf("head started at %v — preemption never fired", hi.Started)
 	}
-	if s.Preemptions != 1 || li.Preemptions != 1 {
-		t.Errorf("Preemptions: scheduler=%d job=%d, want 1/1", s.Preemptions, li.Preemptions)
+	if s.Preemptions() != 1 || li.Preemptions != 1 {
+		t.Errorf("Preemptions: scheduler=%d job=%d, want 1/1", s.Preemptions(), li.Preemptions)
 	}
-	if s.ReservationAgings == 0 {
+	if s.ReservationAgings() == 0 {
 		t.Error("preemption fired without a reservation-aging trigger")
 	}
 	// The liar was requeued, not failed: it redispatched after the head.
@@ -81,8 +81,8 @@ func TestPreemptionDisabledHeadWaits(t *testing.T) {
 	k.Run()
 	hi, _ := s.Poll(head)
 	li, _ := s.Poll(liar)
-	if s.Preemptions != 0 || li.Preemptions != 0 {
-		t.Fatalf("preemption fired while disabled: scheduler=%d job=%d", s.Preemptions, li.Preemptions)
+	if s.Preemptions() != 0 || li.Preemptions != 0 {
+		t.Fatalf("preemption fired while disabled: scheduler=%d job=%d", s.Preemptions(), li.Preemptions)
 	}
 	if hi.Started < li.Finished {
 		t.Errorf("head started at %v before the liar finished at %v without preemption",
@@ -156,10 +156,10 @@ func TestPreemptionKeepsQueuePosition(t *testing.T) {
 func TestReservationAgingDropsHold(t *testing.T) {
 	k, s, head, liar := preemptScenario(t, Config{ReservationMaxSlips: 2})
 	k.Run()
-	if s.ReservationAgings == 0 {
+	if s.ReservationAgings() == 0 {
 		t.Fatal("reservation never aged out")
 	}
-	if s.Preemptions != 0 {
+	if s.Preemptions() != 0 {
 		t.Fatal("aging without preemption evicted a job")
 	}
 	hi, _ := s.Poll(head)
@@ -178,8 +178,8 @@ func TestForcedPreemptOverrun(t *testing.T) {
 		ReservationMaxSlips: -1, // no head-driven eviction
 	})
 	k.Run()
-	if s.ForcedPreemptions != 1 {
-		t.Fatalf("ForcedPreemptions = %d, want 1", s.ForcedPreemptions)
+	if s.ForcedPreemptions() != 1 {
+		t.Fatalf("ForcedPreemptions = %d, want 1", s.ForcedPreemptions())
 	}
 	hi, _ := s.Poll(head)
 	li, _ := s.Poll(liar)
@@ -219,8 +219,8 @@ func TestConsolidationMergesSpanningGang(t *testing.T) {
 	if gi.State != Done {
 		t.Fatalf("gang state %v", gi.State)
 	}
-	if s.Consolidations != 1 {
-		t.Fatalf("Consolidations = %d, want 1", s.Consolidations)
+	if s.Consolidations() != 1 {
+		t.Fatalf("Consolidations = %d, want 1", s.Consolidations())
 	}
 	if gi.Plan.Spanning() || gi.Plan.Primary() != "c0" || gi.Plan.Workers() != 24 {
 		t.Errorf("gang plan after consolidation = %v, want all 24 workers on c0", gi.Plan)
@@ -254,8 +254,8 @@ func TestConsolidationRespectsReservation(t *testing.T) {
 		t.Fatalf("gang plan = %v, want still spanning (reserved cores untouchable)", gi.Plan)
 	}
 	k.Run()
-	if s.Completed != 4 {
-		t.Fatalf("completed %d of 4", s.Completed)
+	if s.Completed() != 4 {
+		t.Fatalf("completed %d of 4", s.Completed())
 	}
 }
 
@@ -280,7 +280,7 @@ func TestResvCacheHits(t *testing.T) {
 		})
 	}
 	k.Run()
-	if s.ResvCacheHits == 0 {
+	if s.ResvCacheHits() == 0 {
 		t.Fatal("unchanged cycles never hit the reservation cache")
 	}
 	hi, _ := s.Poll(hold)

@@ -1,5 +1,7 @@
 package sched
 
+import "repro/internal/obs"
+
 // Scheduler-driven migration: running gangs are no longer pinned to the
 // plan that dispatched them. The elastic pass watches every running
 // spanning job and, once one of its member clouds could host the whole
@@ -50,7 +52,11 @@ func (s *Scheduler) consolidationTarget(j *Job) string {
 // elastic pass from stacking a second consolidation on an in-flight one.
 func (s *Scheduler) startConsolidation(j *Job, rel Relocator, to string) {
 	j.relocating = true
-	s.ConsolidationRequests++
+	s.m.consolidationRequests.Inc()
+	if s.tr != nil {
+		s.trace(obs.TraceEvent{Kind: "consolidate", Tenant: j.Spec.Tenant, Job: j.ID,
+			To: to, Workers: j.Plan.Workers(), Plan: j.Plan.String()})
+	}
 	type move struct {
 		from    string
 		workers int
@@ -75,7 +81,7 @@ func (s *Scheduler) startConsolidation(j *Job, rel Relocator, to string) {
 			if pending == 0 {
 				j.relocating = false
 				if !failed && j.State == Running {
-					s.Consolidations++
+					s.m.consolidations.Inc()
 				}
 			}
 		})
@@ -100,6 +106,10 @@ func (s *Scheduler) JobRelocated(id, from, to string, workers int) {
 // release entries move with the plan (same instants, new clouds) so future
 // reservations walk the truth.
 func (s *Scheduler) jobRelocated(j *Job, from, to string, workers int) {
+	if s.tr != nil {
+		s.trace(obs.TraceEvent{Kind: "relocate", Tenant: j.Spec.Tenant, Job: j.ID,
+			From: from, To: to, Workers: workers})
+	}
 	s.removeReleases(j)
 	j.Plan = j.Plan.MoveWorkers(from, to, workers)
 	j.Cloud = j.Plan.Primary()

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/capacity"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -466,6 +467,16 @@ type Config struct {
 	// member clouds is live-migrated onto it (backends exposing Relocator),
 	// cutting its cross-site shuffle to zero. Off by default.
 	EnableConsolidation bool
+	// Obs is the metrics registry the scheduler's counters, gauges, and
+	// phase histograms register in — a federation passes its shared registry
+	// so every layer's families render from one /metrics endpoint. Nil
+	// creates a private registry (the scheduler always runs instrumented;
+	// read it back with Scheduler.Obs).
+	Obs *obs.Registry
+	// Trace records scheduler decisions (dispatch, reservation, watermark
+	// block/wake, preemption with victim pricing, consolidation) into the
+	// given tracer. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -633,31 +644,17 @@ type Scheduler struct {
 	cancelElastic func()
 	patternOf     map[string]string // tenant -> detected pattern
 
-	// Stats.
-	Cycles             int
-	Dispatched         int
-	SpanningDispatched int
-	Backfills          int
-	Completed          int
-	Failures           int
-	GrowRequests       int
-	ShrinkRequests     int
-	SpotRevocations    int
-	SpotReplacements   int
-	PatternEvents      int
-	// Preemptions counts evicted jobs (head-driven), ForcedPreemptions the
-	// elastic overrun evictions among them; ReservationAgings counts cycles
-	// where a slipping reservation's ledger hold was dropped.
-	Preemptions       int
-	ForcedPreemptions int
-	ReservationAgings int
-	// ConsolidationRequests counts consolidation migrations issued;
-	// Consolidations counts the ones that completed and rewrote the plan.
-	ConsolidationRequests int
-	Consolidations        int
-	// ResvCacheHits counts blocked-head cycles that reused the cached
-	// reservation instead of re-walking reserve().
-	ResvCacheHits int
+	// cycleNum is the kernel-thread-local cycle count (the tenant scan and
+	// requeue machinery compare against it); the public view is the atomic
+	// sky_sched_cycles_total counter behind Scheduler.Cycles.
+	cycleNum int
+
+	// m holds the registry instruments behind the stat accessor methods
+	// (Cycles, Dispatched, …) — atomic counters, so examples and tests can
+	// read them while the kernel runs in another goroutine. tr is the
+	// optional decision tracer (see obs.go).
+	m  schedMetrics
+	tr *obs.Tracer
 }
 
 // New builds a scheduler over the backend. Call Start to enable the elastic
@@ -673,6 +670,8 @@ func New(b Backend, cfg Config) *Scheduler {
 		prevFree:  make(map[string]int),
 		freedBy:   make(map[string]int64),
 		patternOf: make(map[string]string),
+		m:         newSchedMetrics(cfg.Obs),
+		tr:        cfg.Trace,
 	}
 	if sc, ok := s.cfg.Placement.(interface{ SingleCloudOnly() bool }); ok {
 		s.singleCloud = sc.SingleCloudOnly()
@@ -754,6 +753,7 @@ func (s *Scheduler) Submit(spec JobSpec) (string, error) {
 	s.active[j.ID] = j
 	s.order = append(s.order, j)
 	s.nQueued++
+	s.m.queuedJobs.SetInt(int64(s.nQueued))
 	t.queue = append(t.queue, j)
 	s.ensureElastic()
 	s.kick()
@@ -837,7 +837,10 @@ func (s *Scheduler) kick() {
 // have been freed to possibly fit them (the blocked-head watermark).
 func (s *Scheduler) cycle() {
 	s.cyclePending = false
-	s.Cycles++
+	s.cycleNum++
+	s.m.cycles.Inc()
+	t0 := s.m.clock()
+	var resvNanos, preemptNanos int64
 	s.dropReservation()
 	s.dropShields()
 	v := &s.view
@@ -857,9 +860,19 @@ func (s *Scheduler) cycle() {
 		}
 		var plan Plan
 		if s.canFit(j) {
+			if j.unfit && s.tr != nil {
+				// The watermark opened: enough cores freed since the block
+				// record to possibly fit the job again.
+				s.trace(obs.TraceEvent{Kind: "wake", Tenant: t.Name, Job: j.ID,
+					Workers: j.workers(), Cores: j.Cores()})
+			}
 			plan = s.cfg.Placement.Choose(s, j, v)
 			if plan.Empty() {
 				s.markUnfit(j, v)
+				if s.tr != nil {
+					s.trace(obs.TraceEvent{Kind: "block", Tenant: t.Name, Job: j.ID,
+						Workers: j.workers(), Cores: j.Cores()})
+				}
 			}
 		}
 		if !plan.Empty() {
@@ -875,7 +888,9 @@ func (s *Scheduler) cycle() {
 			continue
 		}
 		if s.resv == nil {
+			tr0 := s.m.clock()
 			r, ok, hit := s.cachedReserve(j, v, &releases, &haveReleases)
+			resvNanos += s.m.clock() - tr0
 			if !ok {
 				if fits, _ := s.fitsFederation(j); !fits {
 					// Even with every running job drained the demand never
@@ -892,7 +907,10 @@ func (s *Scheduler) cycle() {
 			}
 			aged := s.trackSlips(&r, hit)
 			if aged && s.cfg.EnablePreemption {
-				switch s.preemptFor(t, j, v) {
+				tp0 := s.m.clock()
+				out := s.preemptFor(t, j, v)
+				preemptNanos += s.m.clock() - tp0
+				switch out {
 				case preemptDispatched:
 					// The head dispatched on evicted cores; the view was
 					// re-snapshotted and the release snapshot invalidated.
@@ -904,9 +922,11 @@ func (s *Scheduler) cycle() {
 					// entries. Recompute it against the post-eviction state
 					// (the requeues dirtied the release snapshot and bumped
 					// the epoch, so this is a genuine re-walk).
+					tr0 = s.m.clock()
 					if r2, ok2, _ := s.cachedReserve(j, v, &releases, &haveReleases); ok2 {
 						r, hit = r2, false
 					}
+					resvNanos += s.m.clock() - tr0
 				}
 			}
 			// An aged reservation is held for backfill gating but without
@@ -916,6 +936,11 @@ func (s *Scheduler) cycle() {
 			if !hit {
 				s.sumReleasesAt(v, releases, r.at)
 				s.cacheReservation(j, v, &r)
+				if s.tr != nil {
+					s.trace(obs.TraceEvent{Kind: "reserve", Tenant: t.Name, Job: j.ID,
+						Workers: j.workers(), Cores: j.Cores(),
+						Start: int64(r.at), Plan: r.plan.String()})
+				}
 			}
 			if s.cfg.DisableBackfill {
 				break
@@ -924,6 +949,7 @@ func (s *Scheduler) cycle() {
 		t.scan++
 	}
 	s.saveEndFrees(v)
+	s.m.observePhases(s.m.clock()-t0, resvNanos, preemptNanos)
 }
 
 // dropShields releases eviction shields carried over from the previous
@@ -1037,12 +1063,20 @@ func (s *Scheduler) dispatch(t *Tenant, j *Job, plan Plan, backfilled bool, v *C
 	j.resizeAt = now
 	j.unfit = false
 	s.charge(t, j, est)
-	s.Dispatched++
+	s.m.dispatched.Inc()
 	if backfilled {
-		s.Backfills++
+		s.m.backfills.Inc()
 	}
 	if plan.Spanning() {
-		s.SpanningDispatched++
+		s.m.spanningDispatched.Inc()
+	}
+	if s.tr != nil {
+		kind := "dispatch"
+		if backfilled {
+			kind = "dispatch_backfill"
+		}
+		s.trace(obs.TraceEvent{Kind: kind, Tenant: t.Name, Job: j.ID,
+			Cloud: j.Cloud, Workers: j.workers(), Cores: j.Cores(), Plan: plan.String()})
 	}
 	s.addRunning(j)
 	s.insertReleases(j)
@@ -1066,7 +1100,11 @@ func (s *Scheduler) dispatchExternal(t *Tenant, j *Job) {
 	j.resizeAt = j.Started
 	j.estDuration = sim.FromSeconds(j.estimate())
 	s.charge(t, j, j.estimate())
-	s.Dispatched++
+	s.m.dispatched.Inc()
+	if s.tr != nil {
+		s.trace(obs.TraceEvent{Kind: "dispatch", Tenant: t.Name, Job: j.ID,
+			Workers: j.workers(), Cores: j.Cores()})
+	}
 	s.addRunning(j)
 	run := j.Spec.Run
 	s.K.Schedule(0, func() { run(func(err error) { s.complete(j, Outcome{Err: err}) }) })
@@ -1080,6 +1118,7 @@ func (s *Scheduler) popQueued(t *Tenant, j *Job) {
 	}
 	t.queue = append(t.queue[:i], t.queue[i+1:]...)
 	s.nQueued--
+	s.m.queuedJobs.SetInt(int64(s.nQueued))
 }
 
 // addRunning inserts the job into the submission-ordered running list.
@@ -1089,6 +1128,7 @@ func (s *Scheduler) addRunning(j *Job) {
 	s.running = append(s.running, nil)
 	copy(s.running[i+1:], s.running[i:])
 	s.running[i] = j
+	s.m.runningJobs.SetInt(int64(len(s.running)))
 }
 
 // dropRunning removes the job from the running list.
@@ -1097,6 +1137,7 @@ func (s *Scheduler) dropRunning(j *Job) {
 	if i < len(s.running) && s.running[i] == j {
 		copy(s.running[i:], s.running[i+1:])
 		s.running = s.running[:len(s.running)-1]
+		s.m.runningJobs.SetInt(int64(len(s.running)))
 	}
 }
 
@@ -1118,10 +1159,10 @@ func (s *Scheduler) complete(j *Job, out Outcome) {
 	s.toArchive(j)
 	if out.Err != nil {
 		j.State = Failed
-		s.Failures++
+		s.m.failures.Inc()
 	} else {
 		j.State = Done
-		s.Completed++
+		s.m.completed.Inc()
 	}
 	s.kick()
 }
@@ -1139,5 +1180,5 @@ func (s *Scheduler) failQueued(t *Tenant, j *Job, err error) {
 	j.Finished = s.K.Now()
 	j.Outcome = Outcome{Err: err}
 	s.toArchive(j)
-	s.Failures++
+	s.m.failures.Inc()
 }

@@ -113,8 +113,8 @@ func TestBackfill(t *testing.T) {
 	if wi.Started != hi.Finished {
 		t.Errorf("wide job delayed: started %v, holder finished %v", wi.Started, hi.Finished)
 	}
-	if s.Backfills != 1 {
-		t.Errorf("Backfills = %d, want 1", s.Backfills)
+	if s.Backfills() != 1 {
+		t.Errorf("Backfills = %d, want 1", s.Backfills())
 	}
 }
 
@@ -154,8 +154,8 @@ func TestBackfillDisabled(t *testing.T) {
 	if si.Started < wi.Started {
 		t.Fatalf("backfill disabled but short (%v) passed wide (%v)", si.Started, wi.Started)
 	}
-	if s.Backfills != 0 {
-		t.Errorf("Backfills = %d, want 0", s.Backfills)
+	if s.Backfills() != 0 {
+		t.Errorf("Backfills = %d, want 0", s.Backfills())
 	}
 }
 
@@ -230,8 +230,8 @@ func TestSpotRevocationMidJob(t *testing.T) {
 	if ji.Revocations != 1 {
 		t.Errorf("Revocations = %d, want 1", ji.Revocations)
 	}
-	if s.SpotReplacements != 1 || ji.GrewBy != 1 {
-		t.Errorf("replacement not requested: SpotReplacements=%d GrewBy=%d", s.SpotReplacements, ji.GrewBy)
+	if s.SpotReplacements() != 1 || ji.GrewBy != 1 {
+		t.Errorf("replacement not requested: SpotReplacements=%d GrewBy=%d", s.SpotReplacements(), ji.GrewBy)
 	}
 }
 
@@ -246,8 +246,8 @@ func TestSpotReplacementDisabled(t *testing.T) {
 		s.Notify(Event{Kind: EventSpotRevoked, Job: id, Cloud: "c0"})
 	})
 	k.Run()
-	if s.SpotRevocations != 1 || s.SpotReplacements != 0 {
-		t.Fatalf("revocations=%d replacements=%d, want 1/0", s.SpotRevocations, s.SpotReplacements)
+	if s.SpotRevocations() != 1 || s.SpotReplacements() != 0 {
+		t.Fatalf("revocations=%d replacements=%d, want 1/0", s.SpotRevocations(), s.SpotReplacements())
 	}
 }
 
@@ -264,13 +264,13 @@ func TestDeadlineGrowth(t *testing.T) {
 		MR: mapreduce.Job{NumMaps: 30, NumReduces: 2}})[0]
 	k.Run()
 	ji, _ := s.Poll(id)
-	if s.GrowRequests == 0 || ji.GrewBy == 0 {
-		t.Fatalf("no elastic growth for a late job: GrowRequests=%d GrewBy=%d", s.GrowRequests, ji.GrewBy)
+	if s.GrowRequests() == 0 || ji.GrewBy == 0 {
+		t.Fatalf("no elastic growth for a late job: GrowRequests=%d GrewBy=%d", s.GrowRequests(), ji.GrewBy)
 	}
 	if ji.GrewBy > 2 {
 		t.Errorf("GrewBy=%d exceeds MaxExtraWorkers=2", ji.GrewBy)
 	}
-	if s.ShrinkRequests == 0 {
+	if s.ShrinkRequests() == 0 {
 		t.Errorf("elastic extras never shrunk after the map phase")
 	}
 	s.Stop()
@@ -346,8 +346,8 @@ func TestExternalJobErrorRecorded(t *testing.T) {
 	if ji.State != Failed || ji.Err == nil {
 		t.Fatalf("external error not recorded: state=%v err=%v", ji.State, ji.Err)
 	}
-	if s.Completed != 0 || s.Failures != 1 {
-		t.Errorf("stats: completed=%d failures=%d, want 0/1", s.Completed, s.Failures)
+	if s.Completed() != 0 || s.Failures() != 1 {
+		t.Errorf("stats: completed=%d failures=%d, want 0/1", s.Completed(), s.Failures())
 	}
 }
 
@@ -368,10 +368,10 @@ func TestSpotReplacementsSurviveMapDrainShrink(t *testing.T) {
 	})
 	k.Run()
 	ji, _ := s.Poll(id)
-	if s.SpotReplacements != 1 {
-		t.Fatalf("SpotReplacements=%d, want 1", s.SpotReplacements)
+	if s.SpotReplacements() != 1 {
+		t.Fatalf("SpotReplacements=%d, want 1", s.SpotReplacements())
 	}
-	if s.ShrinkRequests == 0 {
+	if s.ShrinkRequests() == 0 {
 		t.Fatal("deadline extras never shrunk")
 	}
 	// GrewBy = 1 deadline + 1 replacement; only the deadline extra may be

@@ -2,6 +2,8 @@ package sched
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 
 	"repro/internal/capacity"
@@ -86,6 +88,20 @@ func (b *SimBackend) AddCloud(name string, cores int, speed, price float64) *Sim
 func (b *SimBackend) SetBandwidth(a, c string, bw float64) {
 	b.bw[[2]string{a, c}] = bw
 	b.bw[[2]string{c, a}] = bw
+}
+
+// UseLogNormalOverrun installs a log-normal estimate-error model: each
+// launched job's actual runtime is its estimate × exp(mu + sigma·N(0,1)).
+// With mu=0 the median job matches its estimate while the right tail
+// overruns — the optimistic-estimate regime that makes releases go overdue
+// and reservations slip. The generator is seeded once from the kernel's RNG
+// and then draws from its own stream, so enabling it shifts the kernel
+// stream by exactly one draw and same-seed runs stay bit-identical.
+func (b *SimBackend) UseLogNormalOverrun(mu, sigma float64) {
+	rng := rand.New(rand.NewSource(b.k.Rand().Int63()))
+	b.Overrun = func(*Job) float64 {
+		return math.Exp(mu + sigma*rng.NormFloat64())
+	}
 }
 
 // Cloud returns a synthetic cloud by name, or nil.
