@@ -143,6 +143,49 @@ func BenchmarkSchedulerSteadyState(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs), "ns/job")
 }
 
+// BenchmarkSchedulerCycleParallel measures the parallel sharded core on a
+// federation big enough to cross its gates: 20 clouds (the single-cloud
+// scan fans across the scoring pool), 70 tenants (the fair-share pick and
+// Shares aggregate by shard), and head-plan speculation with optimistic
+// commit each cycle. ScoreWorkers -1 sizes the pool to GOMAXPROCS, so
+// -cpu 1 runs the sequential core and -cpu N the pooled one — decisions
+// are byte-identical at every setting (internal/sched's determinism oracle
+// pins that), so this benchmark isolates pure orchestration cost vs
+// scaling. Run with -cpu 1,4 to record both.
+func BenchmarkSchedulerCycleParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(42)
+		sb := sched.NewSimBackend(k)
+		for c := 0; c < 20; c++ {
+			sb.AddCloud(fmt.Sprintf("cloud%02d", c), 32, 1.0+0.25*float64(c%4), 0.08)
+		}
+		s := sched.New(sb, sched.Config{ScoreWorkers: -1})
+		for t := 0; t < 70; t++ {
+			s.AddTenant(fmt.Sprintf("tenant%02d", t), float64(t%4+1))
+		}
+		for j := 0; j < 1000; j++ {
+			spec := sched.JobSpec{
+				Tenant:          fmt.Sprintf("tenant%02d", j%70),
+				Workers:         2,
+				CoresPerWorker:  2,
+				EstimateSeconds: float64(60 + j%120),
+			}
+			if j%17 == 0 {
+				spec.Workers = 40 // 80 cores, wider than any cloud: spanning plans
+			}
+			if _, err := s.Submit(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		k.Run()
+		if s.Completed() != 1000 {
+			b.Fatalf("completed %d of 1000 jobs", s.Completed())
+		}
+		s.Close()
+	}
+}
+
 // BenchmarkGangPlacement measures the plan-based placement pipeline under a
 // spanning-heavy load: 300 jobs from two tenants on four 64-core clouds
 // with heterogeneous pipes, every fifth job too wide for any single cloud

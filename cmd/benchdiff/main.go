@@ -73,9 +73,16 @@ func (b *Baseline) normalize() {
 	}
 }
 
-// benchLine matches "BenchmarkName[-P]  iters  N ns/op [... M allocs/op]".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) allocs/op)?`)
+// benchLine matches "BenchmarkName[-P]  iters  N ns/op [... M allocs/op]",
+// capturing the GOMAXPROCS suffix go test appends under -cpu.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) allocs/op)?`)
 
+// parse reads go test -bench output. Each result is recorded twice: under
+// its suffixed name exactly as printed ("BenchmarkFoo-4"), so a -cpu list
+// gates every parallelism level the baseline records, and under the plain
+// name, where the FIRST occurrence wins — with -cpu 1,4 that is the -cpu 1
+// run, keeping plain-name baselines pinned to the sequential configuration
+// they were recorded at.
 func parse(r io.Reader) (cpu string, results map[string]Entry, err error) {
 	results = make(map[string]Entry)
 	sc := bufio.NewScanner(r)
@@ -89,12 +96,18 @@ func parse(r io.Reader) (cpu string, results map[string]Entry, err error) {
 		if m == nil {
 			continue
 		}
-		ns, _ := strconv.ParseFloat(m[2], 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
 		allocs := 0.0
-		if m[3] != "" {
-			allocs, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			allocs, _ = strconv.ParseFloat(m[4], 64)
 		}
-		results[m[1]] = Entry{NsPerOp: ns, AllocsPerOp: allocs}
+		e := Entry{NsPerOp: ns, AllocsPerOp: allocs}
+		if m[2] != "" {
+			results[m[1]+m[2]] = e
+		}
+		if _, seen := results[m[1]]; !seen {
+			results[m[1]] = e
+		}
 	}
 	return cpu, results, sc.Err()
 }

@@ -23,12 +23,24 @@
 // through Probe, which answers "could an indefinite claim of n cores
 // starting at t ever oversubscribe this cloud?" honoring held leases'
 // estimated ends and reservations' start instants.
+//
+// The ledger is safe for concurrent use: every public method takes an
+// instrumented reader/writer lock (contention is exported through
+// Instrument as the sky_lock_* families), and Generation is a lock-free
+// atomic read so hot-path cache-validity checks never serialize on the
+// lock. The intended sharing shape is still read-mostly — the parallel
+// scheduler's score workers read immutable snapshots and only the commit
+// path writes — but nothing corrupts if an external surface (a metrics
+// scrape, a daemon API) reads concurrently.
 package capacity
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
+	"repro/internal/lock"
 	"repro/internal/sim"
 )
 
@@ -48,6 +60,12 @@ func (k Kind) String() string {
 	}
 	return "held"
 }
+
+// ErrStaleGeneration is returned by the generation-validated commit helpers
+// when the ledger moved under an optimistic caller: the capacity view the
+// caller scored against is no longer the ledger's state, so the decision
+// must be rescored rather than committed.
+var ErrStaleGeneration = errors.New("capacity: ledger generation moved since speculation")
 
 // Lease is one claim on a cloud's cores. Lifecycle: Acquire/Reserve creates
 // it, Commit retires it into the committed aggregate (a held in-flight
@@ -75,7 +93,11 @@ type Lease struct {
 
 // Active reports whether the lease still claims cores (not yet committed or
 // released).
-func (le *Lease) Active() bool { return !le.closed }
+func (le *Lease) Active() bool {
+	le.l.mu.RLock()
+	defer le.l.mu.RUnlock()
+	return !le.closed
+}
 
 // account is one cloud's ledger entry. held and reserved cache the active
 // lease cores per kind (maintained at lease create/commit/release), so the
@@ -114,70 +136,238 @@ type timedCores struct {
 	cores int
 }
 
-// timeIndex is a sorted slice of timedCores with a parallel prefix-sum of
-// cores, answering "how many cores by instant t" in O(log n). Inserts and
-// removes are O(n) memmoves — the index is small (live leases with estimated
-// ends, outstanding reservations), and the probe path that reads it runs far
-// more often than leases churn.
-type timeIndex struct {
+// idxBucketMax is the split threshold of a timeIndex bucket. Buckets merge
+// back when a removal leaves one under a quarter of this and a neighbour
+// has room, so the structure stays compact under churn.
+const idxBucketMax = 128
+
+// idxBucket is one node of the unrolled time index: a sorted run of entries
+// plus a local prefix-sum of their cores, so a within-bucket "cores by t"
+// read is one binary search and one array load.
+type idxBucket struct {
 	ents []timedCores
 	cum  []int // cum[i] = Σ ents[:i+1].cores
 }
 
+func (b *idxBucket) sum() int {
+	if len(b.cum) == 0 {
+		return 0
+	}
+	return b.cum[len(b.cum)-1]
+}
+
 // search returns the index of the first entry ordered at or after (at, id).
-func (x *timeIndex) search(at sim.Time, id int) int {
-	return sort.Search(len(x.ents), func(i int) bool {
-		e := x.ents[i]
+func (b *idxBucket) search(at sim.Time, id int) int {
+	return sort.Search(len(b.ents), func(i int) bool {
+		e := b.ents[i]
 		return e.at > at || (e.at == at && e.id >= id)
 	})
 }
 
+// recum rebuilds the bucket's prefix sums from position i onward.
+func (b *idxBucket) recum(i int) {
+	prev := 0
+	if i > 0 {
+		prev = b.cum[i-1]
+	}
+	for ; i < len(b.ents); i++ {
+		prev += b.ents[i].cores
+		b.cum[i] = prev
+	}
+}
+
+// timeIndex is an unrolled sorted list of timedCores: a slice of bounded
+// buckets with per-bucket and per-index prefix sums. It answers "how many
+// cores by instant t" in O(log n) like the flat prefix-summed slice it
+// replaces, but inserts and removes touch one bucket (≤ idxBucketMax
+// entries) plus the O(n/idxBucketMax) bucket summary — instead of an O(n)
+// memmove over every entry — so the index stays cheap at the lease counts
+// the trace-scale harness targets (ROADMAP item 3), not just at thousands.
+type timeIndex struct {
+	buckets []*idxBucket
+	bcum    []int // bcum[i] = Σ buckets[:i+1].sum()
+	n       int
+}
+
+// len returns the number of entries (test/oracle surface).
+func (x *timeIndex) size() int { return x.n }
+
+// bucketFor returns the index of the bucket whose key range covers (at,
+// id): the first bucket whose last entry orders at or after it, or
+// len(buckets) when every bucket ends before it.
+func (x *timeIndex) bucketFor(at sim.Time, id int) int {
+	return sort.Search(len(x.buckets), func(i int) bool {
+		b := x.buckets[i]
+		e := b.ents[len(b.ents)-1]
+		return e.at > at || (e.at == at && e.id >= id)
+	})
+}
+
+// rebcum rebuilds the bucket-level prefix sums from bucket i onward — the
+// slow path after a structural change (split, merge, bucket drop).
+func (x *timeIndex) rebcum(i int) {
+	prev := 0
+	if i > 0 {
+		prev = x.bcum[i-1]
+	}
+	for ; i < len(x.buckets); i++ {
+		prev += x.buckets[i].sum()
+		x.bcum[i] = prev
+	}
+}
+
+// bcumShift applies a single-bucket core delta to the bucket prefix sums —
+// the common path when an add/remove touched bucket i without changing the
+// bucket set.
+func (x *timeIndex) bcumShift(i, delta int) {
+	for ; i < len(x.bcum); i++ {
+		x.bcum[i] += delta
+	}
+}
+
 func (x *timeIndex) add(at sim.Time, id, cores int) {
-	i := x.search(at, id)
-	x.ents = append(x.ents, timedCores{})
-	copy(x.ents[i+1:], x.ents[i:])
-	x.ents[i] = timedCores{at: at, id: id, cores: cores}
-	x.cum = append(x.cum, 0)
-	x.recum(i)
+	x.n++
+	if len(x.buckets) == 0 {
+		x.buckets = append(x.buckets, &idxBucket{
+			ents: []timedCores{{at: at, id: id, cores: cores}},
+			cum:  []int{cores},
+		})
+		x.bcum = append(x.bcum, cores)
+		return
+	}
+	bi := x.bucketFor(at, id)
+	if bi == len(x.buckets) {
+		bi--
+	}
+	b := x.buckets[bi]
+	j := b.search(at, id)
+	b.ents = append(b.ents, timedCores{})
+	copy(b.ents[j+1:], b.ents[j:])
+	b.ents[j] = timedCores{at: at, id: id, cores: cores}
+	b.cum = append(b.cum, 0)
+	b.recum(j)
+	if len(b.ents) > idxBucketMax {
+		x.split(bi)
+		x.rebcum(bi)
+	} else {
+		x.bcumShift(bi, cores)
+	}
+}
+
+// split divides bucket bi in half; the caller fixes the bucket prefix sums.
+func (x *timeIndex) split(bi int) {
+	b := x.buckets[bi]
+	half := len(b.ents) / 2
+	nb := &idxBucket{
+		ents: append([]timedCores(nil), b.ents[half:]...),
+		cum:  make([]int, len(b.ents)-half),
+	}
+	nb.recum(0)
+	b.ents = b.ents[:half]
+	b.cum = b.cum[:half] // prefix property: the left half is already correct
+	x.buckets = append(x.buckets, nil)
+	copy(x.buckets[bi+2:], x.buckets[bi+1:])
+	x.buckets[bi+1] = nb
+	x.bcum = append(x.bcum, 0)
 }
 
 func (x *timeIndex) remove(at sim.Time, id int) {
-	i := x.search(at, id)
-	if i >= len(x.ents) || x.ents[i].id != id {
+	bi := x.bucketFor(at, id)
+	if bi == len(x.buckets) {
 		return
 	}
-	copy(x.ents[i:], x.ents[i+1:])
-	x.ents = x.ents[:len(x.ents)-1]
-	x.cum = x.cum[:len(x.cum)-1]
-	x.recum(i)
+	b := x.buckets[bi]
+	j := b.search(at, id)
+	if j >= len(b.ents) || b.ents[j].id != id || b.ents[j].at != at {
+		return
+	}
+	cores := b.ents[j].cores
+	copy(b.ents[j:], b.ents[j+1:])
+	b.ents = b.ents[:len(b.ents)-1]
+	b.cum = b.cum[:len(b.cum)-1]
+	b.recum(j)
+	x.n--
+	switch {
+	case len(b.ents) == 0:
+		x.buckets = append(x.buckets[:bi], x.buckets[bi+1:]...)
+		x.bcum = x.bcum[:len(x.bcum)-1]
+		x.rebcum(bi)
+	case len(b.ents) < idxBucketMax/4 && bi+1 < len(x.buckets) &&
+		len(b.ents)+len(x.buckets[bi+1].ents) <= idxBucketMax*3/4:
+		x.merge(bi)
+		x.rebcum(bi)
+	default:
+		x.bcumShift(bi, -cores)
+	}
 }
 
-// recum rebuilds the prefix sums from position i onward.
-func (x *timeIndex) recum(i int) {
-	prev := 0
-	if i > 0 {
-		prev = x.cum[i-1]
-	}
-	for ; i < len(x.ents); i++ {
-		prev += x.ents[i].cores
-		x.cum[i] = prev
-	}
+// merge folds bucket bi+1 into bucket bi; the caller fixes the bucket
+// prefix sums.
+func (x *timeIndex) merge(bi int) {
+	b, nb := x.buckets[bi], x.buckets[bi+1]
+	at := len(b.ents)
+	b.ents = append(b.ents, nb.ents...)
+	b.cum = append(b.cum, nb.cum...)
+	b.recum(at)
+	x.buckets = append(x.buckets[:bi+1], x.buckets[bi+2:]...)
+	x.bcum = x.bcum[:len(x.bcum)-1]
 }
 
 // coresBy returns the total cores of entries with at <= t.
 func (x *timeIndex) coresBy(t sim.Time) int {
-	i := sort.Search(len(x.ents), func(k int) bool { return x.ents[k].at > t })
-	if i == 0 {
-		return 0
+	bi := sort.Search(len(x.buckets), func(i int) bool {
+		b := x.buckets[i]
+		return b.ents[len(b.ents)-1].at > t
+	})
+	total := 0
+	if bi > 0 {
+		total = x.bcum[bi-1]
 	}
-	return x.cum[i-1]
+	if bi == len(x.buckets) {
+		return total
+	}
+	b := x.buckets[bi]
+	if j := sort.Search(len(b.ents), func(k int) bool { return b.ents[k].at > t }); j > 0 {
+		total += b.cum[j-1]
+	}
+	return total
 }
 
-// after returns the entries with at > t (a view into the index; do not
-// mutate the index while holding it).
-func (x *timeIndex) after(t sim.Time) []timedCores {
-	i := sort.Search(len(x.ents), func(k int) bool { return x.ents[k].at > t })
-	return x.ents[i:]
+// idxIter walks index entries in (at, id) order. It is a value type so
+// iteration allocates nothing; do not mutate the index mid-walk.
+type idxIter struct {
+	x  *timeIndex
+	bi int
+	j  int
+}
+
+// iterAfter positions an iterator at the first entry with at > t.
+func (x *timeIndex) iterAfter(t sim.Time) idxIter {
+	bi := sort.Search(len(x.buckets), func(i int) bool {
+		b := x.buckets[i]
+		return b.ents[len(b.ents)-1].at > t
+	})
+	it := idxIter{x: x, bi: bi}
+	if bi < len(x.buckets) {
+		b := x.buckets[bi]
+		it.j = sort.Search(len(b.ents), func(k int) bool { return b.ents[k].at > t })
+	}
+	return it
+}
+
+// next returns the following entry, or false when the walk is done.
+func (it *idxIter) next() (timedCores, bool) {
+	for it.bi < len(it.x.buckets) {
+		b := it.x.buckets[it.bi]
+		if it.j < len(b.ents) {
+			e := b.ents[it.j]
+			it.j++
+			return e, true
+		}
+		it.bi++
+		it.j = 0
+	}
+	return timedCores{}, false
 }
 
 // Ledger is the shared capacity ledger. One instance spans a federation
@@ -185,14 +375,21 @@ func (x *timeIndex) after(t sim.Time) []timedCores {
 // without a federation (SimBackend, standalone nimbus clouds) own private
 // instances with identical semantics.
 type Ledger struct {
+	// mu guards every account and counter below. It is an instrumented
+	// lock (see internal/lock): once Instrument is called, contended
+	// acquisitions surface as sky_lock_contentions_total{lock="capacity_ledger"}.
+	mu lock.RWMutex
+
 	seq      int
 	accounts map[string]*account
 	order    []string
 	// gen counts cloud-set and total-capacity changes plus forced
 	// transitions (Evict/Retarget); callers cache capacity views derived
 	// from the ledger keyed on it (the scheduler's federation-wide
-	// gang-slot cache, the blocked-head reservation cache).
-	gen uint64
+	// gang-slot cache, the blocked-head reservation cache, the parallel
+	// scheduler's speculative placement results). Atomic so the per-job
+	// validity checks on the scheduler hot path never touch the lock.
+	gen atomic.Uint64
 
 	// Evictions and Retargets count forced transitions, for stats surfaces.
 	Evictions int
@@ -211,33 +408,41 @@ func New() *Ledger {
 // AddCloud registers a cloud's total core capacity. Re-adding an existing
 // cloud only updates its total.
 func (l *Ledger) AddCloud(name string, totalCores int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if a, ok := l.accounts[name]; ok {
 		if a.total != totalCores {
 			a.total = totalCores
-			l.gen++
+			l.gen.Add(1)
 		}
 		return
 	}
 	l.accounts[name] = &account{name: name, total: totalCores, leases: make(map[int]*Lease)}
 	l.order = append(l.order, name)
 	sort.Strings(l.order)
-	l.gen++
+	l.gen.Add(1)
 }
 
 // Generation returns a counter bumped whenever the cloud set or any cloud's
 // total capacity changes, and on every forced transition (Evict, Retarget)
 // that moves claims behind normal acquire/release flow. Derived capacity
-// views cached on it stay valid until it moves.
-func (l *Ledger) Generation() uint64 { return l.gen }
+// views cached on it stay valid until it moves. Lock-free.
+func (l *Ledger) Generation() uint64 { return l.gen.Load() }
 
 // SetTotal updates a cloud's capacity (backends whose clouds resize).
 func (l *Ledger) SetTotal(name string, totalCores int) { l.AddCloud(name, totalCores) }
 
 // Clouds returns the registered cloud names, sorted.
-func (l *Ledger) Clouds() []string { return append([]string(nil), l.order...) }
+func (l *Ledger) Clouds() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]string(nil), l.order...)
+}
 
 // Total returns a cloud's core capacity (0 for unknown clouds).
 func (l *Ledger) Total(cloud string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if a := l.accounts[cloud]; a != nil {
 		return a.total
 	}
@@ -246,6 +451,8 @@ func (l *Ledger) Total(cloud string) int {
 
 // Committed returns the cores of placed VMs on a cloud.
 func (l *Ledger) Committed(cloud string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if a := l.accounts[cloud]; a != nil {
 		return a.committed
 	}
@@ -254,6 +461,8 @@ func (l *Ledger) Committed(cloud string) int {
 
 // Held returns the cores of active held leases on a cloud.
 func (l *Ledger) Held(cloud string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if a := l.accounts[cloud]; a != nil {
 		return a.held
 	}
@@ -262,6 +471,8 @@ func (l *Ledger) Held(cloud string) int {
 
 // Reserved returns the cores of active future reservations on a cloud.
 func (l *Ledger) Reserved(cloud string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if a := l.accounts[cloud]; a != nil {
 		return a.reserved
 	}
@@ -272,6 +483,13 @@ func (l *Ledger) Reserved(cloud string) int {
 // held. Future reservations do not reduce Free — they gate policy decisions
 // through Probe, not physical admission.
 func (l *Ledger) Free(cloud string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.free(cloud)
+}
+
+// free is Free without the lock.
+func (l *Ledger) free(cloud string) int {
 	a := l.accounts[cloud]
 	if a == nil {
 		return 0
@@ -279,16 +497,36 @@ func (l *Ledger) Free(cloud string) int {
 	return a.total - a.committed - a.held
 }
 
+// FreeTotals calls fn(name, free, total) for every registered cloud in name
+// order under a single read lock — the bulk form of Free+Total for per-cycle
+// snapshots, which would otherwise pay two lock round-trips per cloud.
+func (l *Ledger) FreeTotals(fn func(name string, free, total int)) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, name := range l.order {
+		a := l.accounts[name]
+		fn(name, a.total-a.committed-a.held, a.total)
+	}
+}
+
 // Headroom returns the cores a new indefinite claim could take at time
 // `at` without ever oversubscribing the cloud — the largest n for which
 // Probe(cloud, n, at) holds. Growers rank spill targets by it.
 func (l *Ledger) Headroom(cloud string, at sim.Time) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.headroom(cloud, at)
+}
+
+// headroom is Headroom without the lock.
+func (l *Ledger) headroom(cloud string, at sim.Time) int {
 	a := l.accounts[cloud]
 	if a == nil {
 		return 0
 	}
 	head := a.total - a.loadAt(at)
-	for _, e := range a.resvStarts.after(at) {
+	it := a.resvStarts.iterAfter(at)
+	for e, ok := it.next(); ok; e, ok = it.next() {
 		if h := a.total - a.loadAt(e.at); h < head {
 			head = h
 		}
@@ -315,19 +553,21 @@ func (l *Ledger) Headroom(cloud string, at sim.Time) int {
 // (nil when the caller acquires incrementally). Returns "" when no cloud
 // qualifies.
 func (l *Ledger) PickGrowTarget(members, spill []string, cores int, at sim.Time, alloc map[string]int) string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	for _, m := range members {
 		need := alloc[m] + cores
-		if l.Free(m) >= need && l.Probe(m, need, at) {
+		if l.free(m) >= need && l.probe(m, need, at) {
 			return m
 		}
 	}
 	best, bestHead := "", 0
 	for _, c := range spill {
 		need := alloc[c] + cores
-		if l.Free(c) < need {
+		if l.free(c) < need {
 			continue
 		}
-		head := l.Headroom(c, at) - alloc[c]
+		head := l.headroom(c, at) - alloc[c]
 		if head < cores {
 			continue
 		}
@@ -356,6 +596,13 @@ func (a *account) loadAt(t sim.Time) int {
 // denied when it would eat cores a backfill reservation needs at its future
 // start, even though the cloud has room today.
 func (l *Ledger) Probe(cloud string, cores int, at sim.Time) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.probe(cloud, cores, at)
+}
+
+// probe is Probe without the lock.
+func (l *Ledger) probe(cloud string, cores int, at sim.Time) bool {
 	l.m.probes.Inc()
 	if l.accounts[cloud] == nil {
 		return false
@@ -363,7 +610,7 @@ func (l *Ledger) Probe(cloud string, cores int, at sim.Time) bool {
 	if cores <= 0 {
 		return true
 	}
-	return l.Headroom(cloud, at) >= cores
+	return l.headroom(cloud, at) >= cores
 }
 
 // Acquire claims cores held from now — the admission gate. Fails when the
@@ -378,6 +625,30 @@ func (l *Ledger) Acquire(cloud string, cores int) (*Lease, error) {
 // AcquireUntil is Acquire with an estimated release instant (0 = unknown),
 // letting future probes see the hand-back.
 func (l *Ledger) AcquireUntil(cloud string, cores int, end sim.Time) (*Lease, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acquireUntil(cloud, cores, end)
+}
+
+// AcquireUntilGen is the generation-validated commit helper for optimistic
+// callers: it atomically re-checks that the ledger generation still equals
+// `gen` — the value the caller read when it scored the decision it is now
+// committing — and acquires only then. A mismatch returns
+// ErrStaleGeneration without touching the account, telling the caller to
+// rescore against current state instead of committing a plan built on a
+// view a forced transition (Evict/Retarget) or capacity change has since
+// invalidated.
+func (l *Ledger) AcquireUntilGen(cloud string, cores int, end sim.Time, gen uint64) (*Lease, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.gen.Load() != gen {
+		return nil, ErrStaleGeneration
+	}
+	return l.acquireUntil(cloud, cores, end)
+}
+
+// acquireUntil is AcquireUntil without the lock.
+func (l *Ledger) acquireUntil(cloud string, cores int, end sim.Time) (*Lease, error) {
 	a := l.accounts[cloud]
 	if a == nil {
 		return nil, fmt.Errorf("capacity: unknown cloud %q", cloud)
@@ -385,7 +656,7 @@ func (l *Ledger) AcquireUntil(cloud string, cores int, end sim.Time) (*Lease, er
 	if cores < 0 {
 		return nil, fmt.Errorf("capacity: negative acquisition of %d cores on %s", cores, cloud)
 	}
-	if free := l.Free(cloud); free < cores {
+	if free := l.free(cloud); free < cores {
 		return nil, fmt.Errorf("capacity: %s has %d free cores, need %d", cloud, free, cores)
 	}
 	l.m.acquires.Inc()
@@ -398,6 +669,13 @@ func (l *Ledger) AcquireUntil(cloud string, cores int, end sim.Time) (*Lease, er
 // first-class ledger state: Probe charges them to every overlapping
 // indefinite claim until the holder commits or releases.
 func (l *Ledger) Reserve(cloud string, cores int, at sim.Time) (*Lease, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reserve(cloud, cores, at)
+}
+
+// reserve is Reserve without the lock.
+func (l *Ledger) reserve(cloud string, cores int, at sim.Time) (*Lease, error) {
 	a := l.accounts[cloud]
 	if a == nil {
 		return nil, fmt.Errorf("capacity: unknown cloud %q", cloud)
@@ -446,12 +724,19 @@ func (a *account) index(le *Lease, add bool) {
 // cores move from advisory to held-equivalent); committing a held lease
 // cannot fail. Commit on a closed lease is a no-op.
 func (le *Lease) Commit() error {
+	le.l.mu.Lock()
+	defer le.l.mu.Unlock()
+	return le.commit()
+}
+
+// commit is Commit without the lock.
+func (le *Lease) commit() error {
 	if le.closed {
 		return nil
 	}
 	a := le.l.accounts[le.Cloud]
 	if le.Kind == Reserved {
-		if free := le.l.Free(le.Cloud); free < le.Cores {
+		if free := le.l.free(le.Cloud); free < le.Cores {
 			return fmt.Errorf("capacity: committing reservation of %d cores on %s with %d free",
 				le.Cores, le.Cloud, free)
 		}
@@ -468,6 +753,13 @@ func (le *Lease) Commit() error {
 // already-released lease does nothing (the committed cores are returned
 // through Ledger.Uncommit when their VMs terminate).
 func (le *Lease) Release() {
+	le.l.mu.Lock()
+	defer le.l.mu.Unlock()
+	le.release()
+}
+
+// release is Release without the lock.
+func (le *Lease) release() {
 	if le.closed {
 		return
 	}
@@ -482,6 +774,8 @@ func (le *Lease) Release() {
 // revocation, migration away). Clamps at zero rather than going negative so
 // double releases cannot mint capacity.
 func (l *Ledger) Uncommit(cloud string, cores int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	a := l.accounts[cloud]
 	if a == nil {
 		return
@@ -495,11 +789,13 @@ func (l *Ledger) Uncommit(cloud string, cores int) {
 // CommitNow acquires and immediately commits cores — single-step admission
 // for placements with no in-flight window (an inbound migrated VM).
 func (l *Ledger) CommitNow(cloud string, cores int) error {
-	le, err := l.Acquire(cloud, cores)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	le, err := l.acquireUntil(cloud, cores, 0)
 	if err != nil {
 		return err
 	}
-	return le.Commit()
+	return le.commit()
 }
 
 // Evict is the preemption transition for leased claims: the victim lease
@@ -511,6 +807,8 @@ func (l *Ledger) CommitNow(cloud string, cores int) error {
 // acquisition lands. Idempotent: evicting an already-closed lease is a
 // no-op returning (nil, nil).
 func (l *Ledger) Evict(victim *Lease, at sim.Time) (*Lease, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if victim == nil || victim.closed {
 		return nil, nil
 	}
@@ -518,14 +816,14 @@ func (l *Ledger) Evict(victim *Lease, at sim.Time) (*Lease, error) {
 		return nil, fmt.Errorf("capacity: lease belongs to another ledger")
 	}
 	cloud, cores := victim.Cloud, victim.Cores
-	victim.Release()
-	shield, err := l.Reserve(cloud, cores, at)
+	victim.release()
+	shield, err := l.reserve(cloud, cores, at)
 	if err != nil {
 		return nil, err
 	}
 	l.Evictions++
 	l.m.evictions.Inc()
-	l.gen++
+	l.gen.Add(1)
 	return shield, nil
 }
 
@@ -537,6 +835,8 @@ func (l *Ledger) Evict(victim *Lease, at sim.Time) (*Lease, error) {
 // ledger side of the eviction already happened here. Evicting more than is
 // committed fails without touching anything.
 func (l *Ledger) EvictCommitted(cloud string, cores int, at sim.Time) (*Lease, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	a := l.accounts[cloud]
 	if a == nil {
 		return nil, fmt.Errorf("capacity: unknown cloud %q", cloud)
@@ -549,7 +849,7 @@ func (l *Ledger) EvictCommitted(cloud string, cores int, at sim.Time) (*Lease, e
 	shield := l.newLease(a, cores, Reserved, at, 0)
 	l.Evictions++
 	l.m.evictions.Inc()
-	l.gen++
+	l.gen.Add(1)
 	return shield, nil
 }
 
@@ -561,6 +861,8 @@ func (l *Ledger) EvictCommitted(cloud string, cores int, at sim.Time) (*Lease, e
 // release-then-adopt sequence could. Host-level bookkeeping moves through
 // the ledger-skipping paths (nimbus ReleaseLedgered/AdoptLedgered).
 func (l *Ledger) Retarget(from, to string, cores int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	src, dst := l.accounts[from], l.accounts[to]
 	if src == nil {
 		return fmt.Errorf("capacity: unknown cloud %q", from)
@@ -572,14 +874,14 @@ func (l *Ledger) Retarget(from, to string, cores int) error {
 		return fmt.Errorf("capacity: retargeting %d committed cores from %s with %d committed",
 			cores, from, src.committed)
 	}
-	if free := l.Free(to); free < cores {
+	if free := l.free(to); free < cores {
 		return fmt.Errorf("capacity: %s has %d free cores, retarget needs %d", to, free, cores)
 	}
 	src.committed -= cores
 	dst.committed += cores
 	l.Retargets++
 	l.m.retargets.Inc()
-	l.gen++
+	l.gen.Add(1)
 	return nil
 }
 
@@ -593,6 +895,8 @@ func (l *Ledger) Retarget(from, to string, cores int) error {
 // room or the lease is closed.
 func (le *Lease) Retarget(to string, cores int) (*Lease, error) {
 	l := le.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if le.closed {
 		return nil, fmt.Errorf("capacity: retargeting a closed lease")
 	}
@@ -607,7 +911,7 @@ func (le *Lease) Retarget(to string, cores int) (*Lease, error) {
 		return le, nil
 	}
 	if le.Kind == Held {
-		if free := l.Free(to); free < cores {
+		if free := l.free(to); free < cores {
 			return nil, fmt.Errorf("capacity: %s has %d free cores, retarget needs %d", to, free, cores)
 		}
 	}
@@ -628,16 +932,19 @@ func (le *Lease) Retarget(to string, cores int) (*Lease, error) {
 	moved := l.newLease(dst, cores, le.Kind, le.At, le.End)
 	l.Retargets++
 	l.m.retargets.Inc()
-	l.gen++
+	l.gen.Add(1)
 	return moved, nil
 }
 
 // String renders one line per cloud for debugging and logs.
 func (l *Ledger) String() string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	out := ""
 	for _, name := range l.order {
+		a := l.accounts[name]
 		out += fmt.Sprintf("%s: total=%d committed=%d held=%d reserved=%d free=%d\n",
-			name, l.Total(name), l.Committed(name), l.Held(name), l.Reserved(name), l.Free(name))
+			name, a.total, a.committed, a.held, a.reserved, a.total-a.committed-a.held)
 	}
 	return out
 }

@@ -35,9 +35,15 @@ func (l *Ledger) Instrument(reg *obs.Registry) {
 		evictions: reg.Counter("sky_capacity_evictions_total", "Forced lease-to-shield eviction transitions."),
 		retargets: reg.Counter("sky_capacity_retargets_total", "Lease retargets between clouds."),
 	}
+	// The ledger's own lock joins the exposition: contended acquisitions
+	// under a parallel scheduler (or an external API surface) show up as
+	// sky_lock_contentions_total{lock="capacity_ledger"}.
+	l.mu.Instrument(reg, "capacity_ledger")
 	cores := reg.GaugeVec("sky_capacity_cores",
 		"Cores per cloud by claim kind.", "cloud", "kind")
 	reg.AddCollector(func() {
+		l.mu.RLock()
+		defer l.mu.RUnlock()
 		for _, name := range l.order {
 			a := l.accounts[name]
 			cores.With(name, "committed").SetInt(int64(a.committed))

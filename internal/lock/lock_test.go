@@ -1,0 +1,101 @@
+package lock
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestMutexCounts(t *testing.T) {
+	var m Mutex
+	m.Lock()
+	if !func() bool { ok := m.TryLock(); return !ok }() {
+		t.Fatal("TryLock succeeded on a held mutex")
+	}
+	m.Unlock()
+	m.Lock()
+	m.Unlock()
+	if got := m.Acquisitions(); got != 2 {
+		t.Fatalf("acquisitions = %d, want 2", got)
+	}
+	if got := m.Contentions(); got != 0 {
+		t.Fatalf("contentions = %d, want 0", got)
+	}
+}
+
+func TestMutexContentionCounted(t *testing.T) {
+	var m Mutex
+	reg := obs.NewRegistry()
+	m.Instrument(reg, "test")
+	m.Lock()
+	done := make(chan struct{})
+	go func() {
+		m.Lock() // must wait: counted as contended
+		m.Unlock()
+		close(done)
+	}()
+	// Wait until the goroutine is blocked on the lock, then release.
+	for m.Contentions() == 0 {
+	}
+	m.Unlock()
+	<-done
+	if got := m.Contentions(); got != 1 {
+		t.Fatalf("contentions = %d, want 1", got)
+	}
+	if got := reg.Value("sky_lock_contentions_total", "test"); got != 1 {
+		t.Fatalf("sky_lock_contentions_total{lock=test} = %v, want 1", got)
+	}
+	if got := reg.Value("sky_lock_acquisitions_total", "test"); got != 2 {
+		t.Fatalf("sky_lock_acquisitions_total{lock=test} = %v, want 2", got)
+	}
+}
+
+func TestRWMutexConcurrent(t *testing.T) {
+	var m RWMutex
+	m.Instrument(obs.NewRegistry(), "rw")
+	var wg sync.WaitGroup
+	shared := 0
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				m.Lock()
+				shared++
+				m.Unlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				m.RLock()
+				_ = shared
+				m.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != 8*200 {
+		t.Fatalf("shared = %d, want %d", shared, 8*200)
+	}
+	if m.Acquisitions() < int64(8*400) {
+		t.Fatalf("acquisitions = %d, want >= %d", m.Acquisitions(), 8*400)
+	}
+}
+
+func TestRWMutexTryRLock(t *testing.T) {
+	var m RWMutex
+	m.Lock()
+	if m.TryRLock() {
+		t.Fatal("TryRLock succeeded under a write lock")
+	}
+	m.Unlock()
+	if !m.TryRLock() {
+		t.Fatal("TryRLock failed on a free lock")
+	}
+	m.RUnlock()
+	l := m.RLocker()
+	l.Lock()
+	l.Unlock()
+}

@@ -26,6 +26,7 @@ import (
 // reservation is the blocked head job's future claim.
 type reservation struct {
 	job  string
+	jref *Job // the job record, cached so backfillOK skips the map lookup
 	plan Plan
 	at   sim.Time
 	// leases are the claim's per-member-cloud entries in the backend's
@@ -131,7 +132,7 @@ func (s *Scheduler) cachedReserve(j *Job, v *CloudView, releases *[]coreRelease,
 	if s.resvCacheValid(j, v) {
 		s.m.resvCacheHits.Inc()
 		s.relSumAtResv = append(s.relSumAtResv[:0], s.rcache.sums...)
-		return reservation{job: j.ID, plan: s.rcache.plan, at: s.rcache.at}, true, true
+		return reservation{job: j.ID, jref: j, plan: s.rcache.plan, at: s.rcache.at}, true, true
 	}
 	// (Re)take the release snapshot lazily: a dispatch since the last
 	// snapshot (possible when an earlier reservation attempt failed) adds a
@@ -313,8 +314,15 @@ func (s *Scheduler) reserve(j *Job, v *CloudView, releases []coreRelease) (reser
 			}
 			i++
 		}
+		// Instants whose accumulated frees provably still cannot host the
+		// gang skip the policy walk: the precheck is one pass over the free
+		// vector, so a long release list costs O(instants × clouds) until
+		// the first genuinely viable instant, not O(instants × Choose).
+		if s.provablyEmpty(j, av) {
+			continue
+		}
 		if plan := s.cfg.Placement.Choose(s, j, av); !plan.Empty() {
-			return reservation{job: j.ID, plan: plan, at: at}, true
+			return reservation{job: j.ID, jref: j, plan: plan, at: at}, true
 		}
 	}
 	return reservation{}, false
@@ -342,6 +350,13 @@ func (s *Scheduler) sumReleasesAt(v *CloudView, releases []coreRelease, at sim.T
 // backfillOK reports whether starting job b under plan now cannot delay the
 // reservation.
 func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, v *CloudView) bool {
+	// Memo fast path: the cycle scan hands over the plan choosePlan just
+	// returned, so when the memo still matches b's shape the plan IS the
+	// memoized one, and the share/capacity verdicts — fixed while the memo
+	// instance lives — are computed once per shape instead of per candidate.
+	if s.memoable && b.Spec.InputFractions == nil && s.memo.matches(b, s.boostedTenant(b)) {
+		return s.backfillOKMemo(b, &s.memo, resv, v)
+	}
 	shared := false
 	for _, m := range plan.Members {
 		if resv.plan.WorkersOn(m.Cloud) > 0 {
@@ -361,8 +376,8 @@ func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, v *CloudVie
 	// the live working free plus the precomputed release sum.
 	bcpw := b.coresPerWorker()
 	rcpw := 1
-	if rj := s.jobByID(resv.job); rj != nil {
-		rcpw = rj.coresPerWorker()
+	if resv.jref != nil {
+		rcpw = resv.jref.coresPerWorker()
 	}
 	for _, m := range plan.Members {
 		need := resv.plan.WorkersOn(m.Cloud) * rcpw
@@ -378,4 +393,46 @@ func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, v *CloudVie
 		}
 	}
 	return true
+}
+
+// backfillOKMemo is backfillOK against the memoized plan: the shared-cloud
+// and capacity verdicts depend only on the plan shape, the reservation
+// (fixed per cycle), and the working free vector (fixed between dispatches,
+// the memo's own validity window), so they are cached on the memo; only the
+// per-job finish check recomputes, from the cached estimate parts. The
+// boolean result is exactly backfillOK's: !shared ∨ finish≤resv.at ∨ capOK.
+func (s *Scheduler) backfillOKMemo(b *Job, m *planMemo, resv *reservation, v *CloudView) bool {
+	if !m.bfValid {
+		m.bfShared, m.bfCapOK = false, false
+		for _, mm := range m.members {
+			if resv.plan.WorkersOn(mm.Cloud) > 0 {
+				m.bfShared = true
+				break
+			}
+		}
+		if m.bfShared {
+			rcpw := 1
+			if resv.jref != nil {
+				rcpw = resv.jref.coresPerWorker()
+			}
+			m.bfCapOK = true
+			for _, mm := range m.members {
+				need := resv.plan.WorkersOn(mm.Cloud) * rcpw
+				if need == 0 {
+					continue
+				}
+				p := v.Pos(mm.Cloud)
+				if p < 0 || v.free[p]+s.relSumAtResv[p]-mm.Workers*m.cpw < need {
+					m.bfCapOK = false
+					break
+				}
+			}
+		}
+		m.bfValid = true
+	}
+	if !m.bfShared || m.bfCapOK {
+		return true
+	}
+	finish := s.K.Now() + sim.FromSeconds(s.estimateAtMemo(b, m, v))
+	return finish <= resv.at
 }

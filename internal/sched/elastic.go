@@ -39,9 +39,13 @@ func (s *Scheduler) elasticTick() {
 		// enough while the head's reservation waits gets the whole gang
 		// reclaimed through the same eviction machinery as head-driven
 		// preemption. The shields it mints persist until the next cycle so
-		// an interleaved grow cannot take the freed cores first.
+		// an interleaved grow cannot take the freed cores first. Scoped to
+		// overrunners actually in the reservation's way: evicting a gang on
+		// clouds the reserved plan never touches frees nothing the head can
+		// use, so such jobs run on (see feedsReservation).
 		if s.cfg.EnablePreemption && s.resv != nil && s.preemptible(j) &&
-			float64(s.K.Now()-j.Started) > s.cfg.PreemptOverrunFactor*float64(j.estDuration) {
+			float64(s.K.Now()-j.Started) > s.cfg.PreemptOverrunFactor*float64(j.estDuration) &&
+			s.feedsReservation(j) {
 			var price float64
 			if s.tr != nil { // Shares/EntitledShares allocate; price only feeds the trace
 				price = s.evictPrice(j, s.K.Now(), s.Shares(), s.EntitledShares())
@@ -82,6 +86,26 @@ func (s *Scheduler) elasticTick() {
 			}
 		}
 	}
+}
+
+// feedsReservation reports whether the running job holds cores on any cloud
+// the blocked head's reserved plan needs — the scope of the forced-preempt
+// pass. True with no reserved plan recorded (a conservative reservation
+// without a concrete plan could start anywhere, so every overrunner is in
+// scope, the pre-scoping behaviour).
+func (s *Scheduler) feedsReservation(j *Job) bool {
+	if s.resv == nil {
+		return false
+	}
+	if s.resv.plan.Empty() {
+		return true
+	}
+	for _, m := range j.Plan.Members {
+		if s.resv.plan.WorkersOn(m.Cloud) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // growOne requests one extra on-demand worker, rolling the given counter

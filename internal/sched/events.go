@@ -63,6 +63,9 @@ func (s *Scheduler) Notify(ev Event) {
 	case EventPatternDetected:
 		if ev.Tenant != "" && ev.Pattern != "" {
 			s.patternOf[ev.Tenant] = ev.Pattern
+			if t := s.tenants[ev.Tenant]; t != nil {
+				t.boosted = ev.Pattern == PatternAllToAll || ev.Pattern == PatternRing
+			}
 			s.m.patternEvents.Inc()
 			// Pattern boosts feed placement scoring, which the cached head
 			// reservation baked in — invalidate it.

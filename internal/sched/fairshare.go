@@ -29,6 +29,14 @@ type Tenant struct {
 	// map); scanCycle tells stale positions from a previous cycle apart.
 	scan      int
 	scanCycle int
+	// boosted mirrors "patternOf[name] is all-to-all or ring" — the only
+	// question placement scoring asks of the pattern map, kept here so the
+	// per-candidate scoring loops skip the string map lookup.
+	boosted bool
+	// shard and idx are the tenant's partition and position in the
+	// name-sorted tenant list under the parallel core's sharding (stamped by
+	// rebuildShards; meaningless while shardsDirty).
+	shard, idx int
 }
 
 // decay brings the tenant's charged usage forward to now under the
@@ -55,6 +63,9 @@ func (s *Scheduler) AddTenant(name string, weight float64) *Tenant {
 	t := s.tenants[name]
 	if t == nil {
 		t = &Tenant{Name: name}
+		if pt := s.patternOf[name]; pt == PatternAllToAll || pt == PatternRing {
+			t.boosted = true // a detection can precede the tenant's first job
+		}
 		s.tenants[name] = t
 		// Keep the scan list name-sorted: nextTenant's in-order walk is what
 		// makes equal fair-share keys break ties by name.
@@ -62,6 +73,7 @@ func (s *Scheduler) AddTenant(name string, weight float64) *Tenant {
 		s.tenantList = append(s.tenantList, nil)
 		copy(s.tenantList[i+1:], s.tenantList[i:])
 		s.tenantList[i] = t
+		s.shardsDirty = true // the shard partition must cover the new tenant
 	}
 	t.Weight = weight
 	return t
@@ -90,6 +102,9 @@ func (s *Scheduler) TenantQueueLen(name string) int {
 // cycle's position). The walk is over the name-sorted tenant list — no map
 // iteration — and keeps the first of equal keys, which is exactly the
 // former break-ties-by-name rule.
+// Usage is decayed once per cycle (decayTenants) rather than per call:
+// virtual time does not advance inside a cycle, so re-decaying on every
+// scan step of the same cycle is a no-op by construction.
 func (s *Scheduler) nextTenant() *Tenant {
 	var best *Tenant
 	var bestKey float64
@@ -100,13 +115,21 @@ func (s *Scheduler) nextTenant() *Tenant {
 		if t.scan >= len(t.queue) {
 			continue
 		}
-		s.decay(t)
 		key := t.usage / t.Weight
 		if best == nil || key < bestKey {
 			best, bestKey = t, key
 		}
 	}
 	return best
+}
+
+// decayTenants brings every tenant's usage forward to the cycle's instant,
+// so the scan loop's arbitration keys are decay-consistent without a decay
+// call per nextTenant step.
+func (s *Scheduler) decayTenants() {
+	for _, t := range s.tenantList {
+		s.decay(t)
+	}
 }
 
 // charge books the dispatch-time estimate against the tenant's share.
@@ -145,18 +168,27 @@ func (s *Scheduler) trueUp(t *Tenant, j *Job, now sim.Time) {
 // work from the running list — no walk over archived history.
 func (s *Scheduler) Shares() map[string]float64 {
 	now := s.K.Now()
-	raw := make(map[string]float64, len(s.tenants))
-	for name, t := range s.tenants {
-		raw[name] = t.delivered
-	}
-	for _, j := range s.running {
-		if j.State == Running {
-			raw[j.Spec.Tenant] += j.runCoreSeconds(now)
+	var raw map[string]float64
+	if s.pool != nil && len(s.tenantList) >= shardMinTenants && s.trefsResolved() {
+		raw = s.rawSharesSharded(now)
+	} else {
+		raw = make(map[string]float64, len(s.tenants))
+		for name, t := range s.tenants {
+			raw[name] = t.delivered
+		}
+		for _, j := range s.running {
+			if j.State == Running {
+				raw[j.Spec.Tenant] += j.runCoreSeconds(now)
+			}
 		}
 	}
+	// Sum in name-sorted tenant order, not map iteration order: the total
+	// feeds eviction prices (traced, and a sort key for victim selection),
+	// where a last-ulp wobble from a randomized accumulation order shows up
+	// as run-to-run nondeterminism.
 	var total float64
-	for _, v := range raw {
-		total += v
+	for _, t := range s.tenantList {
+		total += raw[t.Name]
 	}
 	out := make(map[string]float64, len(raw))
 	for name, v := range raw {

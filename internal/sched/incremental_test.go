@@ -79,18 +79,18 @@ func TestSharesAcrossArchive(t *testing.T) {
 	// a: finished, 4 cores x 100 s = 400 core-s (archived).
 	// b: running, 4 cores x 200 s elapsed = 800 core-s.
 	shares := s.Shares()
-	if got, want := shares["a"], 400.0/1200.0; !close(got, want) {
+	if got, want := shares["a"], 400.0/1200.0; !closeTo(got, want) {
 		t.Errorf("share[a] = %v, want %v (archived work undercounted?)", got, want)
 	}
-	if got, want := shares["b"], 800.0/1200.0; !close(got, want) {
+	if got, want := shares["b"], 800.0/1200.0; !closeTo(got, want) {
 		t.Errorf("share[b] = %v, want %v (running work undercounted?)", got, want)
 	}
-	if got := s.DeliveredCoreSeconds("a"); !close(got, 400) {
+	if got := s.DeliveredCoreSeconds("a"); !closeTo(got, 400) {
 		t.Errorf("DeliveredCoreSeconds(a) = %v, want 400", got)
 	}
 }
 
-func close(a, b float64) bool {
+func closeTo(a, b float64) bool {
 	d := a - b
 	if d < 0 {
 		d = -d

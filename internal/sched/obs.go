@@ -43,14 +43,18 @@ type schedMetrics struct {
 	consolidationRequests *obs.Counter
 	consolidations        *obs.Counter
 	resvCacheHits         *obs.Counter
+	planMemoHits          *obs.Counter
+	parallelConflicts     *obs.Counter
 
-	queuedJobs  *obs.Gauge
-	runningJobs *obs.Gauge
+	queuedJobs   *obs.Gauge
+	runningJobs  *obs.Gauge
+	scoreWorkers *obs.Gauge
 
 	phasePlacement  *obs.Histogram
 	phaseBackfill   *obs.Histogram
 	phasePreemption *obs.Histogram
 	phaseElastic    *obs.Histogram
+	phaseShardScan  *obs.Histogram
 
 	// clock samples monotonic wall time in nanoseconds for the phase
 	// histograms — the only non-virtual time in the scheduler, which is why
@@ -87,12 +91,16 @@ func newSchedMetrics(reg *obs.Registry) schedMetrics {
 		consolidationRequests: reg.Counter("sky_sched_consolidation_requests_total", "Consolidation migrations issued."),
 		consolidations:        reg.Counter("sky_sched_consolidations_total", "Consolidations completed (plan rewritten)."),
 		resvCacheHits:         reg.Counter("sky_sched_resv_cache_hits_total", "Blocked-head cycles served from the reservation cache."),
+		planMemoHits:          reg.Counter("sky_sched_plan_memo_hits_total", "Cycle-scan placements served from the within-cycle plan memo."),
+		parallelConflicts:     reg.Counter("sky_sched_parallel_conflicts_total", "Speculated plans invalidated by capacity movement and rescored before commit."),
 		queuedJobs:            reg.Gauge("sky_sched_queued_jobs", "Jobs currently queued."),
 		runningJobs:           reg.Gauge("sky_sched_running_jobs", "Jobs currently running."),
+		scoreWorkers:          reg.Gauge("sky_sched_score_workers", "Resolved plan-scoring worker pool size (1 = sequential core)."),
 		phasePlacement:        phase.With("placement"),
 		phaseBackfill:         phase.With("backfill"),
 		phasePreemption:       phase.With("preemption"),
 		phaseElastic:          phase.With("elastic"),
+		phaseShardScan:        phase.With("shard_scan"),
 		clock:                 func() int64 { return time.Now().UnixNano() },
 	}
 }
@@ -183,3 +191,15 @@ func (s *Scheduler) Consolidations() int { return int(s.m.consolidations.Value()
 // ResvCacheHits returns the blocked-head cycles served from the reservation
 // cache.
 func (s *Scheduler) ResvCacheHits() int { return int(s.m.resvCacheHits.Value()) }
+
+// PlanMemoHits returns the cycle-scan placements served from the
+// within-cycle plan memo.
+func (s *Scheduler) PlanMemoHits() int { return int(s.m.planMemoHits.Value()) }
+
+// ParallelConflicts returns the speculated plans invalidated by capacity
+// movement (ledger generation or working-view change) and rescored before
+// commit. Always zero in the sequential core.
+func (s *Scheduler) ParallelConflicts() int { return int(s.m.parallelConflicts.Value()) }
+
+// ScoreWorkerCount returns the resolved scoring-pool size (1 = sequential).
+func (s *Scheduler) ScoreWorkerCount() int { return int(s.m.scoreWorkers.Value()) }

@@ -1,0 +1,448 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Parallel sharded scheduler core: optimistic-concurrency placement over
+// the capacity ledger.
+//
+// Three pieces, all strictly opt-in via Config.ScoreWorkers (the default
+// resolves to 1 and none of this machinery exists — the sequential
+// scheduler runs untouched, with zero goroutines and zero locking on the
+// hot path):
+//
+//   - Parallel plan scoring: BestScore's single-cloud scan fans contiguous
+//     cloud-index ranges across a persistent worker pool, each worker
+//     scoring against the immutable frozen CloudView with its own
+//     placeScratch, and the range-local bests reduce in index order
+//     through betterPlan. betterPlan is a strict total order (score desc,
+//     price asc, rendered members lexicographic — no two distinct clouds
+//     compare equal), so the reduction is partition-independent and the
+//     winner is byte-identical to one sequential scan.
+//
+//   - Sharded tenant queues: the name-sorted tenant list is partitioned
+//     into contiguous shards with per-shard scan state; the fair-share
+//     pick evaluates shard-local minima in parallel and reduces them in
+//     shard order with a strict less-than, which preserves the sequential
+//     walk's first-of-equal-keys-by-name rule exactly. Shares' delivered
+//     and running-walk aggregation shards by tenant the same way: each
+//     tenant's float accumulation order is its running-list order in both
+//     modes, so the sums are bit-identical.
+//
+//   - Optimistic commit: each cycle speculates plans for the shard head
+//     jobs against the frozen view, stamped with the capacity ledger
+//     generation and the working-view version. Before a speculated (or
+//     memoized) plan commits, cycle() revalidates both stamps and the
+//     plan's fit against the live free vector; a conflict — capacity moved
+//     underneath the speculation — is counted in
+//     sky_sched_parallel_conflicts_total and the job is rescored inline
+//     against live state, never dropped. Dispatch admission then goes
+//     through capacity.Ledger.AcquireUntilGen, which re-checks the
+//     generation under the ledger's own lock, so a plan scored against a
+//     stale world can never acquire cores the world no longer has.
+//
+// Decisions are byte-identical at every ScoreWorkers setting (see
+// TestParallelDeterminism): speculation computes exactly the plan the
+// sequential scan would, on the same frozen view, with the same float
+// operation order — parallelism only moves the work, never the answer.
+
+// resolveScoreWorkers maps the Config knob to a pool size: 0 and 1 mean
+// the sequential core, negative means one worker per GOMAXPROCS.
+func resolveScoreWorkers(n int) int {
+	if n < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// Parallelism gates: below these sizes fork-join overhead dwarfs the scan,
+// so the parallel paths defer to the sequential ones (which are always
+// decision-identical anyway).
+const (
+	// parallelCloudMin is the cloud count from which BestScore's
+	// single-cloud scan fans out across the pool.
+	parallelCloudMin = 16
+	// shardMinTenants is the tenant count from which the fair-share pick
+	// and Shares aggregation run shard-parallel. The pick pays one
+	// fork-join per scan step, so the sequential walk has to be long
+	// before the shards win.
+	shardMinTenants = 256
+	// specHeadsPerWorker sizes the speculation batch: each cycle
+	// speculates at most this many head jobs per pool worker — the ones
+	// with the smallest fair-share keys, i.e. the likeliest next picks.
+	// Any dispatch invalidates every outstanding entry (the working free
+	// vector moved), so speculating deep into the pick order only burns
+	// work the commit path would throw away.
+	specHeadsPerWorker = 2
+)
+
+// poolTask is one fork-join work item: fn(w, k) runs on a worker (w keys
+// the worker's private placeScratch), then the pool's WaitGroup releases
+// the join. The struct travels by value through the channel — dispatching
+// a task allocates nothing.
+type poolTask struct {
+	fn func(w, k int)
+	k  int
+}
+
+// scorePool is the persistent worker pool behind the parallel paths:
+// lazy-started on first use, stopped by Scheduler.Close. A batch larger
+// than the pool simply queues — each worker runs its tasks serially, which
+// is what makes the per-worker scratch safe. run() calls never overlap
+// (the kernel is single-threaded), so one WaitGroup serves every batch.
+type scorePool struct {
+	n       int
+	tasks   chan poolTask
+	quit    chan struct{}
+	started bool
+	wg      sync.WaitGroup
+	scratch []placeScratch
+}
+
+func newScorePool(n int) *scorePool {
+	return &scorePool{
+		n:       n,
+		tasks:   make(chan poolTask, 2*n),
+		quit:    make(chan struct{}),
+		scratch: make([]placeScratch, n),
+	}
+}
+
+func (p *scorePool) start() {
+	p.started = true
+	quit := p.quit // workers hold this generation's channel; close() swaps the field
+	for w := 0; w < p.n; w++ {
+		go func(w int) {
+			for {
+				select {
+				case t := <-p.tasks:
+					t.fn(w, t.k)
+					p.wg.Done()
+				case <-quit:
+					return
+				}
+			}
+		}(w)
+	}
+}
+
+// run executes fn(w, k) for k = 0..batch-1 across the pool and joins. The
+// caller must not touch state the tasks read or write until run returns;
+// distinct k must write to distinct locations.
+func (p *scorePool) run(batch int, fn func(w, k int)) {
+	if !p.started {
+		p.start()
+	}
+	p.wg.Add(batch)
+	for k := 0; k < batch; k++ {
+		p.tasks <- poolTask{fn: fn, k: k}
+	}
+	p.wg.Wait()
+}
+
+// close stops the workers. Idempotent; a later parallel cycle restarts them.
+func (p *scorePool) close() {
+	if p.started {
+		close(p.quit)
+		p.quit = make(chan struct{})
+		p.started = false
+	}
+}
+
+// specEntry is one speculated head plan: the plan the sequential scan
+// would compute for the job against the frozen view, stamped with the
+// ledger generation and working-view version it was scored under.
+type specEntry struct {
+	plan Plan
+	gen  uint64
+	ver  int
+}
+
+// rebuildShards recomputes the contiguous shard bounds over the
+// name-sorted tenant list and stamps each tenant with its shard index
+// (Shares' running-walk partition key).
+func (s *Scheduler) rebuildShards() {
+	n := s.pool.n
+	t := len(s.tenantList)
+	if n > t {
+		n = t
+	}
+	s.shardBounds = s.shardBounds[:0]
+	for k := 0; k <= n; k++ {
+		s.shardBounds = append(s.shardBounds, t*k/n)
+	}
+	for k := 0; k < n; k++ {
+		for i := s.shardBounds[k]; i < s.shardBounds[k+1]; i++ {
+			s.tenantList[i].shard, s.tenantList[i].idx = k, i
+		}
+	}
+	s.shardsDirty = false
+}
+
+// trefsResolved reports whether every running job carries its tenant
+// pointer — the key the sharded Shares walk partitions by. Jobs built
+// outside Submit (tests) may lack it; those runs take the sequential path.
+func (s *Scheduler) trefsResolved() bool {
+	for _, j := range s.running {
+		if j.State == Running && j.tref == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// rawSharesSharded is Shares' delivered-plus-running aggregation fanned by
+// tenant shard: worker k seeds its shard's tenants from their delivered
+// aggregates, then walks the full running list in order adding elapsed
+// core-seconds for jobs owned by its shard. Each tenant's float accumulation
+// order is the running-list order — exactly the sequential walk's — so every
+// per-tenant value is bit-identical; the merge is by tenant-unique key.
+func (s *Scheduler) rawSharesSharded(now sim.Time) map[string]float64 {
+	if s.shardsDirty || len(s.shardBounds) < 2 {
+		s.rebuildShards()
+	}
+	shards := len(s.shardBounds) - 1
+	vals := make([]float64, len(s.tenantList))
+	s.pool.run(shards, func(_, k int) {
+		for i := s.shardBounds[k]; i < s.shardBounds[k+1]; i++ {
+			vals[i] = s.tenantList[i].delivered
+		}
+		for _, j := range s.running {
+			if j.State == Running && j.tref.shard == k {
+				vals[j.tref.idx] += j.runCoreSeconds(now)
+			}
+		}
+	})
+	raw := make(map[string]float64, len(s.tenantList))
+	for i, t := range s.tenantList {
+		raw[t.Name] = vals[i]
+	}
+	return raw
+}
+
+// pickTenant is the cycle scan's fair-share pick: shard-parallel when the
+// tenant list is big enough to pay for the fork-join, else the sequential
+// walk. Both produce the identical tenant.
+func (s *Scheduler) pickTenant() *Tenant {
+	if s.pool == nil || len(s.tenantList) < shardMinTenants {
+		return s.nextTenant()
+	}
+	if s.shardsDirty || len(s.shardBounds) < 2 {
+		s.rebuildShards()
+	}
+	shards := len(s.shardBounds) - 1
+	for len(s.pickBests) < shards {
+		s.pickBests = append(s.pickBests, nil)
+		s.pickKeys = append(s.pickKeys, 0)
+	}
+	bests := s.pickBests[:shards]
+	keys := s.pickKeys[:shards]
+	t0 := s.m.clock()
+	s.pool.run(shards, func(_, k int) {
+		var best *Tenant
+		var bestKey float64
+		for _, t := range s.tenantList[s.shardBounds[k]:s.shardBounds[k+1]] {
+			if t.scanCycle != s.cycleNum {
+				t.scan, t.scanCycle = 0, s.cycleNum
+			}
+			if t.scan >= len(t.queue) {
+				continue
+			}
+			key := t.usage / t.Weight
+			if best == nil || key < bestKey {
+				best, bestKey = t, key
+			}
+		}
+		bests[k], keys[k] = best, bestKey
+	})
+	// One observation per shard scan: the batch's wall time attributed
+	// evenly — per-shard clock reads from inside workers would measure
+	// scheduler jitter, not scan cost.
+	if dt := float64(s.m.clock()-t0) * 1e-9 / float64(shards); dt > 0 {
+		for k := 0; k < shards; k++ {
+			s.m.phaseShardScan.Observe(dt)
+		}
+	}
+	// Reduce in shard order with strict less-than: identical to the
+	// sequential walk's keep-first-of-equal-keys over the name-sorted list.
+	var best *Tenant
+	var bestKey float64
+	for k := 0; k < shards; k++ {
+		if bests[k] == nil {
+			continue
+		}
+		if best == nil || keys[k] < bestKey {
+			best, bestKey = bests[k], keys[k]
+		}
+	}
+	return best
+}
+
+// speculateHeads scores a plan for each shard-head job against the frozen
+// cycle view, in parallel, before the scan loop runs — the optimistic half
+// of optimistic concurrency. Entries are stamped with the ledger
+// generation and working-view version; cycle() revalidates both before
+// commit and rescoring on conflict is inline and authoritative, so
+// speculation can only ever save work, never change a decision.
+func (s *Scheduler) speculateHeads(v *CloudView) {
+	if s.pool == nil || !s.memoable {
+		return
+	}
+	sc, ok := s.cfg.Placement.(scratchChooser)
+	if !ok {
+		return
+	}
+	clear(s.spec)
+	// Keep only the heads with the smallest fair-share keys — the pick
+	// loop's likeliest next choices. Which heads get speculated is pure
+	// performance tuning: the commit path validates and rescores, so the
+	// selection can never change a decision. Insertion keeps the batch
+	// sorted; ties keep the earlier (name-sorted) tenant, matching pick
+	// order.
+	maxHeads := specHeadsPerWorker * s.pool.n
+	heads := s.specHeads[:0]
+	keys := s.specKeys[:0]
+	for _, t := range s.tenantList {
+		if len(t.queue) == 0 {
+			continue
+		}
+		j := t.queue[0]
+		if j.Spec.External() || j.Spec.InputFractions != nil || !s.canFit(j) {
+			continue
+		}
+		key := t.usage / t.Weight
+		if len(heads) == maxHeads && key >= keys[len(keys)-1] {
+			continue
+		}
+		i := len(heads)
+		if i < maxHeads {
+			heads = append(heads, nil)
+			keys = append(keys, 0)
+		} else {
+			i--
+		}
+		for i > 0 && key < keys[i-1] {
+			heads[i], keys[i] = heads[i-1], keys[i-1]
+			i--
+		}
+		heads[i], keys[i] = j, key
+	}
+	s.specHeads, s.specKeys = heads, keys
+	if len(heads) < 2 {
+		return // nothing worth a fork-join
+	}
+	gen := s.B.Ledger().Generation()
+	ver := s.viewVer
+	for len(s.specEntries) < len(heads) {
+		s.specEntries = append(s.specEntries, specEntry{})
+	}
+	entries := s.specEntries[:len(heads)]
+	s.pool.run(len(heads), func(w, k int) {
+		j := heads[k]
+		var plan Plan
+		if !s.provablyEmpty(j, v) {
+			// chooseWith copies the winning members out of the worker's
+			// scratch before returning, so the plan is owned.
+			plan = sc.chooseWith(s, j, v, &s.pool.scratch[w])
+		}
+		entries[k] = specEntry{plan: plan, gen: gen, ver: ver}
+	})
+	for k, j := range heads {
+		s.spec[j] = entries[k]
+	}
+}
+
+// specPlan returns the valid speculated plan for the job, if one exists:
+// the entry must have been scored against the current working-view version
+// (the free vector has not moved since). The ledger-generation stamp is
+// revalidated separately at commit (planStale).
+func (s *Scheduler) specPlan(j *Job) (Plan, uint64, bool) {
+	if s.pool == nil || len(s.spec) == 0 {
+		return Plan{}, 0, false
+	}
+	e, ok := s.spec[j]
+	if !ok || e.ver != s.viewVer {
+		return Plan{}, 0, false
+	}
+	return e.plan, e.gen, true
+}
+
+// planStale reports whether a scored plan's world moved before commit: the
+// capacity ledger's generation no longer matches the scoring stamp, or the
+// plan no longer fits the live working free vector. Either way the plan
+// must be rescored against live state — never dropped.
+func (s *Scheduler) planStale(j *Job, plan Plan, v *CloudView) bool {
+	if s.B.Ledger().Generation() != s.planGen {
+		return true
+	}
+	cpw := j.coresPerWorker()
+	for _, m := range plan.Members {
+		if p := v.Pos(m.Cloud); p < 0 || v.free[p] < m.Workers*cpw {
+			return true
+		}
+	}
+	return false
+}
+
+// bumpView marks a working-free-vector movement (dispatch, mid-cycle
+// re-snapshot): the plan memo and every speculated plan are now stale.
+func (s *Scheduler) bumpView() {
+	s.memo.ok = false
+	s.viewVer++
+}
+
+// choosePar is BestScore's pool-parallel single-cloud scan: contiguous
+// cloud-index ranges fan across the workers, each reducing to a range-local
+// best with its own scratch, and the locals reduce in index order — the
+// same strict total order as the sequential scan, so the same winner. The
+// gang path stays sequential (its greedy growth is cheap and rare).
+func (b BestScore) choosePar(s *Scheduler, j *Job, v *CloudView) Plan {
+	workers := j.workers()
+	cpw := j.coresPerWorker()
+	boost := 1.0
+	if s.boostedTenant(j) {
+		boost = s.cfg.PatternBoost
+	}
+	n := len(v.Clouds)
+	parts := s.pool.n
+	if parts > n {
+		parts = n
+	}
+	for len(s.parPlans) < parts {
+		s.parPlans = append(s.parPlans, Plan{})
+		s.parPrices = append(s.parPrices, 0)
+	}
+	plans := s.parPlans[:parts]
+	prices := s.parPrices[:parts]
+	s.pool.run(parts, func(w, k int) {
+		lo, hi := n*k/parts, n*(k+1)/parts
+		p, price := scanSingleClouds(s, j, v, &s.pool.scratch[w], workers, cpw, boost, lo, hi)
+		if !p.Empty() {
+			// Own the members: the worker's scratch is reused by its
+			// next task.
+			p.Members = append([]Member(nil), p.Members...)
+		}
+		plans[k], prices[k] = p, price
+	})
+	var best Plan
+	bestPrice := 0.0
+	for k := 0; k < parts; k++ {
+		if plans[k].Empty() {
+			continue
+		}
+		if best.Empty() || s.place.betterPlan(plans[k], best, prices[k], bestPrice) {
+			best, bestPrice = plans[k], prices[k]
+		}
+	}
+	if !best.Empty() {
+		return best
+	}
+	return scanGangClouds(s, j, v, &s.place, workers, cpw)
+}

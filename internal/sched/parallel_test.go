@@ -1,0 +1,308 @@
+package sched
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/capacity"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Tests for the parallel sharded scheduler core: the determinism oracle
+// (decisions byte-identical at every ScoreWorkers setting), the sharded
+// fair-share aggregates, optimistic-commit conflict injection, external
+// -race stress through Sync, and the scoped forced-preemption regression.
+
+// parallelWorkload drives one seeded federation big enough to cross every
+// parallel gate — 20 clouds (≥ parallelCloudMin fans the single-cloud scan)
+// and 300 tenants (≥ shardMinTenants shards the fair-share pick and Shares)
+// — with wide jobs that block, reserve, backfill, and preempt. Returns the
+// decision trace bytes and the final shares.
+func parallelWorkload(t *testing.T, workers int) ([]byte, map[string]float64) {
+	t.Helper()
+	k := sim.NewKernel(7)
+	b := NewSimBackend(k)
+	for c := 0; c < 20; c++ {
+		b.AddCloud(fmt.Sprintf("c%02d", c), 16, 1.0+0.05*float64(c%5), 0.08+0.01*float64(c%7))
+	}
+	b.UseLogNormalOverrun(0, 0.4)
+	tr := obs.NewTracer(1 << 16)
+	var buf bytes.Buffer
+	tr.SetSink(&buf)
+	s := New(b, Config{
+		EnablePreemption: true,
+		UsageHalfLife:    600 * sim.Second,
+		Trace:            tr,
+		ScoreWorkers:     workers,
+	})
+	defer s.Close()
+	s.Start()
+	for ti := 0; ti < 300; ti++ {
+		name := fmt.Sprintf("t%03d", ti)
+		s.AddTenant(name, 1+float64(ti%3))
+		w := 2
+		if ti%9 == 5 {
+			w = 24 // wider than any cloud: spanning plans, blocks, reservations
+		}
+		submitN(t, s, name, 2, JobSpec{
+			Workers: w, CoresPerWorker: 2,
+			EstimateSeconds: float64(40 + ti%60),
+		})
+	}
+	k.RunUntil(60000 * sim.Second)
+	if got := s.Completed(); got != 600 {
+		t.Fatalf("ScoreWorkers=%d: completed %d of 600 jobs", workers, got)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("run emitted no trace events")
+	}
+	return buf.Bytes(), s.Shares()
+}
+
+// TestParallelDeterminism is the oracle the whole parallel core answers to:
+// the same seeded workload at ScoreWorkers 1 (sequential), 2, and 8 emits
+// byte-identical decision traces and bit-identical delivered shares. Run
+// under -cpu 1,2,8 in CI so the pool is exercised both starved and spread.
+func TestParallelDeterminism(t *testing.T) {
+	seqTrace, seqShares := parallelWorkload(t, 1)
+	if !bytes.Contains(seqTrace, []byte(`"kind":"dispatch"`)) {
+		t.Fatal("trace has no dispatch events; workload exercised nothing")
+	}
+	for _, workers := range []int{2, 8} {
+		trace, shares := parallelWorkload(t, workers)
+		if !bytes.Equal(seqTrace, trace) {
+			i := 0
+			for i < len(trace) && i < len(seqTrace) && trace[i] == seqTrace[i] {
+				i++
+			}
+			t.Fatalf("ScoreWorkers=%d trace diverges from sequential at byte %d (lengths %d vs %d)",
+				workers, i, len(trace), len(seqTrace))
+		}
+		if len(shares) != len(seqShares) {
+			t.Fatalf("ScoreWorkers=%d: %d share entries vs %d sequential", workers, len(shares), len(seqShares))
+		}
+		// Bit-identical, not merely close: the raw aggregates accumulate in
+		// running-list order and the normalizing total sums in name-sorted
+		// tenant order under both modes.
+		for name, want := range seqShares {
+			if got := shares[name]; got != want {
+				t.Fatalf("ScoreWorkers=%d: share[%s] = %v, sequential %v",
+					workers, name, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedSharesMatchSequential pins the sharded Shares aggregation
+// against the sequential walk on the same live scheduler state: per-tenant
+// values must be bit-identical (each tenant's accumulation order is the
+// running-list order under both).
+func TestShardedSharesMatchSequential(t *testing.T) {
+	k := sim.NewKernel(3)
+	b := NewSimBackend(k)
+	for c := 0; c < 4; c++ {
+		b.AddCloud(fmt.Sprintf("c%d", c), 32, 1, 0.10)
+	}
+	s := New(b, Config{ScoreWorkers: 4})
+	defer s.Close()
+	for ti := 0; ti < 70; ti++ {
+		name := fmt.Sprintf("t%02d", ti)
+		s.AddTenant(name, 1+float64(ti%4))
+		submitN(t, s, name, 2, JobSpec{Workers: 2, CoresPerWorker: 2, EstimateSeconds: float64(50 + ti)})
+	}
+	k.RunUntil(400 * sim.Second) // mid-drain: finished AND running work
+	if len(s.running) == 0 || s.Completed() == 0 {
+		t.Fatalf("want both running and completed jobs mid-drain; running=%d completed=%d",
+			len(s.running), s.Completed())
+	}
+	now := k.Now()
+	sharded := s.rawSharesSharded(now)
+	seq := make(map[string]float64, len(s.tenants))
+	for name, tn := range s.tenants {
+		seq[name] = tn.delivered
+	}
+	for _, j := range s.running {
+		if j.State == Running {
+			seq[j.Spec.Tenant] += j.runCoreSeconds(now)
+		}
+	}
+	if len(sharded) != len(seq) {
+		t.Fatalf("sharded has %d entries, sequential %d", len(sharded), len(seq))
+	}
+	for name, want := range seq {
+		if got := sharded[name]; got != want {
+			t.Errorf("raw[%s] = %v sharded vs %v sequential (must be bit-identical)", name, got, want)
+		}
+	}
+}
+
+// genBumpPolicy wraps BestScore and, once armed, bumps the capacity ledger's
+// generation from inside the first speculative scoring call — the
+// capacity-moved-under-the-speculation scenario the optimistic commit must
+// catch. The bump flips a cloud's total away and back, so real capacity is
+// unchanged and every job must still complete: conflicts rescore, never drop.
+type genBumpPolicy struct {
+	BestScore
+	led   *capacity.Ledger
+	cloud string
+	total int
+	armed atomic.Bool
+	fired atomic.Bool
+}
+
+func (p *genBumpPolicy) chooseWith(s *Scheduler, j *Job, v *CloudView, ps *placeScratch) Plan {
+	if p.armed.Load() && p.fired.CompareAndSwap(false, true) {
+		p.led.SetTotal(p.cloud, p.total+1)
+		p.led.SetTotal(p.cloud, p.total)
+	}
+	return p.BestScore.chooseWith(s, j, v, ps)
+}
+
+// TestOptimisticCommitConflictRescores injects a ledger-generation bump
+// during head speculation and asserts the commit path counts the conflict
+// and rescores the affected jobs instead of dropping them: the conflict
+// counter moves AND every job completes.
+func TestOptimisticCommitConflictRescores(t *testing.T) {
+	k := sim.NewKernel(5)
+	b := NewSimBackend(k)
+	for c := 0; c < 4; c++ {
+		b.AddCloud(fmt.Sprintf("c%d", c), 16, 1, 0.10)
+	}
+	pol := &genBumpPolicy{led: b.Ledger(), cloud: "c0", total: 16}
+	s := New(b, Config{Placement: pol, ScoreWorkers: 4})
+	defer s.Close()
+	for ti := 0; ti < 4; ti++ {
+		s.AddTenant(fmt.Sprintf("t%d", ti), 1)
+	}
+	for j := 0; j < 40; j++ {
+		submitN(t, s, fmt.Sprintf("t%d", j%4), 1,
+			JobSpec{Workers: 2, CoresPerWorker: 2, EstimateSeconds: float64(30 + j%50)})
+	}
+	pol.armed.Store(true)
+	k.Run()
+	if !pol.fired.Load() {
+		t.Fatal("the generation bump never fired; speculation was not exercised")
+	}
+	if got := s.ParallelConflicts(); got < 1 {
+		t.Fatalf("ParallelConflicts = %d, want >= 1 after a mid-speculation generation bump", got)
+	}
+	if got := s.Completed(); got != 40 {
+		t.Fatalf("completed %d of 40 jobs — a conflicted plan was dropped, not rescored", got)
+	}
+	if s.Failures() != 0 {
+		t.Fatalf("failures = %d, want 0", s.Failures())
+	}
+}
+
+// TestParallelExternalDriverRace is the -race stress for the parallel core:
+// the kernel steps and all external Submit/Poll/Shares traffic serialize
+// through Sync while the scoring pool's workers run inside the cycles, and
+// raw stat reads (atomic counters) hammer from another goroutine. Any
+// missing synchronization in the pool fork-join, the shard scan, or the
+// speculation batch surfaces here under -race.
+func TestParallelExternalDriverRace(t *testing.T) {
+	k := sim.NewKernel(9)
+	b := NewSimBackend(k)
+	for c := 0; c < 20; c++ {
+		b.AddCloud(fmt.Sprintf("c%02d", c), 16, 1, 0.10)
+	}
+	s := New(b, Config{ScoreWorkers: 4})
+	defer s.Close()
+	var ids []string
+	s.Sync(func() {
+		for ti := 0; ti < 300; ti++ { // ≥ shardMinTenants: races the shard paths too
+			name := fmt.Sprintf("t%03d", ti)
+			s.AddTenant(name, 1)
+			ids = append(ids, submitN(t, s, name, 2,
+				JobSpec{Workers: 2, CoresPerWorker: 2, EstimateSeconds: float64(30 + ti%40)})...)
+		}
+	})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // external driver: polls and share reads, serialized via Sync
+		defer wg.Done()
+		i := 0
+		for !stop.Load() {
+			s.Sync(func() {
+				s.Poll(ids[i%len(ids)])
+				s.Shares()
+			})
+			i++
+		}
+	}()
+	go func() { // atomic stat reads need no Sync
+		defer wg.Done()
+		sink := 0
+		for !stop.Load() {
+			sink += s.Cycles() + s.Dispatched() + s.Completed() + s.ParallelConflicts() +
+				s.ScoreWorkerCount()
+		}
+		_ = sink
+	}()
+	for at := sim.Time(0); at < 4000*sim.Second; at += 50 * sim.Second {
+		end := at + 50*sim.Second
+		s.Sync(func() { k.RunUntil(end) })
+	}
+	stop.Store(true)
+	wg.Wait()
+	if got := s.Completed(); got != 600 {
+		t.Fatalf("completed %d of 600 jobs", got)
+	}
+}
+
+// TestForcedPreemptionScopedToReservationClouds is the regression for the
+// scoped forced-preempt pass: an overrunning backfilled job whose gang runs
+// entirely on clouds the blocked head's reserved plan never touches must NOT
+// be evicted — reclaiming it frees nothing the head can use. Cloud "a" (16
+// cores) is held until t=100 and is the only cloud that can host the head
+// (single-cloud policy, "b" has 8 cores); the overrunner fills "b" and blows
+// through its 20 s estimate 20x. Before scoping it was evicted around t=40;
+// now it runs to completion while the head starts exactly at t=100.
+func TestForcedPreemptionScopedToReservationClouds(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewSimBackend(k)
+	b.AddCloud("a", 16, 1, 0.10)
+	b.AddCloud("b", 8, 1, 0.10)
+	b.Overrun = func(j *Job) float64 {
+		if j.Spec.Name == "liar" {
+			return 20
+		}
+		return 1
+	}
+	s := New(b, Config{
+		Placement:           RandomPlacement{}, // single-cloud: the head fits only on "a"
+		EnablePreemption:    true,
+		ReservationMaxSlips: -1, // no head-driven eviction; only the forced path
+	})
+	s.Start()
+	s.AddTenant("t", 1)
+	submitN(t, s, "t", 1, JobSpec{Name: "hold", Workers: 8, CoresPerWorker: 2, EstimateSeconds: 100})
+	head := submitN(t, s, "t", 1, JobSpec{Name: "head", Workers: 8, CoresPerWorker: 2, EstimateSeconds: 50})[0]
+	liar := submitN(t, s, "t", 1, JobSpec{Name: "liar", Workers: 4, CoresPerWorker: 2, EstimateSeconds: 20})[0]
+	k.Run()
+	hi, _ := s.Poll(head)
+	li, _ := s.Poll(liar)
+	if hi.State != Done || li.State != Done {
+		t.Fatalf("states: head=%v liar=%v, want both done", hi.State, li.State)
+	}
+	if li.Cloud != "b" || hi.Cloud != "a" {
+		t.Fatalf("placements: head=%s liar=%s, want a/b — scenario broken", hi.Cloud, li.Cloud)
+	}
+	if s.ForcedPreemptions() != 0 || li.Preemptions != 0 {
+		t.Errorf("forced preemption fired (sched=%d job=%d) for an overrunner outside the reservation's clouds",
+			s.ForcedPreemptions(), li.Preemptions)
+	}
+	// The liar ran its full 20x overrun on "b" undisturbed...
+	if got := li.Finished - li.Started; got < 390*sim.Second {
+		t.Errorf("liar ran %v, want ~400 s uninterrupted", got)
+	}
+	// ...and the head started the moment "a"'s holder released it.
+	if hi.Started != 100*sim.Second {
+		t.Errorf("head started at %v, want exactly t=100 s", hi.Started)
+	}
+}

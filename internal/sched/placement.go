@@ -164,6 +164,197 @@ type PlacementPolicy interface {
 	Choose(s *Scheduler, j *Job, v *CloudView) Plan
 }
 
+// fitProver is the optional policy extension behind the exact fit precheck:
+// ProvablyUnplaceable must return true only when Choose would certainly
+// return an empty plan for j against v — a cheap arithmetic proof, no
+// scoring. The scheduler uses it to skip Choose entirely on the hot blocked
+// paths (the cycle's backfill scan over jobs that cannot fit, and every
+// non-viable instant of the reservation walk), where growPlan's greedy
+// extension dominated the cycle profile. Soundness is what matters:
+// a false negative just means Choose runs and discovers emptiness itself,
+// so decisions are identical with or without the precheck.
+type fitProver interface {
+	ProvablyUnplaceable(j *Job, v *CloudView) bool
+}
+
+// placeScratch holds the buffers one placement evaluation scores plans in.
+// The scheduler owns one for its sequential cycles; the parallel scoring
+// pool gives each worker its own copy, so concurrent Choose evaluations
+// over the shared read-only view never touch shared scratch.
+type placeScratch struct {
+	oneMember   [1]Member
+	bestMembers []Member
+	growMembers []Member
+	growCand    []Member
+	growBest    []Member
+	nameScratch []string
+	strA, strB  []byte // betterPlan tie-break rendering
+}
+
+// scratchChooser is the policy extension the parallel scoring pool needs:
+// a Choose that runs entirely in caller-supplied scratch. Policies without
+// it (or without PureChoose purity) are never speculated — their Choose
+// runs on the scheduler goroutine with the scheduler's own scratch.
+type scratchChooser interface {
+	chooseWith(s *Scheduler, j *Job, v *CloudView, ps *placeScratch) Plan
+}
+
+// planMemo is the within-cycle placement memo: between two dispatches the
+// working free vector is frozen, and for a pure policy Choose is a function
+// of the view plus the handful of job-spec fields scoring reads (worker
+// shape, input locality, shuffle volume, tenant pattern boost). A blocked
+// cycle's backfill scan walks hundreds of same-shaped queued jobs against
+// one unchanged view — under the memo the first pays for Choose and the
+// rest match on shape and reuse the plan, byte for byte the same decision.
+// Any view mutation (a dispatch's take, a mid-cycle re-snapshot) and every
+// cycle start invalidate it; jobs with per-block locality maps
+// (InputFractions) bypass it, as does any policy without PureChoose.
+type planMemo struct {
+	ok            bool
+	workers, cpw  int
+	inputSite     string
+	maps, reduces int
+	shufBytes     int64
+	boosted       bool
+	members       []Member
+	plan          Plan // breakdown + score; Members held separately
+
+	// Backfill-gate verdict parts for the memoized plan, computed lazily on
+	// the first backfillOK against it and reusable while the memo instance
+	// lives: the reservation and the release sums are fixed for the whole
+	// cycle, and the working free vector is fixed between dispatches —
+	// exactly the memo's own validity window.
+	bfValid  bool
+	bfShared bool // memo plan shares a cloud with the reservation
+	bfCapOK  bool // shared clouds keep the reserved cores with this slice taken
+	// Plan-shape estimate parts (see planEstimateSeconds): everything in the
+	// cost model except the job's own base estimate and input byte count,
+	// which are the only per-job inputs across jobs with the same memo key.
+	estValid     bool
+	estSpeed     float64 // slowest member speed
+	estUncovered float64 // input fraction no member holds
+	estMinBW     float64 // thinnest input-site link among members
+	estShuffle   float64 // cross-site shuffle seconds (0 when not spanning)
+}
+
+// boostedTenant reports whether the job's tenant has a boost-worthy
+// detected pattern (all-to-all or ring): resolved through the tenant
+// pointer cached on the job at Submit, with a map fallback for jobs built
+// outside Submit (tests).
+func (s *Scheduler) boostedTenant(j *Job) bool {
+	if j.tref != nil {
+		return j.tref.boosted
+	}
+	pt := s.patternOf[j.Spec.Tenant]
+	return pt == PatternAllToAll || pt == PatternRing
+}
+
+// choosePlan is the cycle scan's Choose entry point: a memo hit returns the
+// cached plan (fresh member copy, same breakdown), a miss delegates to the
+// policy and records the answer for the rest of the frozen-view window.
+func (s *Scheduler) choosePlan(j *Job, v *CloudView) Plan {
+	if !s.memoable || j.Spec.InputFractions != nil {
+		return s.cfg.Placement.Choose(s, j, v)
+	}
+	boosted := s.boostedTenant(j)
+	m := &s.memo
+	if m.matches(j, boosted) {
+		s.m.planMemoHits.Inc()
+		p := m.plan
+		if len(m.members) > 0 {
+			p.Members = append([]Member(nil), m.members...)
+		}
+		return p
+	}
+	p := s.cfg.Placement.Choose(s, j, v)
+	m.ok = true
+	m.workers, m.cpw = j.workers(), j.coresPerWorker()
+	m.inputSite = j.Spec.InputSite
+	m.boosted = boosted
+	m.maps, m.reduces = j.Spec.MR.NumMaps, j.Spec.MR.NumReduces
+	m.shufBytes = j.Spec.MR.ShuffleBytesPerMapPerReduce
+	m.members = append(m.members[:0], p.Members...)
+	m.plan = p
+	m.plan.Members = nil
+	m.bfValid, m.estValid = false, false
+	return p
+}
+
+// matches reports whether the memo holds the plan for this job's shape.
+func (m *planMemo) matches(j *Job, boosted bool) bool {
+	return m.ok && m.workers == j.workers() && m.cpw == j.coresPerWorker() &&
+		m.inputSite == j.Spec.InputSite && m.boosted == boosted &&
+		m.maps == j.Spec.MR.NumMaps && m.reduces == j.Spec.MR.NumReduces &&
+		m.shufBytes == j.Spec.MR.ShuffleBytesPerMapPerReduce
+}
+
+// estParts fills the memo's plan-shape estimate parts — the planEstimate-
+// Seconds cost model minus the two per-job inputs (base estimate, input
+// byte count). Loops and float expressions mirror planEstimateSeconds
+// exactly so assembled estimates stay bit-identical.
+func (s *Scheduler) estParts(m *planMemo, v *CloudView) {
+	m.estSpeed = 1.0
+	for i, mm := range m.members {
+		if p := v.Pos(mm.Cloud); p >= 0 && v.Clouds[p].Speed > 0 {
+			if c := v.Clouds[p]; i == 0 || c.Speed < m.estSpeed {
+				m.estSpeed = c.Speed
+			}
+		}
+	}
+	m.estUncovered, m.estMinBW = 0, 0
+	if m.inputSite != "" {
+		covered := 0.0
+		for _, mm := range m.members {
+			if mm.Cloud == m.inputSite {
+				covered += 1
+			}
+		}
+		if covered > 1 {
+			covered = 1
+		}
+		if uncovered := 1 - covered; uncovered > 0 {
+			m.estUncovered = uncovered
+			for _, mm := range m.members {
+				if mm.Cloud == m.inputSite {
+					continue
+				}
+				bw := s.B.Bandwidth(m.inputSite, mm.Cloud)
+				if bw <= 0 {
+					continue
+				}
+				if m.estMinBW == 0 || bw < m.estMinBW {
+					m.estMinBW = bw
+				}
+			}
+		}
+	}
+	m.estShuffle = 0
+	if len(m.members) > 1 {
+		j := Job{Spec: JobSpec{CoresPerWorker: m.cpw}}
+		j.Spec.MR.NumMaps, j.Spec.MR.NumReduces = m.maps, m.reduces
+		j.Spec.MR.ShuffleBytesPerMapPerReduce = m.shufBytes
+		m.estShuffle = crossShuffleSeconds(s.B, &j, m.members)
+	}
+	m.estValid = true
+}
+
+// estimateAtMemo assembles the runtime estimate for job j under the
+// memoized plan from the cached shape parts: bit-identical to
+// planEstimateSeconds on the same plan and view.
+func (s *Scheduler) estimateAtMemo(j *Job, m *planMemo, v *CloudView) float64 {
+	if !m.estValid {
+		s.estParts(m, v)
+	}
+	est := j.estimate() / m.estSpeed
+	if j.Spec.InputSite != "" && j.Spec.InputBytes > 0 && m.estUncovered > 0 && m.estMinBW > 0 {
+		est += m.estUncovered * float64(j.Spec.InputBytes) / m.estMinBW
+	}
+	if m.estShuffle != 0 {
+		est += m.estShuffle
+	}
+	return est
+}
+
 // inputFraction returns the fraction of the job's input bytes resident on
 // one cloud: the explicit per-block map (hdfs.LocalityFractions) when set,
 // else 1 on the whole-file InputSite. Allocation-free — the scoring hot
@@ -230,7 +421,7 @@ func (s *Scheduler) scorePlan(j *Job, members []Member, v *CloudView) Plan {
 		totalCores += m.Workers * cpw
 	}
 	boost := 1.0
-	if pt := s.patternOf[j.Spec.Tenant]; pt == PatternAllToAll || pt == PatternRing {
+	if s.boostedTenant(j) {
 		boost = s.cfg.PatternBoost
 	}
 	for _, m := range members {
@@ -324,18 +515,21 @@ func planPrice(members []Member, v *CloudView, cpw int) float64 {
 
 // betterPlan reports whether candidate a beats b: higher score, then lower
 // price, then lexicographic member rendering for determinism. The rendering
-// comparison goes through scheduler-owned byte scratch — byte-equal to
-// a.String() < b.String() without building the strings.
-func (s *Scheduler) betterPlan(a, b Plan, aPrice, bPrice float64) bool {
+// comparison goes through the evaluation's byte scratch — byte-equal to
+// a.String() < b.String() without building the strings. The three-level
+// comparison is a total order over distinct plans, which is what makes the
+// parallel scoring pool's min-reduction independent of how candidates were
+// partitioned across workers.
+func (ps *placeScratch) betterPlan(a, b Plan, aPrice, bPrice float64) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}
 	if aPrice != bPrice {
 		return aPrice < bPrice
 	}
-	s.strA = appendPlanString(s.strA[:0], a.Members)
-	s.strB = appendPlanString(s.strB[:0], b.Members)
-	return bytes.Compare(s.strA, s.strB) < 0
+	ps.strA = appendPlanString(ps.strA[:0], a.Members)
+	ps.strB = appendPlanString(ps.strB[:0], b.Members)
+	return bytes.Compare(ps.strA, ps.strB) < 0
 }
 
 // BestScore is the default locality- and shuffle-aware policy. It prefers
@@ -354,48 +548,74 @@ func (BestScore) Name() string { return "best-score" }
 // the blocked head's reservation recompute cache may reuse its answers.
 func (BestScore) PureChoose() bool { return true }
 
-// Choose implements PlacementPolicy. Candidate plans are scored in
-// scheduler-owned scratch buffers; only the winning plan's members are
-// copied out, so a Choose that places nothing allocates nothing.
-func (BestScore) Choose(s *Scheduler, j *Job, v *CloudView) Plan {
-	workers := j.workers()
+// ProvablyUnplaceable implements fitProver: placing `workers` whole workers
+// of cpw cores each — on one cloud or spanning — requires Σ⌊free/cpw⌋ ≥
+// workers across clouds, and conversely growPlan succeeds whenever the slot
+// sum covers the demand (each greedy step takes a cloud's whole ⌊free/cpw⌋,
+// and a constructed plan is always feasible against the free cores it was
+// built from). So the slot sum decides emptiness exactly, in one pass over
+// the free vector.
+func (BestScore) ProvablyUnplaceable(j *Job, v *CloudView) bool {
 	cpw := j.coresPerWorker()
-	// Single-cloud fast path: the common case, scored exactly as before.
-	var best Plan
-	bestPrice := 0.0
-	for i := range v.Clouds {
-		if v.free[i] < workers*cpw {
-			continue
-		}
-		s.oneMember[0] = Member{Cloud: v.Clouds[i].Name, Workers: workers}
-		p := s.scorePlan(j, s.oneMember[:], v)
-		if !p.Feasible() {
-			continue
-		}
-		price := planPrice(p.Members, v, cpw)
-		if best.Empty() || s.betterPlan(p, best, price, bestPrice) {
-			s.bestMembers = append(s.bestMembers[:0], p.Members...)
-			p.Members = s.bestMembers
-			best, bestPrice = p, price
+	slots := 0
+	for _, f := range v.free {
+		if f > 0 {
+			slots += f / cpw
 		}
 	}
+	return slots < j.workers()
+}
+
+// Choose implements PlacementPolicy. Candidate plans are scored in
+// scheduler-owned scratch buffers; only the winning plan's members are
+// copied out, so a Choose that places nothing allocates nothing. With a
+// scoring pool and enough clouds the single-cloud scan fans out across the
+// workers (choosePar) — same decisions, byte for byte.
+func (b BestScore) Choose(s *Scheduler, j *Job, v *CloudView) Plan {
+	if s.pool != nil && len(v.Clouds) >= parallelCloudMin {
+		return b.choosePar(s, j, v)
+	}
+	return b.chooseWith(s, j, v, &s.place)
+}
+
+// chooseWith is Choose running in caller-supplied scratch — the entry point
+// the parallel scoring pool uses with per-worker buffers. It reads the
+// scheduler only through immutable-within-the-evaluation state (cfg,
+// patternOf, the backend's bandwidth topology).
+func (BestScore) chooseWith(s *Scheduler, j *Job, v *CloudView, ps *placeScratch) Plan {
+	workers := j.workers()
+	cpw := j.coresPerWorker()
+	boost := 1.0
+	if s.boostedTenant(j) {
+		boost = s.cfg.PatternBoost
+	}
+	best, _ := scanSingleClouds(s, j, v, ps, workers, cpw, boost, 0, len(v.Clouds))
 	if !best.Empty() {
 		best.Members = append([]Member(nil), best.Members...)
 		return best
 	}
-	// Gang path: grow a plan from each viable anchor.
+	return scanGangClouds(s, j, v, ps, workers, cpw)
+}
+
+// scanGangClouds is the spanning fallback when no single cloud fits: grow a
+// plan from each viable anchor and keep the best complete candidate. Shared
+// by the sequential scan and the parallel scorer's fallback (gang growth is
+// rare and greedy-sequential by nature, so it is never itself fanned out).
+func scanGangClouds(s *Scheduler, j *Job, v *CloudView, ps *placeScratch, workers, cpw int) Plan {
+	var best Plan
+	bestPrice := 0.0
 	for i := range v.Clouds {
 		if v.free[i] < cpw {
 			continue
 		}
-		p, ok := s.growPlan(j, v.Clouds[i].Name, workers, cpw, v)
+		p, ok := s.growPlan(j, v.Clouds[i].Name, workers, cpw, v, ps)
 		if !ok {
 			continue
 		}
 		price := planPrice(p.Members, v, cpw)
-		if best.Empty() || s.betterPlan(p, best, price, bestPrice) {
-			s.bestMembers = append(s.bestMembers[:0], p.Members...)
-			p.Members = s.bestMembers
+		if best.Empty() || ps.betterPlan(p, best, price, bestPrice) {
+			ps.bestMembers = append(ps.bestMembers[:0], p.Members...)
+			p.Members = ps.bestMembers
 			best, bestPrice = p, price
 		}
 	}
@@ -403,6 +623,49 @@ func (BestScore) Choose(s *Scheduler, j *Job, v *CloudView) Plan {
 		best.Members = append([]Member(nil), best.Members...)
 	}
 	return best
+}
+
+// scanSingleClouds scores the single-cloud candidates over the cloud index
+// range [lo, hi) and returns the range's best plan and its price — the
+// common-case fast path, scored index-first: the four scorePlan terms
+// specialised to one member whose cores-weighted share is exactly 1, so no
+// name→position lookups and no shuffle term. Float operation order matches
+// scorePlan term for term (share = 1 multiplications are exact), keeping
+// scores bit-identical to the general path. betterPlan is a strict total
+// order over distinct clouds (members tie-break), so range-local bests
+// reduced in index order equal one sequential scan — the property the
+// parallel scorer relies on.
+func scanSingleClouds(s *Scheduler, j *Job, v *CloudView, ps *placeScratch, workers, cpw int, boost float64, lo, hi int) (Plan, float64) {
+	var best Plan
+	bestPrice := 0.0
+	for i := lo; i < hi; i++ {
+		if v.free[i] < workers*cpw || v.Clouds[i].TotalCores <= 0 {
+			continue
+		}
+		name := v.Clouds[i].Name
+		var p Plan
+		p.Capacity = s.cfg.CapacityWeight * float64(v.free[i]) / float64(v.Clouds[i].TotalCores)
+		p.Locality = j.inputFraction(name)
+		if p.Locality > 1 {
+			p.Locality = 1
+		}
+		uncovered := 1 - p.Locality
+		p.Locality *= s.cfg.LocalityWeight
+		if j.Spec.InputSite != "" && uncovered > 0 && name != j.Spec.InputSite {
+			bw := s.B.Bandwidth(j.Spec.InputSite, name)
+			p.Input = s.cfg.BandwidthWeight * boost * uncovered * bw / (bw + s.cfg.RefBandwidth)
+		}
+		p.Score = p.Locality + p.Capacity + p.Input
+		price := float64(workers*cpw) * v.Clouds[i].Price
+		ps.oneMember[0] = Member{Cloud: name, Workers: workers}
+		p.Members = ps.oneMember[:]
+		if best.Empty() || ps.betterPlan(p, best, price, bestPrice) {
+			ps.bestMembers = append(ps.bestMembers[:0], p.Members...)
+			p.Members = ps.bestMembers
+			best, bestPrice = p, price
+		}
+	}
+	return best, bestPrice
 }
 
 // planHas reports whether the member list already uses the cloud (replaces
@@ -420,10 +683,10 @@ func planHas(members []Member, cloud string) bool {
 // anchor takes as many workers as it can host, then members are appended
 // greedily — each step adds the cloud that maximises the partial plan's
 // score — until the demand is met. ok is false when even all clouds
-// together cannot host the gang. The returned plan's Members alias
-// scheduler scratch, valid only until the next growPlan call — callers
-// copy what they keep.
-func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, v *CloudView) (Plan, bool) {
+// together cannot host the gang. The returned plan's Members alias the
+// evaluation's scratch, valid only until the next growPlan call with the
+// same scratch — callers copy what they keep.
+func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, v *CloudView, ps *placeScratch) (Plan, bool) {
 	take := func(cloud string, remaining int) int {
 		n := v.Free(cloud) / cpw
 		if n > remaining {
@@ -431,7 +694,7 @@ func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, v *CloudVi
 		}
 		return n
 	}
-	members := append(s.growMembers[:0], Member{Cloud: anchor, Workers: take(anchor, workers)})
+	members := append(ps.growMembers[:0], Member{Cloud: anchor, Workers: take(anchor, workers)})
 	remaining := workers - members[0].Workers
 	for remaining > 0 {
 		var bestExt Plan
@@ -446,16 +709,16 @@ func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, v *CloudVi
 			if n <= 0 {
 				continue
 			}
-			cand := append(append(s.growCand[:0], members...), Member{Cloud: name, Workers: n})
-			s.growCand = cand[:0]
+			cand := append(append(ps.growCand[:0], members...), Member{Cloud: name, Workers: n})
+			ps.growCand = cand[:0]
 			p := s.scorePlan(j, cand, v)
 			if !p.Feasible() {
 				continue
 			}
 			price := planPrice(cand, v, cpw)
-			if bestExt.Empty() || s.betterPlan(p, bestExt, price, bestPrice) {
-				s.growBest = append(s.growBest[:0], cand...)
-				p.Members = s.growBest
+			if bestExt.Empty() || ps.betterPlan(p, bestExt, price, bestPrice) {
+				ps.growBest = append(ps.growBest[:0], cand...)
+				p.Members = ps.growBest
 				bestExt, bestPrice, bestTake = p, price, n
 			}
 		}
@@ -465,7 +728,7 @@ func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, v *CloudVi
 		members = append(members[:0], bestExt.Members...)
 		remaining -= bestTake
 	}
-	s.growMembers = members
+	ps.growMembers = members
 	return s.scorePlan(j, members, v), true
 }
 
@@ -484,15 +747,29 @@ func (RandomPlacement) Name() string { return "random" }
 // can never wake a job queued under it).
 func (RandomPlacement) SingleCloudOnly() bool { return true }
 
+// ProvablyUnplaceable implements fitProver: the policy only ever picks a
+// single cloud with room for the whole gang, and when no cloud qualifies
+// Choose returns empty before drawing from the kernel RNG — so skipping the
+// call preserves the RNG stream exactly.
+func (RandomPlacement) ProvablyUnplaceable(j *Job, v *CloudView) bool {
+	need := j.Cores()
+	for _, f := range v.free {
+		if f >= need {
+			return false
+		}
+	}
+	return true
+}
+
 // Choose implements PlacementPolicy.
 func (RandomPlacement) Choose(s *Scheduler, j *Job, v *CloudView) Plan {
-	fitting := s.nameScratch[:0]
+	fitting := s.place.nameScratch[:0]
 	for i := range v.Clouds {
 		if v.free[i] >= j.Cores() {
 			fitting = append(fitting, v.Clouds[i].Name)
 		}
 	}
-	s.nameScratch = fitting
+	s.place.nameScratch = fitting
 	if len(fitting) == 0 {
 		return Plan{}
 	}

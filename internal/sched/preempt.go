@@ -117,6 +117,9 @@ func (s *Scheduler) chooseVictims(head *Job, v *CloudView) ([]*Job, map[*Job]flo
 				av.free[p] += m.Workers * cpw
 			}
 		}
+		if s.provablyEmpty(head, av) {
+			continue
+		}
 		if plan := s.cfg.Placement.Choose(s, head, av); !plan.Empty() {
 			return cand[:n+1], prices
 		}
@@ -162,6 +165,7 @@ func (s *Scheduler) preemptFor(t *Tenant, head *Job, v *CloudView) preemptOutcom
 	// not consume would otherwise never wake other unfit-marked jobs.
 	s.evictPrev = append(s.evictPrev[:0], v.free...)
 	v.Reset(s.snapshotClouds())
+	s.bumpView() // mid-cycle re-snapshot: the memo's view is gone
 	for i, c := range v.Clouds {
 		if i < len(s.evictPrev) {
 			if d := v.free[i] - s.evictPrev[i]; d > 0 {
@@ -185,6 +189,7 @@ func (s *Scheduler) preemptFor(t *Tenant, head *Job, v *CloudView) preemptOutcom
 	for _, m := range plan.Members {
 		v.take(m.Cloud, m.Workers*cpw)
 	}
+	s.bumpView()
 	for _, le := range shields {
 		le.Release()
 	}

@@ -28,6 +28,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/capacity"
 	"repro/internal/mapreduce"
@@ -133,7 +134,10 @@ type Job struct {
 	Preemptions int
 	Outcome     Outcome
 
-	seq         int
+	seq int
+	// tref is the owning tenant, resolved once at Submit so hot placement
+	// paths read the tenant's pattern-boost flag without a map lookup.
+	tref        *Tenant
 	handle      Handle
 	charged     float64  // core-seconds charged at dispatch (estimate)
 	estDuration sim.Time // estimate at the chosen plan's speed
@@ -477,6 +481,14 @@ type Config struct {
 	// block/wake, preemption with victim pricing, consolidation) into the
 	// given tracer. Nil disables tracing.
 	Trace *obs.Tracer
+	// ScoreWorkers sizes the plan-scoring / shard-scan worker pool. 0 or 1
+	// runs the sequential core — no goroutines, no synchronization on the
+	// hot path, exactly the pre-parallel scheduler. N > 1 spins up N
+	// workers that fan candidate scoring and the tenant-shard scan out over
+	// the frozen cycle view; negative resolves to GOMAXPROCS. Placement
+	// decisions are byte-identical at every setting (see nextTenant,
+	// scanSingleClouds, and the optimistic-commit validation in cycle).
+	ScoreWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -623,14 +635,50 @@ type Scheduler struct {
 	runScratch   []*Job        // elasticTick iteration copy
 	relSumAtResv []int         // per-cloud release sum at resv.at (backfill)
 
-	// Placement scratch (see BestScore.Choose / growPlan).
-	oneMember   [1]Member
-	bestMembers []Member
-	growMembers []Member
-	growCand    []Member
-	growBest    []Member
-	nameScratch []string
-	strA, strB  []byte // betterPlan tie-break rendering
+	// place is the sequential cycle's placement scratch (see
+	// BestScore.chooseWith / growPlan); the parallel scoring pool's workers
+	// carry their own placeScratch copies instead.
+	place placeScratch
+
+	// prover is the placement policy's fit precheck when it offers one
+	// (optional fitProver interface): a cheap arithmetic proof that Choose
+	// would return empty, letting the blocked paths skip scoring outright.
+	prover fitProver
+
+	// memo is the within-cycle plan memo (see planMemo); memoable gates it
+	// on placement-policy purity.
+	memo     planMemo
+	memoable bool
+
+	// Parallel sharded core (see parallel.go). pool is nil when
+	// Config.ScoreWorkers resolves to 1 — the sequential scheduler, with
+	// zero parallel overhead. planGen stamps the ledger generation under
+	// which the pending plan was scored; viewVer counts working-free-vector
+	// movements (dispatches, mid-cycle re-snapshots) so speculated plans
+	// can be validated before commit. shardBounds partitions the
+	// name-sorted tenant list into contiguous shards; spec holds the
+	// cycle's speculated head plans.
+	pool        *scorePool
+	planGen     uint64
+	viewVer     int
+	shardBounds []int
+	shardsDirty bool
+	spec        map[*Job]specEntry
+	// Parallel-path scratch, reused across cycles: the shard pick's
+	// per-shard results, the speculation batch, and choosePar's per-range
+	// results. All are written only between fork and join (or on the kernel
+	// thread), never concurrently with another use.
+	pickBests   []*Tenant
+	pickKeys    []float64
+	specHeads   []*Job
+	specKeys    []float64
+	specEntries []specEntry
+	parPlans    []Plan
+	parPrices   []float64
+
+	// extMu serializes external drivers (Sync): goroutines outside the
+	// kernel thread submit and poll through it under -race stress.
+	extMu sync.Mutex
 
 	// fitsFederation cache: federation-wide per-cloud totals keyed on the
 	// capacity ledger's generation, so Submit stops snapshotting
@@ -676,7 +724,48 @@ func New(b Backend, cfg Config) *Scheduler {
 	if sc, ok := s.cfg.Placement.(interface{ SingleCloudOnly() bool }); ok {
 		s.singleCloud = sc.SingleCloudOnly()
 	}
+	if fp, ok := s.cfg.Placement.(fitProver); ok {
+		s.prover = fp
+	}
+	if cp, ok := s.cfg.Placement.(cacheablePolicy); ok && cp.PureChoose() {
+		s.memoable = true
+	}
+	if n := resolveScoreWorkers(s.cfg.ScoreWorkers); n > 1 {
+		s.pool = newScorePool(n)
+		s.spec = make(map[*Job]specEntry)
+		s.m.scoreWorkers.SetInt(int64(n))
+	} else {
+		s.m.scoreWorkers.SetInt(1)
+	}
 	return s
+}
+
+// Close stops the parallel scoring pool's workers (a no-op in sequential
+// mode). The scheduler remains usable afterwards — the next parallel cycle
+// would restart the pool — but callers that own a Scheduler with
+// ScoreWorkers > 1 should Close it when done so idle goroutines do not
+// outlive it.
+func (s *Scheduler) Close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
+}
+
+// Sync runs fn under the scheduler's external-driver mutex. The scheduler's
+// own kernel-thread pipeline needs no locking; Sync exists for drivers that
+// call Submit/Poll/stat accessors from multiple goroutines — serialize every
+// such access through it and the race detector stays quiet without putting
+// a lock on the hot path.
+func (s *Scheduler) Sync(fn func()) {
+	s.extMu.Lock()
+	defer s.extMu.Unlock()
+	fn()
+}
+
+// provablyEmpty reports whether the policy's fit precheck proves Choose
+// would return an empty plan against v — false when the policy offers none.
+func (s *Scheduler) provablyEmpty(j *Job, v *CloudView) bool {
+	return s.prover != nil && s.prover.ProvablyUnplaceable(j, v)
 }
 
 // jobByID looks a job up in the active set, then the archive.
@@ -741,6 +830,7 @@ func (s *Scheduler) Submit(spec JobSpec) (string, error) {
 	j := &Job{
 		ID:        fmt.Sprintf("J%d", s.seq),
 		seq:       s.seq,
+		tref:      t,
 		Spec:      spec,
 		State:     Queued,
 		Submitted: s.K.Now(),
@@ -845,11 +935,14 @@ func (s *Scheduler) cycle() {
 	s.dropShields()
 	v := &s.view
 	v.Reset(s.snapshotClouds())
+	s.bumpView()
+	s.decayTenants()
 	s.observeFrees(v)
+	s.speculateHeads(v)
 	var releases []coreRelease // running-job ETA snapshot, built on first block
 	haveReleases := false
 	for {
-		t := s.nextTenant()
+		t := s.pickTenant()
 		if t == nil {
 			break
 		}
@@ -866,7 +959,28 @@ func (s *Scheduler) cycle() {
 				s.trace(obs.TraceEvent{Kind: "wake", Tenant: t.Name, Job: j.ID,
 					Workers: j.workers(), Cores: j.Cores()})
 			}
-			plan = s.cfg.Placement.Choose(s, j, v)
+			if !s.provablyEmpty(j, v) {
+				if p, gen, ok := s.specPlan(j); ok {
+					// Optimistic commit: the speculated plan was scored
+					// against this frozen view (version stamp matched); it
+					// commits only if the capacity world it was scored under
+					// still holds. A conflict — the ledger generation moved,
+					// or the plan no longer fits the live free vector — is
+					// counted and the job rescored inline against live state,
+					// never dropped.
+					plan, s.planGen = p, gen
+					if s.planStale(j, plan, v) {
+						s.m.parallelConflicts.Inc()
+						s.memo.ok = false
+						plan = s.choosePlan(j, v)
+					}
+				} else {
+					plan = s.choosePlan(j, v)
+					if s.pool != nil {
+						s.planGen = s.B.Ledger().Generation()
+					}
+				}
+			}
 			if plan.Empty() {
 				s.markUnfit(j, v)
 				if s.tr != nil {
@@ -885,6 +999,7 @@ func (s *Scheduler) cycle() {
 			for _, m := range plan.Members {
 				v.take(m.Cloud, m.Workers*cpw)
 			}
+			s.bumpView() // the working free vector moved
 			continue
 		}
 		if s.resv == nil {

@@ -126,13 +126,25 @@ func (b *SimBackend) Clouds() []CloudInfo {
 }
 
 // AppendClouds implements the scheduler's allocation-free snapshot path.
+// The free/total reads come from the ledger's bulk walk — one lock
+// round-trip per snapshot instead of two per cloud. b.clouds and the ledger
+// keep name-sorted cloud sets populated in pairs by AddCloud, so the two
+// walk in lockstep.
 func (b *SimBackend) AppendClouds(dst []CloudInfo) []CloudInfo {
-	for _, c := range b.clouds {
+	i := 0
+	b.ledger.FreeTotals(func(name string, free, total int) {
+		for i < len(b.clouds) && b.clouds[i].Name != name {
+			i++
+		}
+		if i == len(b.clouds) {
+			return
+		}
+		c := b.clouds[i]
 		dst = append(dst, CloudInfo{
-			Name: c.Name, FreeCores: b.ledger.Free(c.Name), TotalCores: b.ledger.Total(c.Name),
+			Name: name, FreeCores: free, TotalCores: total,
 			Speed: c.Speed, Price: c.Price,
 		})
-	}
+	})
 	return dst
 }
 
