@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -184,6 +185,64 @@ func BenchmarkSchedulerCycleParallel(b *testing.B) {
 		}
 		s.Close()
 	}
+}
+
+// BenchmarkKernelChurn measures event-queue operations against a deep
+// backlog: 1,000,000 events pend one virtual hour out while each iteration
+// schedules two near-term events, cancels one, and fires the other — the
+// schedule/cancel/fire churn a million-job replay sustains. The heap keeps
+// per-op cost at O(log n) of the backlog (~20 sift steps at 1M) and the
+// event arena keeps it allocation-free; a linear scan anywhere in the
+// queue path shows up here as microseconds, not nanoseconds.
+func BenchmarkKernelChurn(b *testing.B) {
+	k := sim.NewKernel(42)
+	nop := func() {}
+	for i := 0; i < 1_000_000; i++ {
+		k.At(sim.Hour+sim.Time(i), nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.At(k.Now(), nop).Cancel()
+		k.At(k.Now(), nop)
+		// One Step discards the cancelled event and fires the live one; the
+		// backlog stays at exactly 1M pending throughout.
+		k.Step()
+	}
+	b.StopTimer()
+	if k.Pending() != 1_000_000 {
+		b.Fatalf("backlog drifted to %d pending", k.Pending())
+	}
+}
+
+// BenchmarkScaleReplay is the scale harness's headline number: a 100k-job
+// standard-mix trace (diurnal + bursts + storms + heavy tails) generated
+// once, then replayed through the scheduler on the default four-cloud
+// federation with preemption on and log-normal estimate mis-calibration.
+// Reports ns/job and allocs/job across the replay; BENCH_scale.json
+// records the per-op values for the benchdiff gate. Run with -benchtime 1x
+// (one replay is ~100M scheduling decisions' worth of work).
+func BenchmarkScaleReplay(b *testing.B) {
+	const jobs = 100_000
+	tr := workload.Generate(workload.StandardConfig(42, jobs))
+	if got := tr.Jobs(); got != jobs {
+		b.Fatalf("trace holds %d jobs, want %d", got, jobs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := workload.Replay(tr, workload.ReplayConfig{
+			Sched:        sched.Config{EnablePreemption: true},
+			OverrunSigma: 0.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Completed < jobs*9/10 {
+			b.Fatalf("only %d of %d jobs completed", r.Completed, jobs)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs), "ns/job")
 }
 
 // BenchmarkGangPlacement measures the plan-based placement pipeline under a

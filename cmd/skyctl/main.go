@@ -14,6 +14,12 @@
 //
 //	skyctl sched -clouds 2 -tenants gold=3,silver=1 -jobs 40 -until 15m
 //	skyctl sched -tenants a=1,b=1 -input-site cloud0 -random
+//
+// The replay subcommand streams a workload trace (generated or loaded)
+// through the scheduler and prints the per-policy survival table:
+//
+//	skyctl replay -jobs 100000 -policies backfill,preempt
+//	skyctl replay -trace trace.jsonl -cpuprofile cpu.out
 package main
 
 import (
@@ -34,6 +40,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sched" {
 		runSched(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		runReplay(os.Args[2:])
 		return
 	}
 	var (

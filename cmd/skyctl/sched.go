@@ -47,8 +47,12 @@ func runSched(args []string) {
 
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/trace on this address while the run steps")
 		traceOut    = fs.String("trace-out", "", "append scheduler decision trace JSONL to this file")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf     = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	fs.Parse(args)
+	stop := startProfiles(*cpuProf, *memProf)
+	defer stop()
 
 	weights, err := parseTenants(*tenants)
 	if err != nil {

@@ -74,6 +74,10 @@ var ErrStaleGeneration = errors.New("capacity: ledger generation moved since spe
 // idempotent.
 type Lease struct {
 	l *Ledger
+	// acct is the account the lease lives in — cached so the per-lease
+	// lifecycle transitions (commit, release, retarget-out) skip the
+	// accounts map hash on the scheduler's hot path.
+	acct *account
 
 	id    int
 	Cloud string
@@ -187,6 +191,11 @@ type timeIndex struct {
 	buckets []*idxBucket
 	bcum    []int // bcum[i] = Σ buckets[:i+1].sum()
 	n       int
+	// spare caches the last dropped bucket for reuse: small indexes
+	// oscillate between empty and one entry on every lease churn (one
+	// held-end per launch/complete round trip), and without it each swing
+	// re-allocates a bucket and both its arrays.
+	spare *idxBucket
 }
 
 // len returns the number of entries (test/oracle surface).
@@ -225,13 +234,26 @@ func (x *timeIndex) bcumShift(i, delta int) {
 	}
 }
 
+// takeSpare returns the cached spare bucket (emptied, capacity retained)
+// or a fresh one.
+func (x *timeIndex) takeSpare() *idxBucket {
+	b := x.spare
+	if b == nil {
+		return &idxBucket{}
+	}
+	x.spare = nil
+	b.ents = b.ents[:0]
+	b.cum = b.cum[:0]
+	return b
+}
+
 func (x *timeIndex) add(at sim.Time, id, cores int) {
 	x.n++
 	if len(x.buckets) == 0 {
-		x.buckets = append(x.buckets, &idxBucket{
-			ents: []timedCores{{at: at, id: id, cores: cores}},
-			cum:  []int{cores},
-		})
+		b := x.takeSpare()
+		b.ents = append(b.ents, timedCores{at: at, id: id, cores: cores})
+		b.cum = append(b.cum, cores)
+		x.buckets = append(x.buckets, b)
 		x.bcum = append(x.bcum, cores)
 		return
 	}
@@ -258,9 +280,12 @@ func (x *timeIndex) add(at sim.Time, id, cores int) {
 func (x *timeIndex) split(bi int) {
 	b := x.buckets[bi]
 	half := len(b.ents) / 2
-	nb := &idxBucket{
-		ents: append([]timedCores(nil), b.ents[half:]...),
-		cum:  make([]int, len(b.ents)-half),
+	nb := x.takeSpare()
+	nb.ents = append(nb.ents, b.ents[half:]...)
+	if n := len(b.ents) - half; cap(nb.cum) < n {
+		nb.cum = make([]int, n)
+	} else {
+		nb.cum = nb.cum[:n]
 	}
 	nb.recum(0)
 	b.ents = b.ents[:half]
@@ -292,6 +317,7 @@ func (x *timeIndex) remove(at sim.Time, id int) {
 		x.buckets = append(x.buckets[:bi], x.buckets[bi+1:]...)
 		x.bcum = x.bcum[:len(x.bcum)-1]
 		x.rebcum(bi)
+		x.spare = b
 	case len(b.ents) < idxBucketMax/4 && bi+1 < len(x.buckets) &&
 		len(b.ents)+len(x.buckets[bi+1].ents) <= idxBucketMax*3/4:
 		x.merge(bi)
@@ -311,6 +337,7 @@ func (x *timeIndex) merge(bi int) {
 	b.recum(at)
 	x.buckets = append(x.buckets[:bi+1], x.buckets[bi+2:]...)
 	x.bcum = x.bcum[:len(x.bcum)-1]
+	x.spare = nb
 }
 
 // coresBy returns the total cores of entries with at <= t.
@@ -383,6 +410,9 @@ type Ledger struct {
 	seq      int
 	accounts map[string]*account
 	order    []string
+	// orderAccts mirrors order as account pointers so the per-cycle bulk
+	// reads (FreeTotals) walk a slice instead of hashing every name.
+	orderAccts []*account
 	// gen counts cloud-set and total-capacity changes plus forced
 	// transitions (Evict/Retarget); callers cache capacity views derived
 	// from the ledger keyed on it (the scheduler's federation-wide
@@ -420,6 +450,10 @@ func (l *Ledger) AddCloud(name string, totalCores int) {
 	l.accounts[name] = &account{name: name, total: totalCores, leases: make(map[int]*Lease)}
 	l.order = append(l.order, name)
 	sort.Strings(l.order)
+	l.orderAccts = l.orderAccts[:0]
+	for _, n := range l.order {
+		l.orderAccts = append(l.orderAccts, l.accounts[n])
+	}
 	l.gen.Add(1)
 }
 
@@ -503,9 +537,8 @@ func (l *Ledger) free(cloud string) int {
 func (l *Ledger) FreeTotals(fn func(name string, free, total int)) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	for _, name := range l.order {
-		a := l.accounts[name]
-		fn(name, a.total-a.committed-a.held, a.total)
+	for _, a := range l.orderAccts {
+		fn(a.name, a.total-a.committed-a.held, a.total)
 	}
 }
 
@@ -689,7 +722,7 @@ func (l *Ledger) reserve(cloud string, cores int, at sim.Time) (*Lease, error) {
 
 func (l *Ledger) newLease(a *account, cores int, k Kind, at, end sim.Time) *Lease {
 	l.seq++
-	le := &Lease{l: l, id: l.seq, Cloud: a.name, Cores: cores, Kind: k, At: at, End: end}
+	le := &Lease{l: l, acct: a, id: l.seq, Cloud: a.name, Cores: cores, Kind: k, At: at, End: end}
 	a.leases[le.id] = le
 	*a.kindCores(k) += cores
 	a.index(le, true)
@@ -734,7 +767,7 @@ func (le *Lease) commit() error {
 	if le.closed {
 		return nil
 	}
-	a := le.l.accounts[le.Cloud]
+	a := le.acct
 	if le.Kind == Reserved {
 		if free := le.l.free(le.Cloud); free < le.Cores {
 			return fmt.Errorf("capacity: committing reservation of %d cores on %s with %d free",
@@ -764,7 +797,7 @@ func (le *Lease) release() {
 		return
 	}
 	le.closed = true
-	a := le.l.accounts[le.Cloud]
+	a := le.acct
 	delete(a.leases, le.id)
 	*a.kindCores(le.Kind) -= le.Cores
 	a.index(le, false)
@@ -915,7 +948,7 @@ func (le *Lease) Retarget(to string, cores int) (*Lease, error) {
 			return nil, fmt.Errorf("capacity: %s has %d free cores, retarget needs %d", to, free, cores)
 		}
 	}
-	src := l.accounts[le.Cloud]
+	src := le.acct
 	if cores == le.Cores {
 		delete(src.leases, le.id)
 		*src.kindCores(le.Kind) -= le.Cores

@@ -408,7 +408,7 @@ func (b *fedBackend) release(lj *launchedJob) {
 // shepherding here: nimbus admits each member deployment synchronously
 // against the federation ledger, so the cores are held from this call
 // onward.
-func (b *fedBackend) Launch(j *sched.Job, plan sched.Plan, onDone func(sched.Outcome)) (sched.Handle, error) {
+func (b *fedBackend) Launch(j *sched.Job, plan sched.Plan, onDone func(*sched.Job, sched.Outcome)) (sched.Handle, error) {
 	cores := j.Spec.CoresPerWorker
 	if cores <= 0 {
 		cores = 1
@@ -428,7 +428,7 @@ func (b *fedBackend) Launch(j *sched.Job, plan sched.Plan, onDone func(sched.Out
 		Distribution: dist,
 	}, func(vc *VirtualCluster, err error) {
 		if err != nil {
-			onDone(sched.Outcome{Err: err})
+			onDone(j, sched.Outcome{Err: err})
 			return
 		}
 		lj.vc = vc
@@ -440,7 +440,7 @@ func (b *fedBackend) Launch(j *sched.Job, plan sched.Plan, onDone func(sched.Out
 		finish := func(out sched.Outcome) {
 			b.release(lj)
 			vc.Terminate()
-			onDone(out)
+			onDone(j, out)
 		}
 		if err := vc.RunJob(mr, func(res mapreduce.Result) {
 			finish(sched.Outcome{Result: res})

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sort"
+	"strconv"
 
 	"repro/internal/capacity"
 	"repro/internal/sim"
@@ -31,8 +32,24 @@ type reservation struct {
 	at   sim.Time
 	// leases are the claim's per-member-cloud entries in the backend's
 	// capacity ledger, live until the next cycle recomputes the reservation
-	// or the job dispatches.
+	// or the job dispatches. shaded records whether the claim took leases
+	// (false once reservation aging fires) — the adoption key that lets an
+	// identical recompute inherit the previous cycle's live leases.
 	leases []*capacity.Lease
+	shaded bool
+}
+
+// membersEqual reports whether two plans place identically.
+func membersEqual(a, b []Member) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // holdReservation registers the blocked head job's future claim in the
@@ -42,9 +59,26 @@ type reservation struct {
 // but takes no ledger leases, so elastic growth stops being shaded by a
 // start estimate that keeps slipping.
 func (s *Scheduler) holdReservation(r *reservation, cpw int, shade bool) {
+	if pr := s.prevResv; pr != nil && pr.job == r.job && pr.at == r.at &&
+		pr.shaded == shade && (!shade || len(pr.leases) == len(r.plan.Members)) &&
+		membersEqual(pr.plan.Members, r.plan.Members) {
+		// Identical claim to the one the previous cycle held: adopt its
+		// live ledger leases. Reserve/Release never move the ledger
+		// generation or the free vector, so the only observable difference
+		// from a release-and-re-reserve round trip is the op count.
+		r.leases, r.shaded = pr.leases, pr.shaded
+		pr.leases = nil
+		s.prevResv = nil
+		s.resv = r
+		s.m.resvHoldReuses.Inc()
+		s.clearBackfillMemos()
+		return
+	}
+	s.releasePrevResv()
 	s.dropReservation()
 	if shade {
 		l := s.B.Ledger()
+		r.leases, s.leaseSpare = s.leaseSpare[:0], nil
 		for _, m := range r.plan.Members {
 			le, err := l.Reserve(m.Cloud, m.Workers*cpw, r.at)
 			if err != nil {
@@ -53,7 +87,21 @@ func (s *Scheduler) holdReservation(r *reservation, cpw int, shade bool) {
 			r.leases = append(r.leases, le)
 		}
 	}
+	r.shaded = shade
 	s.resv = r
+	s.clearBackfillMemos()
+}
+
+// clearBackfillMemos drops the cached backfill verdict parts on every memo
+// entry: they were computed against a reservation this cycle just replaced.
+// Under the cross-cycle seal a memo entry outlives the reservation that its
+// bf parts were judged against — the head job can change without moving the
+// sealed view (a bare Submit moves neither frees nor epochs) — so the parts
+// reset whenever a reservation is (re)established.
+func (s *Scheduler) clearBackfillMemos() {
+	for i := range s.memos {
+		s.memos[i].bfValid = false
+	}
 }
 
 // trackSlips advances the reservation-aging state for the freshly
@@ -92,7 +140,17 @@ func (s *Scheduler) dropReservation() {
 	for _, le := range s.resv.leases {
 		le.Release()
 	}
+	s.reclaimLeaseBuf(s.resv.leases)
 	s.resv = nil
+}
+
+// reclaimLeaseBuf retires a dead reservation's lease slice so the next
+// holdReservation reuses its backing array. The slice's leases must already
+// be released: the entries are overwritten, never re-read.
+func (s *Scheduler) reclaimLeaseBuf(buf []*capacity.Lease) {
+	if cap(buf) > cap(s.leaseSpare) {
+		s.leaseSpare = buf[:0]
+	}
 }
 
 // resvCache is the blocked head's reservation recompute cache. reserve()
@@ -190,22 +248,81 @@ func (s *Scheduler) cacheReservation(j *Job, v *CloudView, r *reservation) {
 type coreRelease struct {
 	at    sim.Time
 	cores int
-	cloud string
-	job   string
+	// cloudRank indexes the scheduler's sorted cloud-name table
+	// (s.relClouds); jobKey packs the job ID's digits so uint64 order
+	// equals ID-string order (see relJobKey). Both stand in for the
+	// strings the entry used to carry: a pointer-free entry makes every
+	// release-list insert, remove, and snapshot copy a plain memmove with
+	// no write barriers and leaves the GC nothing to scan in the list —
+	// the largest single barrier source on the steady-state hot path.
+	cloudRank int32
+	jobKey    uint64
+}
+
+// relJobKeyMax bounds the job sequence numbers relJobKey can order: eight
+// decimal digits fill the uint64 left-aligned.
+const relJobKeyMax = 100_000_000
+
+// relJobKey maps a job sequence number to a key whose uint64 order equals
+// the lexicographic order of the job's ID string. IDs are "J" + decimal
+// digits, so comparing IDs is comparing digit strings; left-aligning the
+// digit bytes in a big-endian word reproduces that order exactly (padding
+// bytes are 0x00 < '0', so a prefix sorts before its extensions, and equal
+// lengths compare digit-by-digit).
+func relJobKey(seq int) uint64 {
+	if seq >= relJobKeyMax {
+		// 100M jobs in one scheduler instance is far outside the design
+		// envelope (the archive alone would be tens of GB); fail loud
+		// rather than silently misorder the release list.
+		panic("sched: job sequence exceeds release-key capacity")
+	}
+	var buf [8]byte
+	n := len(strconv.AppendInt(buf[:0], int64(seq), 10))
+	key := uint64(0)
+	for i := 0; i < n; i++ {
+		key |= uint64(buf[i]) << (8 * (7 - i))
+	}
+	return key
 }
 
 // releaseLess is the canonical release order: time, then job ID, then cloud
 // for determinism — both the maintained list and the per-cycle snapshot use
-// it.
+// it. jobKey and cloudRank compare exactly like the strings they encode.
 func releaseLess(a, b coreRelease) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	if a.job != b.job {
-		return a.job < b.job
+	if a.jobKey != b.jobKey {
+		return a.jobKey < b.jobKey
 	}
-	return a.cloud < b.cloud
+	return a.cloudRank < b.cloudRank
 }
+
+// cloudRankFor returns the cloud's position in the sorted rank table,
+// inserting it on first sight. An insert shifts the ranks of every name
+// after it, so all live release entries — the maintained list and both
+// snapshot buffers (cycle-local snapshots alias them) — are remapped in
+// the same step.
+func (s *Scheduler) cloudRankFor(name string) int32 {
+	i := sort.SearchStrings(s.relClouds, name)
+	if i < len(s.relClouds) && s.relClouds[i] == name {
+		return int32(i)
+	}
+	s.relClouds = append(s.relClouds, "")
+	copy(s.relClouds[i+1:], s.relClouds[i:])
+	s.relClouds[i] = name
+	for _, rel := range [][]coreRelease{s.releases, s.relScratch, s.overScratch} {
+		for k := range rel {
+			if rel[k].cloudRank >= int32(i) {
+				rel[k].cloudRank++
+			}
+		}
+	}
+	return int32(i)
+}
+
+// relCloudName resolves a release entry's cloud name from its rank.
+func (s *Scheduler) relCloudName(rank int32) string { return s.relClouds[rank] }
 
 // insertReleases adds one entry per plan member at the job's estimated
 // completion, keeping s.releases sorted — the maintained counterpart of the
@@ -218,8 +335,9 @@ func (s *Scheduler) insertReleases(j *Job) {
 	}
 	eta := j.Started + j.estDuration
 	cpw := j.coresPerWorker()
+	key := relJobKey(j.seq)
 	for _, m := range j.Plan.Members {
-		e := coreRelease{at: eta, cores: m.Workers * cpw, cloud: m.Cloud, job: j.ID}
+		e := coreRelease{at: eta, cores: m.Workers * cpw, cloudRank: s.cloudRankFor(m.Cloud), jobKey: key}
 		i := sort.Search(len(s.releases), func(k int) bool { return releaseLess(e, s.releases[k]) })
 		s.releases = append(s.releases, coreRelease{})
 		copy(s.releases[i+1:], s.releases[i:])
@@ -233,10 +351,11 @@ func (s *Scheduler) insertReleases(j *Job) {
 // job ID) when it completes.
 func (s *Scheduler) removeReleases(j *Job) {
 	eta := j.Started + j.estDuration
-	probe := coreRelease{at: eta, job: j.ID}
+	key := relJobKey(j.seq)
+	probe := coreRelease{at: eta, jobKey: key, cloudRank: -1}
 	i := sort.Search(len(s.releases), func(k int) bool { return !releaseLess(s.releases[k], probe) })
 	n := i
-	for n < len(s.releases) && s.releases[n].at == eta && s.releases[n].job == j.ID {
+	for n < len(s.releases) && s.releases[n].at == eta && s.releases[n].jobKey == key {
 		n++
 	}
 	if n > i {
@@ -303,13 +422,18 @@ func (s *Scheduler) snapshotReleases() []coreRelease {
 // shrank below the gang, or a single-cloud policy faces a spanning-only
 // job).
 func (s *Scheduler) reserve(j *Job, v *CloudView, releases []coreRelease) (reservation, bool) {
+	if s.pool != nil && s.memoable && len(releases) >= parallelResvMin {
+		if sc, ok := s.cfg.Placement.(scratchChooser); ok {
+			return s.reservePar(j, v, releases, sc)
+		}
+	}
 	av := &s.resvView
 	av.shareIndex(v)
 	i := 0
 	for i < len(releases) {
 		at := releases[i].at
 		for i < len(releases) && releases[i].at == at {
-			if p := av.Pos(releases[i].cloud); p >= 0 {
+			if p := av.Pos(s.relCloudName(releases[i].cloudRank)); p >= 0 {
 				av.free[p] += releases[i].cores
 			}
 			i++
@@ -341,7 +465,7 @@ func (s *Scheduler) sumReleasesAt(v *CloudView, releases []coreRelease, at sim.T
 		if r.at > at {
 			break // sorted by time: nothing later counts
 		}
-		if p := v.Pos(r.cloud); p >= 0 {
+		if p := v.Pos(s.relCloudName(r.cloudRank)); p >= 0 {
 			s.relSumAtResv[p] += r.cores
 		}
 	}
@@ -351,11 +475,13 @@ func (s *Scheduler) sumReleasesAt(v *CloudView, releases []coreRelease, at sim.T
 // reservation.
 func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, v *CloudView) bool {
 	// Memo fast path: the cycle scan hands over the plan choosePlan just
-	// returned, so when the memo still matches b's shape the plan IS the
+	// returned, so when a memo entry still matches b's shape the plan IS the
 	// memoized one, and the share/capacity verdicts — fixed while the memo
 	// instance lives — are computed once per shape instead of per candidate.
-	if s.memoable && b.Spec.InputFractions == nil && s.memo.matches(b, s.boostedTenant(b)) {
-		return s.backfillOKMemo(b, &s.memo, resv, v)
+	if s.memoable && b.Spec.InputFractions == nil {
+		if m := s.memoLookup(b, s.boostedTenant(b)); m != nil {
+			return s.backfillOKMemo(b, m, resv, v)
+		}
 	}
 	shared := false
 	for _, m := range plan.Members {

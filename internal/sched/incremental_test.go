@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"testing"
 
 	"repro/internal/sim"
@@ -183,7 +184,10 @@ func oracleReleases(s *Scheduler) []coreRelease {
 		}
 		cpw := j.coresPerWorker()
 		for _, m := range j.Plan.Members {
-			out = append(out, coreRelease{at: eta, cores: m.Workers * cpw, cloud: m.Cloud, job: j.ID})
+			// cloudRankFor is idempotent here: every cloud a running job
+			// occupies is already in the rank table via insertReleases.
+			out = append(out, coreRelease{at: eta, cores: m.Workers * cpw,
+				cloudRank: s.cloudRankFor(m.Cloud), jobKey: relJobKey(j.seq)})
 		}
 	}
 	sort.Slice(out, func(i, k int) bool { return releaseLess(out[i], out[k]) })
@@ -256,7 +260,11 @@ func TestSnapshotReleasesOverdueMerge(t *testing.T) {
 	s := New(b, Config{})
 	s.AddTenant("t", 1)
 	mk := func(id string, started, est sim.Time, members ...Member) *Job {
-		j := &Job{ID: id, Spec: JobSpec{Tenant: "t", Workers: 1}, State: Running,
+		seq, err := strconv.Atoi(id[1:])
+		if err != nil {
+			t.Fatalf("test job id %q must be J<seq>", id)
+		}
+		j := &Job{ID: id, seq: seq, Spec: JobSpec{Tenant: "t", Workers: 1}, State: Running,
 			Started: started, estDuration: est, dispatched: true,
 			Plan: Plan{Members: members}}
 		s.active[id] = j
@@ -282,7 +290,7 @@ func TestSnapshotReleasesOverdueMerge(t *testing.T) {
 	}
 	// Sanity on the expected shape itself: J2 first, then the 101s group
 	// ordered J10, J10, J3, J7 by (job, cloud)… i.e. string order.
-	if got[0].job != "J2" || got[len(got)-1].job != "J9" {
+	if got[0].jobKey != relJobKey(2) || got[len(got)-1].jobKey != relJobKey(9) {
 		t.Fatalf("unexpected envelope: %v", got)
 	}
 }

@@ -45,6 +45,8 @@ type schedMetrics struct {
 	resvCacheHits         *obs.Counter
 	planMemoHits          *obs.Counter
 	parallelConflicts     *obs.Counter
+	viewSeals             *obs.Counter
+	resvHoldReuses        *obs.Counter
 
 	queuedJobs   *obs.Gauge
 	runningJobs  *obs.Gauge
@@ -72,6 +74,10 @@ func newSchedMetrics(reg *obs.Registry) schedMetrics {
 	}
 	phase := reg.HistogramVec("sky_sched_phase_seconds",
 		"Wall-clock time per scheduling phase per cycle.", phaseBuckets, "phase")
+	// Monotonic clock: observePhases only ever differences samples, and
+	// time.Since's monotonic fast path costs roughly half a wall-clock read
+	// — the clock is sampled several times per cycle, so it shows up.
+	base := time.Now()
 	return schedMetrics{
 		reg:                   reg,
 		cycles:                reg.Counter("sky_sched_cycles_total", "Scheduling cycles run."),
@@ -93,6 +99,8 @@ func newSchedMetrics(reg *obs.Registry) schedMetrics {
 		resvCacheHits:         reg.Counter("sky_sched_resv_cache_hits_total", "Blocked-head cycles served from the reservation cache."),
 		planMemoHits:          reg.Counter("sky_sched_plan_memo_hits_total", "Cycle-scan placements served from the within-cycle plan memo."),
 		parallelConflicts:     reg.Counter("sky_sched_parallel_conflicts_total", "Speculated plans invalidated by capacity movement and rescored before commit."),
+		viewSeals:             reg.Counter("sky_sched_view_seals_total", "Cycle starts whose world matched the previous cycle's sealed end state (plan memos carried over)."),
+		resvHoldReuses:        reg.Counter("sky_sched_resv_hold_reuses_total", "Blocked cycles whose recomputed reservation adopted the previous cycle's live ledger leases."),
 		queuedJobs:            reg.Gauge("sky_sched_queued_jobs", "Jobs currently queued."),
 		runningJobs:           reg.Gauge("sky_sched_running_jobs", "Jobs currently running."),
 		scoreWorkers:          reg.Gauge("sky_sched_score_workers", "Resolved plan-scoring worker pool size (1 = sequential core)."),
@@ -101,7 +109,7 @@ func newSchedMetrics(reg *obs.Registry) schedMetrics {
 		phasePreemption:       phase.With("preemption"),
 		phaseElastic:          phase.With("elastic"),
 		phaseShardScan:        phase.With("shard_scan"),
-		clock:                 func() int64 { return time.Now().UnixNano() },
+		clock:                 func() int64 { return int64(time.Since(base)) },
 	}
 }
 
@@ -200,6 +208,14 @@ func (s *Scheduler) PlanMemoHits() int { return int(s.m.planMemoHits.Value()) }
 // movement (ledger generation or working-view change) and rescored before
 // commit. Always zero in the sequential core.
 func (s *Scheduler) ParallelConflicts() int { return int(s.m.parallelConflicts.Value()) }
+
+// ViewSeals returns the cycle starts whose world matched the previous
+// cycle's sealed end state (plan memos carried across the boundary).
+func (s *Scheduler) ViewSeals() int { return int(s.m.viewSeals.Value()) }
+
+// ResvHoldReuses returns the blocked cycles whose recomputed reservation
+// adopted the previous cycle's live ledger leases instead of re-reserving.
+func (s *Scheduler) ResvHoldReuses() int { return int(s.m.resvHoldReuses.Value()) }
 
 // ScoreWorkerCount returns the resolved scoring-pool size (1 = sequential).
 func (s *Scheduler) ScoreWorkerCount() int { return int(s.m.scoreWorkers.Value()) }

@@ -81,6 +81,13 @@ const (
 	// vector moved), so speculating deep into the pick order only burns
 	// work the commit path would throw away.
 	specHeadsPerWorker = 2
+	// parallelResvMin is the release-list length from which the blocked
+	// head's reservation walk fans its per-instant placement probes across
+	// the pool (reservePar).
+	parallelResvMin = 16
+	// parallelEvictMin is the victim-candidate count from which the
+	// eviction pricer runs pool-parallel.
+	parallelEvictMin = 16
 )
 
 // poolTask is one fork-join work item: fn(w, k) runs on a worker (w keys
@@ -392,10 +399,84 @@ func (s *Scheduler) planStale(j *Job, plan Plan, v *CloudView) bool {
 }
 
 // bumpView marks a working-free-vector movement (dispatch, mid-cycle
-// re-snapshot): the plan memo and every speculated plan are now stale.
+// re-snapshot): the plan memos and every speculated plan are now stale.
 func (s *Scheduler) bumpView() {
-	s.memo.ok = false
+	s.invalidateMemos()
 	s.viewVer++
+}
+
+// invalidateMemos drops every plan memo entry without moving the view
+// version — the commit-conflict path rescores against the same frozen view.
+func (s *Scheduler) invalidateMemos() {
+	for i := range s.memos {
+		s.memos[i].ok = false
+	}
+}
+
+// reservePar is the pool-parallel backfill probe: the blocked head's
+// reservation walk asks, at each estimated release instant, whether the
+// placement policy can produce a plan from the capacity available by then.
+// The cumulative availability vectors are built sequentially (one pass over
+// the release list, identical to the sequential walk's accumulation), then
+// the per-instant Choose probes — each a pure function of (job, frozen
+// availability vector) — fan across the pool in instant-order blocks. The
+// earliest instant with a non-empty plan wins, exactly the sequential
+// walk's answer; blocks bound the work past it to one batch.
+func (s *Scheduler) reservePar(j *Job, v *CloudView, releases []coreRelease, sc scratchChooser) (reservation, bool) {
+	nc := len(v.Clouds)
+	av := &s.resvView
+	av.shareIndex(v)
+	flat := s.parResvFree[:0]
+	ats := s.parResvAt[:0]
+	i := 0
+	for i < len(releases) {
+		at := releases[i].at
+		for i < len(releases) && releases[i].at == at {
+			if p := av.Pos(s.relCloudName(releases[i].cloudRank)); p >= 0 {
+				av.free[p] += releases[i].cores
+			}
+			i++
+		}
+		flat = append(flat, av.free...)
+		ats = append(ats, at)
+	}
+	s.parResvFree, s.parResvAt = flat, ats
+	for len(s.parResvViews) < s.pool.n {
+		s.parResvViews = append(s.parResvViews, CloudView{})
+	}
+	views := s.parResvViews[:s.pool.n]
+	for w := range views {
+		views[w].Clouds, views[w].pos, views[w].names = v.Clouds, v.pos, v.names
+	}
+	block := 2 * s.pool.n
+	for len(s.parResvPlans) < block {
+		s.parResvPlans = append(s.parResvPlans, Plan{})
+	}
+	plans := s.parResvPlans[:block]
+	for start := 0; start < len(ats); start += block {
+		n := len(ats) - start
+		if n > block {
+			n = block
+		}
+		s.pool.run(n, func(w, k int) {
+			idx := start + k
+			wv := &views[w]
+			wv.free = flat[idx*nc : (idx+1)*nc]
+			var plan Plan
+			if !s.provablyEmpty(j, wv) {
+				// chooseWith copies the winning members out of the worker's
+				// scratch, so the plan is owned.
+				plan = sc.chooseWith(s, j, wv, &s.pool.scratch[w])
+			}
+			plans[k] = plan
+		})
+		for k := 0; k < n; k++ {
+			if !plans[k].Empty() {
+				return reservation{job: j.ID, jref: j, plan: plans[k], at: ats[start+k]}, true
+			}
+		}
+	}
+	return reservation{}, false
 }
 
 // choosePar is BestScore's pool-parallel single-cloud scan: contiguous

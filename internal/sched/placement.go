@@ -187,8 +187,36 @@ type placeScratch struct {
 	growMembers []Member
 	growCand    []Member
 	growBest    []Member
+	// View-position slices parallel to growMembers/growCand/growBest, so
+	// growPlan's inner loop scores without name→position lookups.
+	growIdxs    []int
+	growCandIdx []int
+	growBestIdx []int
 	nameScratch []string
 	strA, strB  []byte // betterPlan tie-break rendering
+	memberSlab  []Member
+}
+
+// persistMembers copies a scratch-backed member list into the scratch's
+// append-only slab so the returned plan survives scratch reuse without a
+// per-plan allocation. Slices are three-index capped: an append to a
+// returned plan copies out instead of clobbering the next plan's members.
+// Chunks are never reused, so escaping plans stay valid forever; the slab
+// belongs to exactly one worker, so there is no sharing to synchronize.
+func (ps *placeScratch) persistMembers(m []Member) []Member {
+	if len(m) == 0 {
+		return nil
+	}
+	if cap(ps.memberSlab)-len(ps.memberSlab) < len(m) {
+		n := 256
+		if len(m) > n {
+			n = len(m)
+		}
+		ps.memberSlab = make([]Member, 0, n)
+	}
+	n := len(ps.memberSlab)
+	ps.memberSlab = append(ps.memberSlab, m...)
+	return ps.memberSlab[n : n+len(m) : n+len(m)]
 }
 
 // scratchChooser is the policy extension the parallel scoring pool needs:
@@ -199,16 +227,24 @@ type scratchChooser interface {
 	chooseWith(s *Scheduler, j *Job, v *CloudView, ps *placeScratch) Plan
 }
 
-// planMemo is the within-cycle placement memo: between two dispatches the
-// working free vector is frozen, and for a pure policy Choose is a function
-// of the view plus the handful of job-spec fields scoring reads (worker
-// shape, input locality, shuffle volume, tenant pattern boost). A blocked
-// cycle's backfill scan walks hundreds of same-shaped queued jobs against
-// one unchanged view — under the memo the first pays for Choose and the
-// rest match on shape and reuse the plan, byte for byte the same decision.
-// Any view mutation (a dispatch's take, a mid-cycle re-snapshot) and every
-// cycle start invalidate it; jobs with per-block locality maps
-// (InputFractions) bypass it, as does any policy without PureChoose.
+// planMemoSlots sizes the plan memo table: one entry per distinct job shape
+// scored against the current frozen view, evicted round-robin. Mixed
+// workloads alternate between a handful of shapes within one backfill scan
+// (and across sealed cycles — see viewSeal), so a single entry thrashed.
+const planMemoSlots = 4
+
+// planMemo is one entry of the frozen-view placement memo: between two
+// dispatches the working free vector is frozen, and for a pure policy
+// Choose is a function of the view plus the handful of job-spec fields
+// scoring reads (worker shape, input locality, shuffle volume, tenant
+// pattern boost). A blocked cycle's backfill scan walks hundreds of
+// same-shaped queued jobs against one unchanged view — under the memo the
+// first of each shape pays for Choose and the rest match and reuse the
+// plan, byte for byte the same decision. Any view mutation (a dispatch's
+// take, a mid-cycle re-snapshot) invalidates the whole table; a cycle start
+// invalidates it unless the world is provably unchanged (viewSeal). Jobs
+// with per-block locality maps (InputFractions) bypass it, as does any
+// policy without PureChoose.
 type planMemo struct {
 	ok            bool
 	workers, cpw  int
@@ -249,16 +285,26 @@ func (s *Scheduler) boostedTenant(j *Job) bool {
 	return pt == PatternAllToAll || pt == PatternRing
 }
 
+// memoLookup returns the memo entry holding this job shape's plan, or nil.
+func (s *Scheduler) memoLookup(j *Job, boosted bool) *planMemo {
+	for i := range s.memos {
+		if s.memos[i].matches(j, boosted) {
+			return &s.memos[i]
+		}
+	}
+	return nil
+}
+
 // choosePlan is the cycle scan's Choose entry point: a memo hit returns the
 // cached plan (fresh member copy, same breakdown), a miss delegates to the
-// policy and records the answer for the rest of the frozen-view window.
+// policy and records the answer in a round-robin slot for the rest of the
+// frozen-view window.
 func (s *Scheduler) choosePlan(j *Job, v *CloudView) Plan {
 	if !s.memoable || j.Spec.InputFractions != nil {
 		return s.cfg.Placement.Choose(s, j, v)
 	}
 	boosted := s.boostedTenant(j)
-	m := &s.memo
-	if m.matches(j, boosted) {
+	if m := s.memoLookup(j, boosted); m != nil {
 		s.m.planMemoHits.Inc()
 		p := m.plan
 		if len(m.members) > 0 {
@@ -267,6 +313,8 @@ func (s *Scheduler) choosePlan(j *Job, v *CloudView) Plan {
 		return p
 	}
 	p := s.cfg.Placement.Choose(s, j, v)
+	m := &s.memos[s.memoNext]
+	s.memoNext = (s.memoNext + 1) % planMemoSlots
 	m.ok = true
 	m.workers, m.cpw = j.workers(), j.coresPerWorker()
 	m.inputSite = j.Spec.InputSite
@@ -407,14 +455,31 @@ func (s *Scheduler) ScorePlan(j *Job, members []Member, clouds []CloudInfo, free
 // builds, every cloud lookup a single index hit. The returned plan's
 // Members field aliases the caller's slice.
 func (s *Scheduler) scorePlan(j *Job, members []Member, v *CloudView) Plan {
+	var buf [8]int
+	idxs := buf[:0]
+	if len(members) > len(buf) {
+		idxs = make([]int, 0, len(members))
+	}
+	for _, m := range members {
+		idxs = append(idxs, v.Pos(m.Cloud))
+	}
+	return s.scorePlanIdx(j, members, idxs, v)
+}
+
+// scorePlanIdx is scorePlan when the caller already holds each member's view
+// position (idxs[k] = members[k]'s position, -1 for unknown): identical
+// arithmetic in identical order with the name→position lookups elided, so
+// scores stay bit-identical. growPlan's inner loop lives here — it evaluates
+// the same candidate clouds it just indexed over.
+func (s *Scheduler) scorePlanIdx(j *Job, members []Member, idxs []int, v *CloudView) Plan {
 	p := Plan{Members: members, Score: math.Inf(-1)}
 	if len(members) == 0 {
 		return p
 	}
 	cpw := j.coresPerWorker()
 	totalCores := 0
-	for _, m := range members {
-		i := v.Pos(m.Cloud)
+	for k, m := range members {
+		i := idxs[k]
 		if i < 0 || m.Workers <= 0 || v.free[i] < m.Workers*cpw || v.Clouds[i].TotalCores <= 0 {
 			return p
 		}
@@ -424,8 +489,8 @@ func (s *Scheduler) scorePlan(j *Job, members []Member, v *CloudView) Plan {
 	if s.boostedTenant(j) {
 		boost = s.cfg.PatternBoost
 	}
-	for _, m := range members {
-		i := v.Pos(m.Cloud)
+	for k, m := range members {
+		i := idxs[k]
 		share := float64(m.Workers*cpw) / float64(totalCores)
 		p.Capacity += s.cfg.CapacityWeight * share * float64(v.free[i]) / float64(v.Clouds[i].TotalCores)
 		p.Locality += j.inputFraction(m.Cloud)
@@ -513,6 +578,18 @@ func planPrice(members []Member, v *CloudView, cpw int) float64 {
 	return price
 }
 
+// planPriceIdx is planPrice with the member positions supplied — same sum,
+// same order, no lookups.
+func planPriceIdx(members []Member, idxs []int, v *CloudView, cpw int) float64 {
+	price := 0.0
+	for k, m := range members {
+		if i := idxs[k]; i >= 0 {
+			price += float64(m.Workers*cpw) * v.Clouds[i].Price
+		}
+	}
+	return price
+}
+
 // betterPlan reports whether candidate a beats b: higher score, then lower
 // price, then lexicographic member rendering for determinism. The rendering
 // comparison goes through the evaluation's byte scratch — byte-equal to
@@ -591,7 +668,7 @@ func (BestScore) chooseWith(s *Scheduler, j *Job, v *CloudView, ps *placeScratch
 	}
 	best, _ := scanSingleClouds(s, j, v, ps, workers, cpw, boost, 0, len(v.Clouds))
 	if !best.Empty() {
-		best.Members = append([]Member(nil), best.Members...)
+		best.Members = ps.persistMembers(best.Members)
 		return best
 	}
 	return scanGangClouds(s, j, v, ps, workers, cpw)
@@ -608,7 +685,7 @@ func scanGangClouds(s *Scheduler, j *Job, v *CloudView, ps *placeScratch, worker
 		if v.free[i] < cpw {
 			continue
 		}
-		p, ok := s.growPlan(j, v.Clouds[i].Name, workers, cpw, v, ps)
+		p, ok := s.growPlan(j, v.Clouds[i].Name, i, workers, cpw, v, ps)
 		if !ok {
 			continue
 		}
@@ -679,6 +756,17 @@ func planHas(members []Member, cloud string) bool {
 	return false
 }
 
+// planHasIdx is planHas over view positions — positions and names are in
+// bijection within one view, so the verdicts agree.
+func planHasIdx(idxs []int, i int) bool {
+	for _, x := range idxs {
+		if x == i {
+			return true
+		}
+	}
+	return false
+}
+
 // growPlan assembles a spanning plan anchored at the given cloud: the
 // anchor takes as many workers as it can host, then members are appended
 // greedily — each step adds the cloud that maximises the partial plan's
@@ -686,38 +774,45 @@ func planHas(members []Member, cloud string) bool {
 // together cannot host the gang. The returned plan's Members alias the
 // evaluation's scratch, valid only until the next growPlan call with the
 // same scratch — callers copy what they keep.
-func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, v *CloudView, ps *placeScratch) (Plan, bool) {
-	take := func(cloud string, remaining int) int {
-		n := v.Free(cloud) / cpw
+func (s *Scheduler) growPlan(j *Job, anchor string, anchorIdx, workers, cpw int, v *CloudView, ps *placeScratch) (Plan, bool) {
+	take := func(idx, remaining int) int {
+		n := v.free[idx] / cpw
 		if n > remaining {
 			n = remaining
 		}
 		return n
 	}
-	members := append(ps.growMembers[:0], Member{Cloud: anchor, Workers: take(anchor, workers)})
+	members := append(ps.growMembers[:0], Member{Cloud: anchor, Workers: take(anchorIdx, workers)})
+	idxs := append(ps.growIdxs[:0], anchorIdx)
 	remaining := workers - members[0].Workers
 	for remaining > 0 {
 		var bestExt Plan
 		bestPrice := 0.0
 		bestTake := 0
+		// The member prefix is loop-invariant: copy it into the candidate
+		// buffers once per round and rewrite only the tail slot per cloud.
+		cand := append(append(ps.growCand[:0], members...), Member{})
+		ps.growCand = cand[:0]
+		candIdx := append(append(ps.growCandIdx[:0], idxs...), -1)
+		ps.growCandIdx = candIdx[:0]
 		for i := range v.Clouds {
-			name := v.Clouds[i].Name
-			if planHas(members, name) {
+			if planHasIdx(candIdx[:len(candIdx)-1], i) {
 				continue
 			}
-			n := take(name, remaining)
+			n := take(i, remaining)
 			if n <= 0 {
 				continue
 			}
-			cand := append(append(ps.growCand[:0], members...), Member{Cloud: name, Workers: n})
-			ps.growCand = cand[:0]
-			p := s.scorePlan(j, cand, v)
+			cand[len(cand)-1] = Member{Cloud: v.Clouds[i].Name, Workers: n}
+			candIdx[len(candIdx)-1] = i
+			p := s.scorePlanIdx(j, cand, candIdx, v)
 			if !p.Feasible() {
 				continue
 			}
-			price := planPrice(cand, v, cpw)
+			price := planPriceIdx(cand, candIdx, v, cpw)
 			if bestExt.Empty() || ps.betterPlan(p, bestExt, price, bestPrice) {
 				ps.growBest = append(ps.growBest[:0], cand...)
+				ps.growBestIdx = append(ps.growBestIdx[:0], candIdx...)
 				p.Members = ps.growBest
 				bestExt, bestPrice, bestTake = p, price, n
 			}
@@ -726,10 +821,12 @@ func (s *Scheduler) growPlan(j *Job, anchor string, workers, cpw int, v *CloudVi
 			return Plan{}, false
 		}
 		members = append(members[:0], bestExt.Members...)
+		idxs = append(idxs[:0], ps.growBestIdx...)
 		remaining -= bestTake
 	}
 	ps.growMembers = members
-	return s.scorePlan(j, members, v), true
+	ps.growIdxs = idxs
+	return s.scorePlanIdx(j, members, idxs, v), true
 }
 
 // RandomPlacement is the locality-oblivious, single-cloud baseline: a

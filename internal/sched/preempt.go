@@ -94,8 +94,25 @@ func (s *Scheduler) chooseVictims(head *Job, v *CloudView) ([]*Job, map[*Job]flo
 	now := s.K.Now()
 	shares, entitled := s.Shares(), s.EntitledShares()
 	prices := make(map[*Job]float64, len(cand))
-	for _, j := range cand {
-		prices[j] = s.evictPrice(j, now, shares, entitled)
+	if s.pool != nil && len(cand) >= parallelEvictMin {
+		// Pool-parallel pricing: each candidate's price is pure arithmetic
+		// over its own record and the two read-only share maps, written to
+		// an index-aligned slot — order-independent, so the fan-out cannot
+		// perturb the sort below.
+		for len(s.evictPrices) < len(cand) {
+			s.evictPrices = append(s.evictPrices, 0)
+		}
+		pr := s.evictPrices[:len(cand)]
+		s.pool.run(len(cand), func(_, k int) {
+			pr[k] = s.evictPrice(cand[k], now, shares, entitled)
+		})
+		for i, j := range cand {
+			prices[j] = pr[i]
+		}
+	} else {
+		for _, j := range cand {
+			prices[j] = s.evictPrice(j, now, shares, entitled)
+		}
 	}
 	sort.Slice(cand, func(i, k int) bool {
 		if prices[cand[i]] != prices[cand[k]] {

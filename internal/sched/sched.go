@@ -28,6 +28,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/capacity"
@@ -366,9 +367,12 @@ type Backend interface {
 	Bandwidth(a, b string) float64
 	// Launch provisions the job's workers per the plan (one virtual
 	// cluster spanning every member cloud), runs the payload, releases the
-	// workers, and reports the outcome. The returned handle drives elastic
-	// grow/shrink while the job runs.
-	Launch(j *Job, plan Plan, onDone func(Outcome)) (Handle, error)
+	// workers, and reports the outcome. onDone receives the job back so
+	// one callback value serves every launch (the scheduler passes the
+	// same pre-bound function each time instead of allocating a per-job
+	// closure). The returned handle drives elastic grow/shrink while the
+	// job runs.
+	Launch(j *Job, plan Plan, onDone func(*Job, Outcome)) (Handle, error)
 }
 
 // cloudAppender is the allocation-free variant of Backend.Clouds: backends
@@ -574,7 +578,13 @@ type Scheduler struct {
 	// resv is the blocked head job's future claim, held as first-class
 	// leases in the backend's capacity ledger between cycles (see
 	// backfill.go). Each cycle refreshes it against current estimates.
-	resv *reservation
+	// prevResv is the previous cycle's claim, detached (leases still live)
+	// at cycle start: when this cycle recomputes an identical claim,
+	// holdReservation adopts the live leases instead of paying a ledger
+	// release-and-re-reserve round trip per blocked cycle; anything not
+	// adopted is released at cycle end.
+	resv     *reservation
+	prevResv *reservation
 
 	// Reservation aging: agingJob/agingAt/agingSlips track how many
 	// consecutive recomputes moved the same head job's reserved start later.
@@ -606,18 +616,23 @@ type Scheduler struct {
 	// relSnapDirty marks a mid-cycle insert, telling the cycle its release
 	// snapshot is stale.
 	releases     []coreRelease
+	relClouds    []string // sorted cloud-name table backing coreRelease.cloudRank
 	relSnapDirty bool
 
 	// Blocked-head watermark: freedCum is a cumulative clock of free-core
 	// gains observed at cycle starts (completions, shrinks, revocations,
 	// resizes — measured as snapshot-vs-previous-cycle-end, so capacity
-	// added behind the scheduler's back counts too); prevFree is the
-	// previous cycle's end-of-cycle free vector it diffs against. freedBy
-	// is the same clock kept per cloud, so single-cloud-only policies can
-	// ignore frees on clouds their jobs can never use (see canFit).
-	freedCum int64
-	prevFree map[string]int
-	freedBy  map[string]int64
+	// added behind the scheduler's back counts too); prevFreeNames/Vals are
+	// the previous cycle's end-of-cycle free vector it diffs against, kept
+	// as parallel slices in first-seen cloud order (view order in practice,
+	// so the per-cycle diff and save run on index matches instead of map
+	// hashes). freedBy is the same clock kept per cloud, so
+	// single-cloud-only policies can ignore frees on clouds their jobs can
+	// never use (see canFit).
+	freedCum      int64
+	prevFreeNames []string
+	prevFreeVals  []int
+	freedBy       map[string]int64
 
 	// singleCloud records that the placement policy never spans (optional
 	// SingleCloudOnly interface), enabling the per-cloud watermark marks.
@@ -634,6 +649,10 @@ type Scheduler struct {
 	overScratch  []coreRelease // snapshotReleases overdue-remap buffer
 	runScratch   []*Job        // elasticTick iteration copy
 	relSumAtResv []int         // per-cloud release sum at resv.at (backfill)
+	idBuf        []byte        // Submit's job-ID formatting buffer
+	jobArena     []Job         // current Job allocation chunk (see Submit)
+	doneCB       func(*Job, Outcome)
+	leaseSpare   []*capacity.Lease // retired reservation-lease backing array, reused by holdReservation
 
 	// place is the sequential cycle's placement scratch (see
 	// BestScore.chooseWith / growPlan); the parallel scoring pool's workers
@@ -645,10 +664,17 @@ type Scheduler struct {
 	// would return empty, letting the blocked paths skip scoring outright.
 	prover fitProver
 
-	// memo is the within-cycle plan memo (see planMemo); memoable gates it
-	// on placement-policy purity.
-	memo     planMemo
+	// memos is the plan memo table (see planMemo): one entry per recently
+	// scored job shape, evicted round-robin, all invalidated whenever the
+	// working free vector moves. memoable gates it on placement-policy
+	// purity. seal extends memo lifetime across cycles: when a new cycle's
+	// world (cloud snapshot, free vector, ledger generation, release epoch)
+	// is byte-identical to the previous cycle's end state, the view bump is
+	// skipped and every memo entry survives — unchanged views never rescore.
+	memos    [planMemoSlots]planMemo
+	memoNext int
 	memoable bool
+	seal     viewSeal
 
 	// Parallel sharded core (see parallel.go). pool is nil when
 	// Config.ScoreWorkers resolves to 1 — the sequential scheduler, with
@@ -675,6 +701,15 @@ type Scheduler struct {
 	specEntries []specEntry
 	parPlans    []Plan
 	parPrices   []float64
+	// Parallel backfill-probe scratch (reservePar): the flat per-instant
+	// availability matrix, the instant list, per-worker probe views, and the
+	// per-block plan results. evictPrices is the parallel eviction pricer's
+	// index-aligned output buffer.
+	parResvFree  []int
+	parResvAt    []sim.Time
+	parResvViews []CloudView
+	parResvPlans []Plan
+	evictPrices  []float64
 
 	// extMu serializes external drivers (Sync): goroutines outside the
 	// kernel thread submit and poll through it under -race stress.
@@ -688,6 +723,7 @@ type Scheduler struct {
 	slotsOK     bool
 
 	cyclePending  bool
+	cycleFn       func() // s.cycle as a value, built once (kick is hot)
 	elasticOn     bool
 	cancelElastic func()
 	patternOf     map[string]string // tenant -> detected pattern
@@ -715,12 +751,15 @@ func New(b Backend, cfg Config) *Scheduler {
 		tenants:   make(map[string]*Tenant),
 		active:    make(map[string]*Job),
 		archive:   make(map[string]*Job),
-		prevFree:  make(map[string]int),
 		freedBy:   make(map[string]int64),
 		patternOf: make(map[string]string),
 		m:         newSchedMetrics(cfg.Obs),
 		tr:        cfg.Trace,
 	}
+	s.cycleFn = s.cycle
+	// One completion callback for every launch: dispatch hands this to
+	// Backend.Launch instead of closing over each job.
+	s.doneCB = func(j *Job, out Outcome) { s.complete(j, out) }
 	if sc, ok := s.cfg.Placement.(interface{ SingleCloudOnly() bool }); ok {
 		s.singleCloud = sc.SingleCloudOnly()
 	}
@@ -827,16 +866,25 @@ func (s *Scheduler) Submit(spec JobSpec) (string, error) {
 		t = s.AddTenant(spec.Tenant, 1)
 	}
 	s.seq++
-	j := &Job{
-		ID:        fmt.Sprintf("J%d", s.seq),
+	s.idBuf = strconv.AppendInt(append(s.idBuf[:0], 'J'), int64(s.seq), 10)
+	// Jobs are carved from an arena chunk: one allocation per 128 jobs
+	// instead of one each. A chunk is never appended past its capacity, so
+	// &chunk[i] stays stable for the job's lifetime.
+	if len(s.jobArena) == cap(s.jobArena) {
+		s.jobArena = make([]Job, 0, 128)
+	}
+	s.jobArena = append(s.jobArena, Job{
+		ID:        string(s.idBuf),
 		seq:       s.seq,
 		tref:      t,
 		Spec:      spec,
 		State:     Queued,
 		Submitted: s.K.Now(),
-	}
+	})
+	j := &s.jobArena[len(s.jobArena)-1]
 	if !spec.External() {
 		if fits, have := s.fitsFederation(j); !fits {
+			s.jobArena = s.jobArena[:len(s.jobArena)-1]
 			return "", fmt.Errorf("sched: job needs %d cores; the whole federation can gang at most %d", j.Cores(), have)
 		}
 	}
@@ -911,7 +959,7 @@ func (s *Scheduler) kick() {
 		return
 	}
 	s.cyclePending = true
-	s.K.Schedule(0, s.cycle)
+	s.K.Schedule(0, s.cycleFn)
 }
 
 // cycle is the scheduling pass: serve tenants in fair-share order, place and
@@ -931,11 +979,24 @@ func (s *Scheduler) cycle() {
 	s.m.cycles.Inc()
 	t0 := s.m.clock()
 	var resvNanos, preemptNanos int64
-	s.dropReservation()
+	// Detach (not release) the previous cycle's reservation: when this
+	// cycle recomputes an identical claim — the blocked steady state —
+	// holdReservation adopts the live ledger leases instead of paying a
+	// release-and-re-reserve round trip. Whatever is not adopted is
+	// released at cycle end (post-cycle ledger state is identical either
+	// way; reservations never block the holder's own acquire).
+	s.prevResv, s.resv = s.resv, nil
 	s.dropShields()
 	v := &s.view
 	v.Reset(s.snapshotClouds())
-	s.bumpView()
+	if s.sealMatches(v) {
+		// The world this cycle sees is byte-identical to the one the
+		// previous cycle left: every plan memo entry is still the answer
+		// Choose would compute, so the view version stays put.
+		s.m.viewSeals.Inc()
+	} else {
+		s.bumpView()
+	}
 	s.decayTenants()
 	s.observeFrees(v)
 	s.speculateHeads(v)
@@ -971,7 +1032,7 @@ func (s *Scheduler) cycle() {
 					plan, s.planGen = p, gen
 					if s.planStale(j, plan, v) {
 						s.m.parallelConflicts.Inc()
-						s.memo.ok = false
+						s.invalidateMemos()
 						plan = s.choosePlan(j, v)
 					}
 				} else {
@@ -1063,8 +1124,76 @@ func (s *Scheduler) cycle() {
 		}
 		t.scan++
 	}
+	s.releasePrevResv()
 	s.saveEndFrees(v)
+	s.sealRecord(v)
 	s.m.observePhases(s.m.clock()-t0, resvNanos, preemptNanos)
+}
+
+// viewSeal is the end-of-cycle world record behind the cross-cycle memo
+// seal: the exact cloud snapshot (names, totals, speeds, prices), the
+// working free vector, the capacity ledger generation, and the release
+// epoch the previous cycle ended under. A new cycle whose fresh snapshot
+// matches all of it proves every input a pure placement policy reads is
+// unchanged, so memoized plans survive the cycle boundary.
+type viewSeal struct {
+	ok     bool
+	gen    uint64
+	epoch  uint64
+	clouds []CloudInfo
+	free   []int
+}
+
+// sealMatches reports whether the fresh cycle view is byte-identical to the
+// sealed end state of the previous cycle — the condition under which
+// skipping the cycle-start view bump is sound. Mirrors resvCacheValid's
+// overdue-release guard: once a release entry is overdue, downstream
+// snapshots fold the current time in and stop being pure view functions.
+func (s *Scheduler) sealMatches(v *CloudView) bool {
+	if !s.memoable || !s.seal.ok {
+		return false
+	}
+	if s.seal.gen != s.B.Ledger().Generation() || s.seal.epoch != s.resvEpoch {
+		return false
+	}
+	if len(s.releases) > 0 && s.releases[0].at <= s.K.Now() {
+		return false
+	}
+	if len(s.seal.clouds) != len(v.Clouds) {
+		return false
+	}
+	for i, c := range v.Clouds {
+		if s.seal.clouds[i] != c || s.seal.free[i] != v.free[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sealRecord captures the end-of-cycle world for sealMatches.
+func (s *Scheduler) sealRecord(v *CloudView) {
+	if !s.memoable {
+		return
+	}
+	s.seal.ok = true
+	s.seal.gen = s.B.Ledger().Generation()
+	s.seal.epoch = s.resvEpoch
+	s.seal.clouds = append(s.seal.clouds[:0], v.Clouds...)
+	s.seal.free = append(s.seal.free[:0], v.free...)
+}
+
+// releasePrevResv releases a detached previous-cycle reservation that no
+// holdReservation adopted this cycle (the head dispatched, changed, or
+// moved its claim).
+func (s *Scheduler) releasePrevResv() {
+	if s.prevResv == nil {
+		return
+	}
+	for _, le := range s.prevResv.leases {
+		le.Release()
+	}
+	s.reclaimLeaseBuf(s.prevResv.leases)
+	s.prevResv = nil
 }
 
 // dropShields releases eviction shields carried over from the previous
@@ -1083,18 +1212,48 @@ func (s *Scheduler) dropShields() {
 // snapshot-vs-saved-vector gains.
 func (s *Scheduler) observeFrees(v *CloudView) {
 	for i, c := range v.Clouds {
-		if d := v.free[i] - s.prevFree[c.Name]; d > 0 {
+		prev := 0
+		if i < len(s.prevFreeNames) && s.prevFreeNames[i] == c.Name {
+			prev = s.prevFreeVals[i]
+		} else if j := s.prevFreeIdx(c.Name); j >= 0 {
+			prev = s.prevFreeVals[j]
+		}
+		if d := v.free[i] - prev; d > 0 {
 			s.freedCum += int64(d)
 			s.freedBy[c.Name] += int64(d)
 		}
 	}
 }
 
+// prevFreeIdx finds a cloud's slot in the saved free vector (-1 when the
+// cloud has never appeared in a snapshot). Linear: federations are small
+// and the caller's index fast path already covers the steady state.
+func (s *Scheduler) prevFreeIdx(name string) int {
+	for i, n := range s.prevFreeNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
 // saveEndFrees records the end-of-cycle free vector the next cycle diffs
-// against.
+// against. Slots for clouds that left the snapshot are kept, matching the
+// old map semantics: a cloud that reappears diffs against its last known
+// value, not zero.
 func (s *Scheduler) saveEndFrees(v *CloudView) {
 	for i, c := range v.Clouds {
-		s.prevFree[c.Name] = v.free[i]
+		switch {
+		case i < len(s.prevFreeNames) && s.prevFreeNames[i] == c.Name:
+			s.prevFreeVals[i] = v.free[i]
+		default:
+			if j := s.prevFreeIdx(c.Name); j >= 0 {
+				s.prevFreeVals[j] = v.free[i]
+			} else {
+				s.prevFreeNames = append(s.prevFreeNames, c.Name)
+				s.prevFreeVals = append(s.prevFreeVals, v.free[i])
+			}
+		}
 	}
 }
 
@@ -1195,7 +1354,7 @@ func (s *Scheduler) dispatch(t *Tenant, j *Job, plan Plan, backfilled bool, v *C
 	}
 	s.addRunning(j)
 	s.insertReleases(j)
-	h, err := s.B.Launch(j, plan, func(out Outcome) { s.complete(j, out) })
+	h, err := s.B.Launch(j, plan, s.doneCB)
 	if err != nil {
 		s.complete(j, Outcome{Err: err})
 		return

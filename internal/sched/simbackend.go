@@ -42,9 +42,12 @@ type SimBackend struct {
 	// Launches counts Launch calls.
 	Launches int
 
-	// Launch-time estimate scratch, reused across launches.
+	// Launch-time estimate view, rebuilt only when the cloud set changes:
+	// planEstimateSeconds reads nothing but static attributes (name, speed)
+	// from it, so the free cores it carries are allowed to go stale.
 	view        CloudView
 	snapScratch []CloudInfo
+	viewClouds  int // cloud count the view was built against
 }
 
 // SimCloud is one synthetic cloud. Resize mid-run with SetTotal (tests
@@ -167,12 +170,15 @@ type SimHandle struct {
 	plan Plan
 	// base holds the plan's member-cloud leases (estimated ends at the
 	// job's ETA); extras lists elastic-growth leases in grow order (shrink
-	// releases from the end).
+	// releases from the end). baseBuf inlines base's storage for the
+	// common narrow plan so Launch allocates no lease slice.
 	base     []*capacity.Lease
+	baseBuf  [4]*capacity.Lease
 	extras   []*capacity.Lease
 	started  sim.Time
 	duration sim.Time
 	finished bool
+	onDone   func(*Job, Outcome)
 
 	GrowCalls   int
 	ShrinkCalls int
@@ -348,55 +354,71 @@ func (h *SimHandle) Progress() (int, int, int, int) {
 	return md, mt, rd, rt
 }
 
+// rollback releases the base leases acquired so far by a failing Launch.
+func (h *SimHandle) rollback() {
+	for _, prev := range h.base {
+		prev.Release()
+	}
+}
+
 // Launch implements Backend: acquire a lease on every member cloud
 // (estimated end at the job's ETA, so future probes see the hand-back),
 // run for the plan-level estimate (slowest member speed + uncovered-input
 // streaming + cross-site shuffle), release everything at completion.
-func (b *SimBackend) Launch(j *Job, plan Plan, onDone func(Outcome)) (Handle, error) {
+func (b *SimBackend) Launch(j *Job, plan Plan, onDone func(*Job, Outcome)) (Handle, error) {
 	per := j.coresPerWorker()
-	b.snapScratch = b.AppendClouds(b.snapScratch[:0])
-	b.view.Reset(b.snapScratch)
+	if b.viewClouds != len(b.clouds) {
+		b.snapScratch = b.AppendClouds(b.snapScratch[:0])
+		b.view.Reset(b.snapScratch)
+		b.viewClouds = len(b.clouds)
+	}
 	secs := planEstimateSeconds(b, j, plan, &b.view)
 	h := &SimHandle{b: b, j: j, plan: plan, started: b.k.Now(), duration: sim.FromSeconds(secs)}
+	if n := len(plan.Members); n <= len(h.baseBuf) {
+		h.base = h.baseBuf[:0]
+	} else {
+		h.base = make([]*capacity.Lease, 0, n)
+	}
 	eta := h.started + h.duration // the estimate, even when the run overruns
 	if b.Overrun != nil {
 		if f := b.Overrun(j); f > 0 {
 			h.duration = sim.FromSeconds(secs * f)
 		}
 	}
-	rollback := func() {
-		for _, prev := range h.base {
-			prev.Release()
-		}
-	}
 	for _, m := range plan.Members {
 		if b.Cloud(m.Cloud) == nil {
-			rollback()
+			h.rollback()
 			return nil, fmt.Errorf("sched: unknown cloud %q", m.Cloud)
 		}
 		need := m.Workers * per
 		le, err := b.ledger.AcquireUntil(m.Cloud, need, eta)
 		if err != nil {
-			rollback()
+			h.rollback()
 			return nil, fmt.Errorf("sched: %s has %d free cores, plan slice needs %d",
 				m.Cloud, b.ledger.Free(m.Cloud), need)
 		}
 		h.base = append(h.base, le)
 	}
 	b.Launches++
-	b.k.Schedule(h.duration, func() {
-		if h.finished {
-			return
-		}
-		h.finished = true
-		for _, le := range h.base {
-			le.Release()
-		}
-		for _, le := range h.extras {
-			le.Release()
-		}
-		h.extras = nil
-		onDone(Outcome{Result: mapreduce.Result{Job: j.Spec.Name, Makespan: h.duration}})
-	})
+	h.onDone = onDone
+	b.k.ScheduleCall(h.duration, h)
 	return h, nil
+}
+
+// Fire implements sim.Callee: the run's scheduled completion. Release every
+// lease and deliver the outcome. Scheduling the handle itself avoids the
+// per-launch completion closure the hot path used to allocate.
+func (h *SimHandle) Fire() {
+	if h.finished {
+		return
+	}
+	h.finished = true
+	for _, le := range h.base {
+		le.Release()
+	}
+	for _, le := range h.extras {
+		le.Release()
+	}
+	h.extras = nil
+	h.onDone(h.j, Outcome{Result: mapreduce.Result{Job: h.j.Spec.Name, Makespan: h.duration}})
 }

@@ -57,8 +57,22 @@ func (v *CloudView) shareIndex(src *CloudView) {
 	v.free = append(v.free[:0], src.free...)
 }
 
+// posSmallMax is the federation size up to which Pos scans the name slice
+// instead of hashing into the map: snapshot names alias the same string
+// headers cycle after cycle, so the scan usually resolves on pointer-equal
+// comparisons and beats the hash for small cloud counts.
+const posSmallMax = 8
+
 // Pos returns the cloud's position in Clouds, or -1 when unknown.
 func (v *CloudView) Pos(name string) int {
+	if len(v.names) <= posSmallMax {
+		for i, n := range v.names {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
 	if i, ok := v.pos[name]; ok {
 		return i
 	}
@@ -67,7 +81,7 @@ func (v *CloudView) Pos(name string) int {
 
 // Free returns the working free cores for a cloud (0 when unknown).
 func (v *CloudView) Free(name string) int {
-	if i, ok := v.pos[name]; ok {
+	if i := v.Pos(name); i >= 0 {
 		return v.free[i]
 	}
 	return 0
@@ -78,7 +92,7 @@ func (v *CloudView) FreeAt(i int) int { return v.free[i] }
 
 // take decrements the working free vector for a dispatched plan slice.
 func (v *CloudView) take(name string, cores int) {
-	if i, ok := v.pos[name]; ok {
+	if i := v.Pos(name); i >= 0 {
 		v.free[i] -= cores
 	}
 }

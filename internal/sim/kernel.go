@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -35,12 +34,18 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // String renders the time as seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
+// Callee is a pre-bound event target for AtCall/ScheduleCall. Storing an
+// existing pointer behind the interface is allocation-free, where wrapping
+// the same call in a func() closure costs one heap object per schedule —
+// the difference matters on per-job hot paths under million-event replays.
+type Callee interface{ Fire() }
+
 // Event is a scheduled callback. It can be cancelled before it fires.
 type Event struct {
 	at        Time
 	seq       uint64
 	fn        func()
-	index     int // heap index; -1 once popped or cancelled
+	callee    Callee
 	cancelled bool
 }
 
@@ -54,33 +59,70 @@ func (e *Event) Cancel() { e.cancelled = true }
 // Cancelled reports whether Cancel was called.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
+// eventHeap is a 4-ary min-heap ordered by (at, seq). Because seq is unique,
+// that order is strict and total, so pop order is exactly sorted order — the
+// heap's internal layout (arity, sift strategy) cannot affect which event
+// fires next. That freedom is spent on speed: concrete types instead of
+// container/heap's interface dispatch, a 4-ary layout for half the levels of
+// a binary heap, and hole-based sifting that moves each displaced element
+// once instead of swapping pairs.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires strictly before b.
+func eventBefore(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (h *eventHeap) push(e *Event) {
+	hh := append(*h, nil)
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventBefore(e, hh[p]) {
+			break
+		}
+		hh[i] = hh[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	hh[i] = e
+	*h = hh
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() *Event {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	last := hh[n]
+	hh[n] = nil // release the arena-chunk reference
+	hh = hh[:n]
+	*h = hh
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m, me := c, hh[c]
+		for j := c + 1; j < end; j++ {
+			if eventBefore(hh[j], me) {
+				m, me = j, hh[j]
+			}
+		}
+		if !eventBefore(me, last) {
+			break
+		}
+		hh[i] = me
+		i = m
+	}
+	hh[i] = last
+	return top
 }
 
 // Kernel is the discrete-event scheduler. It is not safe for concurrent use:
@@ -92,7 +134,18 @@ type Kernel struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+	// arena is the event allocation block: At carves Events out of it in
+	// chunks instead of one heap object per schedule, which was the single
+	// largest allocation source under million-event replays. Events are
+	// never recycled (a fired chunk slot stays dead), so a held *Event
+	// stays valid to Cancel forever.
+	arena []Event
 }
+
+// eventArenaSize is the chunk size At allocates Events in. A chunk is
+// retained until every event carved from it is unreachable, so the size
+// trades allocation count against worst-case stranded memory per chunk.
+const eventArenaSize = 256
 
 // NewKernel returns a kernel with virtual time 0 and a deterministic RNG
 // seeded with seed.
@@ -125,12 +178,41 @@ func (k *Kernel) Schedule(delay Time, fn func()) *Event {
 
 // At runs fn at absolute virtual time t. Times in the past are clamped to now.
 func (k *Kernel) At(t Time, fn func()) *Event {
+	e := k.newEvent(t)
+	e.fn = fn
+	k.events.push(e)
+	return e
+}
+
+// AtCall is At for a pre-bound target: c.Fire() runs at absolute time t.
+func (k *Kernel) AtCall(t Time, c Callee) *Event {
+	e := k.newEvent(t)
+	e.callee = c
+	k.events.push(e)
+	return e
+}
+
+// ScheduleCall is Schedule for a pre-bound target: c.Fire() runs after
+// delay units of virtual time.
+func (k *Kernel) ScheduleCall(delay Time, c Callee) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.AtCall(k.now+delay, c)
+}
+
+// newEvent carves the next arena slot and stamps its time and sequence.
+func (k *Kernel) newEvent(t Time) *Event {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn}
-	heap.Push(&k.events, e)
+	if len(k.arena) == 0 {
+		k.arena = make([]Event, eventArenaSize)
+	}
+	e := &k.arena[0]
+	k.arena = k.arena[1:]
+	e.at, e.seq = t, k.seq
 	return e
 }
 
@@ -138,13 +220,23 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 // It returns false when the queue is empty.
 func (k *Kernel) Step() bool {
 	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*Event)
+		e := k.events.pop()
 		if e.cancelled {
+			e.fn, e.callee = nil, nil
 			continue
 		}
 		k.now = e.at
 		k.fired++
-		e.fn()
+		fn, c := e.fn, e.callee
+		// Drop the callback references before firing: the arena chunk
+		// holding this event may outlive it, and pinning every fired
+		// closure until the chunk drains would defeat the arena.
+		e.fn, e.callee = nil, nil
+		if c != nil {
+			c.Fire()
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false

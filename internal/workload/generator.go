@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// The generator runs each tenant's arrival process as an
+// inhomogeneous-Poisson stream on a private sim.Kernel, using Lewis-Shedler
+// thinning: candidate arrivals fire at the tenant's peak rate λmax and each
+// is accepted with probability λ(t)/λmax, where
+//
+//	λ(t) = base · (1 + A·cos(2π·(hour(t) − peak)/24)) · burst(t)
+//
+// — a diurnal curve peaking at PeakHour, multiplied by BurstFactor while a
+// burst episode (its own Poisson process) is open. All randomness draws
+// from the kernel's seeded RNG inside kernel callbacks, so the interleaving
+// of tenants, bursts, and storms is fixed by (time, schedule order) and the
+// emitted trace is a pure function of Config.
+
+// TenantProfile shapes one tenant's arrival curve and job-size
+// distributions. Zero values take the documented defaults, so a profile
+// needs only Name and BaseRatePerHour to be useful.
+type TenantProfile struct {
+	Name   string
+	Weight float64 // fair-share weight (0 = 1)
+
+	// Arrival curve.
+	BaseRatePerHour  float64 // mean submissions/hour at the diurnal midline
+	DiurnalAmplitude float64 // A in [0,1]: 0 = flat, 1 = rate swings 0..2x base
+	PeakHour         float64 // hour of virtual day the rate peaks (0 = midnight)
+
+	// Burst episodes: a Poisson process at BurstRatePerHour opens episodes
+	// whose lengths are exponential with mean BurstMeanMinutes (0 = 10);
+	// while one is open the arrival rate is multiplied by BurstFactor
+	// (<= 1 disables bursts).
+	BurstRatePerHour float64
+	BurstFactor      float64
+	BurstMeanMinutes float64
+
+	// Job width: log-normal worker count, exp(N(WorkersLogMean,
+	// WorkersLogSigma)), rounded and clamped to [1, MaxWorkers] (0 = 32).
+	// Sigma 0 with mean 0 degenerates to single-worker jobs.
+	WorkersLogMean  float64
+	WorkersLogSigma float64
+	MaxWorkers      int
+	CoresPerWorker  int // 0 = 1
+
+	// Job length: Pareto(MinSeconds, ParetoAlpha) runtime estimates,
+	// truncated at MaxSeconds. Defaults: 30 s scale, tail index 1.8,
+	// 4 h cap. Alpha near 1 makes the tail heavy enough that a handful of
+	// jobs carry most of the core-seconds.
+	MinSeconds  float64
+	ParetoAlpha float64
+	MaxSeconds  float64
+
+	// SpotFraction of submissions request revocable spot workers at SpotBid
+	// (0 bid = 0.05).
+	SpotFraction float64
+	SpotBid      float64
+}
+
+// StormProfile shapes correlated spot-revocation storms: a Poisson process
+// at RatePerHour; each storm strikes one cloud drawn uniformly from Clouds
+// and revokes one worker from up to MaxStrikes running spot jobs placed
+// there (0 = every one). Zero RatePerHour or empty Clouds disables storms.
+type StormProfile struct {
+	RatePerHour float64
+	Clouds      []string
+	MaxStrikes  int
+}
+
+// Config drives Generate.
+type Config struct {
+	Seed        int64
+	Description string
+
+	// Horizon bounds virtual arrival time (0 = 24 h). MaxJobs additionally
+	// caps total submissions (0 = horizon only) — generation stops at
+	// whichever comes first.
+	Horizon sim.Time
+	MaxJobs int
+
+	Tenants []TenantProfile
+	Storms  StormProfile
+}
+
+func (p TenantProfile) withDefaults() TenantProfile {
+	if p.Weight <= 0 {
+		p.Weight = 1
+	}
+	if p.DiurnalAmplitude < 0 {
+		p.DiurnalAmplitude = 0
+	}
+	if p.DiurnalAmplitude > 1 {
+		p.DiurnalAmplitude = 1
+	}
+	if p.BurstFactor < 1 {
+		p.BurstFactor = 1
+	}
+	if p.BurstMeanMinutes <= 0 {
+		p.BurstMeanMinutes = 10
+	}
+	if p.MaxWorkers <= 0 {
+		p.MaxWorkers = 32
+	}
+	if p.CoresPerWorker <= 0 {
+		p.CoresPerWorker = 1
+	}
+	if p.MinSeconds <= 0 {
+		p.MinSeconds = 30
+	}
+	if p.ParetoAlpha <= 0 {
+		p.ParetoAlpha = 1.8
+	}
+	if p.MaxSeconds <= 0 {
+		p.MaxSeconds = 4 * 3600
+	}
+	if p.SpotBid <= 0 {
+		p.SpotBid = 0.05
+	}
+	return p
+}
+
+// Generate runs the arrival processes to the horizon and returns the
+// time-ordered trace. Panics on an empty tenant set or a tenant without a
+// positive base rate — a generator config bug, not an input file.
+func Generate(cfg Config) *Trace {
+	if len(cfg.Tenants) == 0 {
+		panic("workload: Generate needs at least one tenant profile")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 24 * sim.Hour
+	}
+	k := sim.NewKernel(cfg.Seed)
+	rng := k.Rand()
+	tr := &Trace{Header: Header{
+		Version:     TraceVersion,
+		Seed:        cfg.Seed,
+		Description: cfg.Description,
+	}}
+	// Exponential inter-arrival for a per-hour rate, in sim.Time units.
+	expGap := func(perHour float64) sim.Time {
+		return sim.Time(rng.ExpFloat64() / perHour * float64(sim.Hour))
+	}
+	submits := 0
+	for ti := range cfg.Tenants {
+		p := cfg.Tenants[ti].withDefaults()
+		if p.Name == "" || p.BaseRatePerHour <= 0 {
+			panic(fmt.Sprintf("workload: tenant %d needs Name and BaseRatePerHour", ti))
+		}
+		tr.Header.Tenants = append(tr.Header.Tenants, Tenant{Name: p.Name, Weight: p.Weight})
+		lambdaMax := p.BaseRatePerHour * (1 + p.DiurnalAmplitude) * p.BurstFactor
+		burstUntil := sim.Time(-1)
+		jobSeq := 0
+		// Candidate stream at λmax, thinned to λ(t).
+		var candidate func()
+		candidate = func() {
+			now := k.Now()
+			if now > cfg.Horizon || (cfg.MaxJobs > 0 && submits >= cfg.MaxJobs) {
+				return
+			}
+			hour := now.Seconds() / 3600
+			rate := p.BaseRatePerHour *
+				(1 + p.DiurnalAmplitude*math.Cos(2*math.Pi*(hour-p.PeakHour)/24))
+			if now < burstUntil {
+				rate *= p.BurstFactor
+			}
+			if rng.Float64()*lambdaMax < rate {
+				jobSeq++
+				workers := 1
+				if p.WorkersLogSigma > 0 || p.WorkersLogMean > 0 {
+					w := math.Exp(p.WorkersLogMean + p.WorkersLogSigma*rng.NormFloat64())
+					workers = int(math.Round(w))
+				}
+				if workers < 1 {
+					workers = 1
+				}
+				if workers > p.MaxWorkers {
+					workers = p.MaxWorkers
+				}
+				// Pareto via inverse CDF: xm·u^(-1/α), truncated.
+				est := p.MinSeconds * math.Pow(1-rng.Float64(), -1/p.ParetoAlpha)
+				if est > p.MaxSeconds {
+					est = p.MaxSeconds
+				}
+				spot := p.SpotFraction > 0 && rng.Float64() < p.SpotFraction
+				ev := Event{
+					At:              int64(now),
+					Kind:            KindSubmit,
+					Tenant:          p.Name,
+					Name:            fmt.Sprintf("%s-%d", p.Name, jobSeq),
+					Workers:         workers,
+					Cores:           p.CoresPerWorker,
+					EstimateSeconds: math.Round(est*10) / 10,
+				}
+				if spot {
+					ev.Spot, ev.Bid = true, p.SpotBid
+				}
+				tr.Events = append(tr.Events, ev)
+				submits++
+			}
+			k.Schedule(expGap(lambdaMax), candidate)
+		}
+		k.Schedule(expGap(lambdaMax), candidate)
+		if p.BurstFactor > 1 && p.BurstRatePerHour > 0 {
+			var episode func()
+			episode = func() {
+				if k.Now() > cfg.Horizon {
+					return
+				}
+				burstUntil = k.Now() +
+					sim.Time(rng.ExpFloat64()*p.BurstMeanMinutes*float64(sim.Minute))
+				k.Schedule(expGap(p.BurstRatePerHour), episode)
+			}
+			k.Schedule(expGap(p.BurstRatePerHour), episode)
+		}
+	}
+	if cfg.Storms.RatePerHour > 0 && len(cfg.Storms.Clouds) > 0 {
+		st := cfg.Storms
+		var storm func()
+		storm = func() {
+			now := k.Now()
+			if now > cfg.Horizon {
+				return
+			}
+			tr.Events = append(tr.Events, Event{
+				At:      int64(now),
+				Kind:    KindRevoke,
+				Cloud:   st.Clouds[rng.Intn(len(st.Clouds))],
+				Strikes: st.MaxStrikes,
+			})
+			k.Schedule(expGap(st.RatePerHour), storm)
+		}
+		k.Schedule(expGap(st.RatePerHour), storm)
+	}
+	k.Run()
+	// Kernel firing order is (time, seq), so events are already sorted.
+	return tr
+}

@@ -1,0 +1,60 @@
+package workload
+
+import "repro/internal/sim"
+
+// StandardConfig is the scale harness's reference workload over the
+// DefaultClouds federation: four tenants with staggered diurnal peaks and
+// unequal weights, log-normal gang widths, Pareto runtimes, burst episodes
+// on the two batch tenants, and revocation storms sweeping the spot-heavy
+// tenant's clouds. Midline load is ~60% of the 256-core federation and the
+// diurnal peaks push past 85%, so queues build, backfill and reservations
+// engage, and the heavy tail decides who waits. maxJobs caps the trace
+// (the horizon is a week, so the cap binds first for every CI-scale run).
+func StandardConfig(seed int64, maxJobs int) Config {
+	return Config{
+		Seed:        seed,
+		Description: "standard scale-harness mix: 4 tenants, diurnal + bursts + storms",
+		Horizon:     7 * 24 * sim.Hour,
+		MaxJobs:     maxJobs,
+		Tenants: []TenantProfile{
+			{
+				// Interactive analytics: many small jobs, sharp daytime peak.
+				Name: "ana", Weight: 3, BaseRatePerHour: 900,
+				DiurnalAmplitude: 0.6, PeakHour: 14,
+				WorkersLogMean: 0.7, WorkersLogSigma: 0.6, MaxWorkers: 16,
+				MinSeconds: 20, ParetoAlpha: 2.2, MaxSeconds: 1200,
+			},
+			{
+				// Batch ETL: fewer, wider, longer jobs peaking overnight,
+				// with bursty resubmission episodes.
+				Name: "etl", Weight: 2, BaseRatePerHour: 450,
+				DiurnalAmplitude: 0.5, PeakHour: 2,
+				WorkersLogMean: 1.4, WorkersLogSigma: 0.7, MaxWorkers: 48,
+				MinSeconds: 45, ParetoAlpha: 1.6, MaxSeconds: 7200,
+				BurstRatePerHour: 0.5, BurstFactor: 3, BurstMeanMinutes: 15,
+			},
+			{
+				// Science gangs: rare, very wide, heavy tail — the jobs that
+				// block heads and force spanning plans.
+				Name: "sci", Weight: 1, BaseRatePerHour: 120,
+				DiurnalAmplitude: 0.3, PeakHour: 9,
+				WorkersLogMean: 2.3, WorkersLogSigma: 0.6, MaxWorkers: 96,
+				MinSeconds: 120, ParetoAlpha: 1.4, MaxSeconds: 14400,
+				BurstRatePerHour: 0.25, BurstFactor: 4, BurstMeanMinutes: 20,
+			},
+			{
+				// Spot scavenger: cheap revocable fill, struck by storms.
+				Name: "spot", Weight: 1, BaseRatePerHour: 500,
+				DiurnalAmplitude: 0.2, PeakHour: 20,
+				WorkersLogMean: 1.0, WorkersLogSigma: 0.5, MaxWorkers: 24,
+				MinSeconds: 30, ParetoAlpha: 1.8, MaxSeconds: 3600,
+				SpotFraction: 0.8, SpotBid: 0.05,
+			},
+		},
+		Storms: StormProfile{
+			RatePerHour: 1.5,
+			Clouds:      []string{"cloud0", "cloud1", "cloud2", "cloud3"},
+			MaxStrikes:  8,
+		},
+	}
+}

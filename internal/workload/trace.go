@@ -1,0 +1,177 @@
+// Package workload is the scale harness: a seeded, deterministic trace
+// generator (inhomogeneous-Poisson diurnal arrivals via thinning,
+// heavy-tailed job sizes, per-tenant burst episodes, correlated spot
+// revocation storms) and a replay driver that streams a trace — generated
+// or loaded from disk — through the federation scheduler on a SimBackend
+// and reduces the run to a survival row: wait percentiles, makespan,
+// preemptions, fair-share error. Same seed, same trace, same metrics —
+// byte for byte — so million-job replays are comparable across policy
+// knobs and across commits.
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Event kinds.
+const (
+	// KindSubmit queues one job at Event.At.
+	KindSubmit = "submit"
+	// KindRevoke is a spot-revocation storm striking Event.Cloud at
+	// Event.At: running spot jobs with a plan slice there lose one worker
+	// each, oldest submission first, up to Strikes jobs (0 = every one).
+	KindRevoke = "revoke"
+)
+
+// TraceVersion is the schema version written by Save and required by Load.
+const TraceVersion = 1
+
+// Tenant is one tenant's identity and fair-share weight, declared up front
+// so a replay registers the full share denominator before the first job.
+type Tenant struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
+// Header is the trace's first JSONL line: schema version, the generator
+// seed (doubles as the default replay kernel seed), and the tenant set.
+type Header struct {
+	Version     int      `json:"version"`
+	Seed        int64    `json:"seed"`
+	Description string   `json:"description,omitempty"`
+	Tenants     []Tenant `json:"tenants"`
+}
+
+// Event is one trace line. At is absolute virtual time in microseconds
+// (sim.Time units); events are stored in non-decreasing At order.
+type Event struct {
+	At   int64  `json:"at"`
+	Kind string `json:"kind"`
+
+	// Submit fields.
+	Tenant          string  `json:"tenant,omitempty"`
+	Name            string  `json:"name,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	Cores           int     `json:"cores,omitempty"` // per worker
+	EstimateSeconds float64 `json:"est,omitempty"`
+	Spot            bool    `json:"spot,omitempty"`
+	Bid             float64 `json:"bid,omitempty"`
+
+	// Revoke fields.
+	Cloud   string `json:"cloud,omitempty"`
+	Strikes int    `json:"strikes,omitempty"`
+}
+
+// Trace is a replayable workload: header plus time-ordered events.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// Jobs counts the trace's submit events.
+func (tr *Trace) Jobs() int {
+	n := 0
+	for i := range tr.Events {
+		if tr.Events[i].Kind == KindSubmit {
+			n++
+		}
+	}
+	return n
+}
+
+// Save writes the trace as JSONL: the header line, then one line per
+// event. Field order is fixed by the struct definitions, so saving a
+// loaded trace reproduces the input byte for byte.
+func (tr *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	h := tr.Header
+	h.Version = TraceVersion
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	for i := range tr.Events {
+		if err := enc.Encode(tr.Events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the trace to path.
+func (tr *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a JSONL trace and validates it: known version, known event
+// kinds, submit events with a tenant and positive workers, non-decreasing
+// timestamps (the replay driver streams events in file order).
+func Load(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	tr := &Trace{}
+	if err := json.Unmarshal(sc.Bytes(), &tr.Header); err != nil {
+		return nil, fmt.Errorf("workload: bad header: %w", err)
+	}
+	if tr.Header.Version != TraceVersion {
+		return nil, fmt.Errorf("workload: trace version %d, want %d", tr.Header.Version, TraceVersion)
+	}
+	line := 1
+	var last int64
+	for sc.Scan() {
+		line++
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		switch ev.Kind {
+		case KindSubmit:
+			if ev.Tenant == "" || ev.Workers <= 0 {
+				return nil, fmt.Errorf("workload: line %d: submit needs tenant and workers", line)
+			}
+		case KindRevoke:
+			if ev.Cloud == "" {
+				return nil, fmt.Errorf("workload: line %d: revoke needs cloud", line)
+			}
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown kind %q", line, ev.Kind)
+		}
+		if ev.At < last {
+			return nil, fmt.Errorf("workload: line %d: timestamps out of order", line)
+		}
+		last = ev.At
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
