@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/capacity"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/mapreduce"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -240,6 +241,39 @@ func BenchmarkScaleReplay(b *testing.B) {
 		}
 		if r.Completed < jobs*9/10 {
 			b.Fatalf("only %d of %d jobs completed", r.Completed, jobs)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs), "ns/job")
+}
+
+// BenchmarkChaosReplay is the CI chaos smoke: the same 100k-job standard
+// mix as BenchmarkScaleReplay with a full outage storm injected — crashes,
+// partial host losses, flap episodes, transient deploy faults, WAN
+// degradation — replayed with preemption on. Gated on allocs/op against
+// BENCH_scale.json: the fault paths (requeue with progress credit,
+// quarantine bookkeeping, launch retry) must not turn the steady-state
+// allocation discipline into churn. The completion floor is the survival
+// assertion — a storm may delay jobs, not lose them.
+func BenchmarkChaosReplay(b *testing.B) {
+	const jobs = 100_000
+	tr := workload.Generate(workload.StandardConfig(42, jobs))
+	storm := faults.Generate(faults.Storm(42, faults.Targets(workload.DefaultClouds())))
+	tr = storm.InjectInto(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := workload.Replay(tr, workload.ReplayConfig{
+			Sched:        sched.Config{EnablePreemption: true},
+			OverrunSigma: 0.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Completed < jobs*9/10 {
+			b.Fatalf("only %d of %d jobs survived the storm", r.Completed, jobs)
+		}
+		if r.Outages == 0 || r.OutageRequeues == 0 {
+			b.Fatalf("storm replay exercised no outage paths: %+v", r)
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs), "ns/job")

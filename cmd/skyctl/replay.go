@@ -7,6 +7,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -34,6 +35,8 @@ var replayPolicies = []struct {
 //	skyctl replay -jobs 100000 -policies backfill,preempt
 //	skyctl replay -gen-only -save trace.jsonl
 //	skyctl replay -trace trace.jsonl -policies preempt -cpuprofile cpu.out
+//	skyctl replay -jobs 100000 -faults storm
+//	skyctl replay -trace trace.jsonl -faults storm.jsonl
 func runReplay(args []string) {
 	fs := flag.NewFlagSet("skyctl replay", flag.ExitOnError)
 	var (
@@ -43,6 +46,7 @@ func runReplay(args []string) {
 		savePth  = fs.String("save", "", "save the trace to this path")
 		genOnly  = fs.Bool("gen-only", false, "generate/save the trace and exit without replaying")
 		policies = fs.String("policies", "preempt", "comma list of policy bundles: fifo, backfill, aging, preempt, preempt+consolidate")
+		faultArg = fs.String("faults", "", "inject a fault schedule: 'storm' (seeded outage-storm preset) or a JSONL schedule path")
 		sigma    = fs.Float64("overrun-sigma", 0.5, "log-normal estimate-error sigma (0 = exact estimates)")
 		mu       = fs.Float64("overrun-mu", 0, "log-normal estimate-error mu")
 		workers  = fs.Int("score-workers", 0, "parallel scoring pool size (0/1 sequential, -1 = GOMAXPROCS)")
@@ -65,6 +69,20 @@ func runReplay(args []string) {
 		fmt.Printf("generated standard trace: %d events, %d jobs (seed %d)\n",
 			len(tr.Events), tr.Jobs(), *seed)
 	}
+	if *faultArg != "" {
+		var sch *faults.Schedule
+		if *faultArg == "storm" {
+			sch = faults.Generate(faults.Storm(*seed, faults.Targets(workload.DefaultClouds())))
+		} else {
+			var err error
+			if sch, err = faults.LoadFile(*faultArg); err != nil {
+				log.Fatal(err)
+			}
+		}
+		tr = sch.InjectInto(tr)
+		fmt.Printf("injected fault schedule %q: %d fault events (seed %d)\n",
+			*faultArg, len(sch.Events), sch.Seed)
+	}
 	if *savePth != "" {
 		if err := tr.SaveFile(*savePth); err != nil {
 			log.Fatal(err)
@@ -78,10 +96,15 @@ func runReplay(args []string) {
 	stop := startProfiles(*cpuProf, *memProf)
 	defer stop()
 
+	cols := []string{"policy", "p50 wait (s)", "p99 wait (s)", "mean wait (s)", "makespan (s)",
+		"preempt", "backfills", "revoked", "share err", "done"}
+	if *faultArg != "" {
+		// The survival table grows the fault axes when a schedule is injected.
+		cols = append(cols, "outages", "requeues", "quarantine", "retries")
+	}
 	t := metrics.NewTable(
 		fmt.Sprintf("skyctl replay: %d jobs, overrun sigma=%.2f", tr.Jobs(), *sigma),
-		"policy", "p50 wait (s)", "p99 wait (s)", "mean wait (s)", "makespan (s)",
-		"preempt", "backfills", "revoked", "share err", "done")
+		cols...)
 	var snaps []*metrics.Table
 	for _, name := range strings.Split(*policies, ",") {
 		name = strings.TrimSpace(name)
@@ -113,14 +136,18 @@ func runReplay(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		t.AddRowf(name,
+		row := []interface{}{name,
 			fmt.Sprintf("%.1f", r.P50WaitSeconds),
 			fmt.Sprintf("%.1f", r.P99WaitSeconds),
 			fmt.Sprintf("%.1f", r.MeanWaitSeconds),
 			fmt.Sprintf("%.0f", r.MakespanSeconds),
 			r.Preemptions, r.Backfills, r.SpotRevocations,
 			fmt.Sprintf("%.3f", r.ShareErrorMax),
-			fmt.Sprintf("%d/%d", r.Completed, r.Jobs))
+			fmt.Sprintf("%d/%d", r.Completed, r.Jobs)}
+		if *faultArg != "" {
+			row = append(row, r.Outages, r.OutageRequeues, r.Quarantines, r.LaunchRetries)
+		}
+		t.AddRowf(row...)
 	}
 	fmt.Println(t)
 	for _, s := range snaps {

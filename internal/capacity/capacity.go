@@ -117,7 +117,12 @@ type account struct {
 	committed int
 	held      int
 	reserved  int
-	leases    map[int]*Lease
+	// failed marks a cloud in outage: admission, reservation, probes, and
+	// retargets onto it all refuse, and its free cores read as zero, until
+	// RestoreCloud clears the mark. total is kept so federation-wide
+	// fits-at-all checks still see the cloud coming back.
+	failed bool
+	leases map[int]*Lease
 	// heldEnds indexes active held leases with a nonzero estimated end,
 	// keyed by End; resvStarts indexes active reservations, keyed by At.
 	heldEnds   timeIndex
@@ -424,6 +429,15 @@ type Ledger struct {
 	// Evictions and Retargets count forced transitions, for stats surfaces.
 	Evictions int
 	Retargets int
+	// CloudFailures and CloudRestores count FailCloud/RestoreCloud
+	// transitions (idempotent repeats excluded).
+	CloudFailures int
+	CloudRestores int
+
+	// jrn, when attached, records every primitive state transition for
+	// crash recovery (see journal.go). Nil when journaling is off — the
+	// per-transition cost is then one nil check.
+	jrn *Journal
 
 	// m mirrors transition counts into a registry when Instrument was
 	// called; zero-value (nil instruments) otherwise.
@@ -440,9 +454,15 @@ func New() *Ledger {
 func (l *Ledger) AddCloud(name string, totalCores int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.addCloud(name, totalCores)
+}
+
+// addCloud is AddCloud without the lock.
+func (l *Ledger) addCloud(name string, totalCores int) {
 	if a, ok := l.accounts[name]; ok {
 		if a.total != totalCores {
 			a.total = totalCores
+			l.jrec(Rec{Op: OpCloud, Cloud: name, Cores: totalCores})
 			l.gen.Add(1)
 		}
 		return
@@ -454,6 +474,7 @@ func (l *Ledger) AddCloud(name string, totalCores int) {
 	for _, n := range l.order {
 		l.orderAccts = append(l.orderAccts, l.accounts[n])
 	}
+	l.jrec(Rec{Op: OpCloud, Cloud: name, Cores: totalCores})
 	l.gen.Add(1)
 }
 
@@ -525,7 +546,7 @@ func (l *Ledger) Free(cloud string) int {
 // free is Free without the lock.
 func (l *Ledger) free(cloud string) int {
 	a := l.accounts[cloud]
-	if a == nil {
+	if a == nil || a.failed {
 		return 0
 	}
 	return a.total - a.committed - a.held
@@ -538,7 +559,11 @@ func (l *Ledger) FreeTotals(fn func(name string, free, total int)) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	for _, a := range l.orderAccts {
-		fn(a.name, a.total-a.committed-a.held, a.total)
+		free := a.total - a.committed - a.held
+		if a.failed {
+			free = 0
+		}
+		fn(a.name, free, a.total)
 	}
 }
 
@@ -554,7 +579,7 @@ func (l *Ledger) Headroom(cloud string, at sim.Time) int {
 // headroom is Headroom without the lock.
 func (l *Ledger) headroom(cloud string, at sim.Time) int {
 	a := l.accounts[cloud]
-	if a == nil {
+	if a == nil || a.failed {
 		return 0
 	}
 	head := a.total - a.loadAt(at)
@@ -689,6 +714,9 @@ func (l *Ledger) acquireUntil(cloud string, cores int, end sim.Time) (*Lease, er
 	if cores < 0 {
 		return nil, fmt.Errorf("capacity: negative acquisition of %d cores on %s", cores, cloud)
 	}
+	if a.failed {
+		return nil, fmt.Errorf("capacity: acquiring on failed cloud %q", cloud)
+	}
 	if free := l.free(cloud); free < cores {
 		return nil, fmt.Errorf("capacity: %s has %d free cores, need %d", cloud, free, cores)
 	}
@@ -716,6 +744,9 @@ func (l *Ledger) reserve(cloud string, cores int, at sim.Time) (*Lease, error) {
 	if cores < 0 {
 		return nil, fmt.Errorf("capacity: negative reservation of %d cores on %s", cores, cloud)
 	}
+	if a.failed {
+		return nil, fmt.Errorf("capacity: reserving on failed cloud %q", cloud)
+	}
 	l.m.reserves.Inc()
 	return l.newLease(a, cores, Reserved, at, 0), nil
 }
@@ -726,6 +757,7 @@ func (l *Ledger) newLease(a *account, cores int, k Kind, at, end sim.Time) *Leas
 	a.leases[le.id] = le
 	*a.kindCores(k) += cores
 	a.index(le, true)
+	l.jrec(Rec{Op: OpLease, Cloud: a.name, ID: le.id, Cores: cores, Kind: int(k), At: int64(at), End: int64(end)})
 	return le
 }
 
@@ -779,6 +811,7 @@ func (le *Lease) commit() error {
 	*a.kindCores(le.Kind) -= le.Cores
 	a.index(le, false)
 	a.committed += le.Cores
+	le.l.jrec(Rec{Op: OpCommit, ID: le.id})
 	return nil
 }
 
@@ -801,6 +834,7 @@ func (le *Lease) release() {
 	delete(a.leases, le.id)
 	*a.kindCores(le.Kind) -= le.Cores
 	a.index(le, false)
+	le.l.jrec(Rec{Op: OpRelease, ID: le.id})
 }
 
 // Uncommit returns committed cores to the pool (VM termination, shrink,
@@ -817,6 +851,7 @@ func (l *Ledger) Uncommit(cloud string, cores int) {
 	if a.committed < 0 {
 		a.committed = 0
 	}
+	l.jrec(Rec{Op: OpUncommit, Cloud: cloud, Cores: cores})
 }
 
 // CommitNow acquires and immediately commits cores — single-step admission
@@ -879,6 +914,7 @@ func (l *Ledger) EvictCommitted(cloud string, cores int, at sim.Time) (*Lease, e
 			cores, cloud, a.committed)
 	}
 	a.committed -= cores
+	l.jrec(Rec{Op: OpUncommit, Cloud: cloud, Cores: cores})
 	shield := l.newLease(a, cores, Reserved, at, 0)
 	l.Evictions++
 	l.m.evictions.Inc()
@@ -912,6 +948,7 @@ func (l *Ledger) Retarget(from, to string, cores int) error {
 	}
 	src.committed -= cores
 	dst.committed += cores
+	l.jrec(Rec{Op: OpMove, Cloud: from, To: to, Cores: cores})
 	l.Retargets++
 	l.m.retargets.Inc()
 	l.gen.Add(1)
@@ -943,6 +980,9 @@ func (le *Lease) Retarget(to string, cores int) (*Lease, error) {
 	if to == le.Cloud {
 		return le, nil
 	}
+	if dst.failed {
+		return nil, fmt.Errorf("capacity: retargeting onto failed cloud %q", to)
+	}
 	if le.Kind == Held {
 		if free := l.free(to); free < cores {
 			return nil, fmt.Errorf("capacity: %s has %d free cores, retarget needs %d", to, free, cores)
@@ -954,6 +994,7 @@ func (le *Lease) Retarget(to string, cores int) (*Lease, error) {
 		*src.kindCores(le.Kind) -= le.Cores
 		src.index(le, false)
 		le.closed = true
+		l.jrec(Rec{Op: OpRelease, ID: le.id})
 	} else {
 		// Shrink the source lease in place: re-key its time-index entry to
 		// the reduced core count.
@@ -961,12 +1002,88 @@ func (le *Lease) Retarget(to string, cores int) (*Lease, error) {
 		le.Cores -= cores
 		*src.kindCores(le.Kind) -= cores
 		src.index(le, true)
+		l.jrec(Rec{Op: OpShrink, ID: le.id, Cores: cores})
 	}
 	moved := l.newLease(dst, cores, le.Kind, le.At, le.End)
 	l.Retargets++
 	l.m.retargets.Inc()
 	l.gen.Add(1)
 	return moved, nil
+}
+
+// FailCloud is the outage transition: the cloud's every active lease (held
+// and reserved) closes, its committed cores return to the pool, and the
+// account is marked failed — all in one generation-bumped step, so no probe
+// or optimistic commit can observe a half-dead cloud. While failed, the
+// cloud admits nothing: Acquire/Reserve/Retarget-onto refuse, Free and
+// Headroom read zero, Probe fails. Total capacity is kept so federation-wide
+// "could this ever fit" checks still count the cloud as coming back.
+// Idempotent: failing a failed cloud does nothing and returns 0. Returns the
+// cores lost (lease + committed), for the caller's outage accounting.
+func (l *Ledger) FailCloud(name string) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a := l.accounts[name]
+	if a == nil {
+		return 0, fmt.Errorf("capacity: unknown cloud %q", name)
+	}
+	if a.failed {
+		return 0, nil
+	}
+	lost := 0
+	if len(a.leases) > 0 {
+		// Close in id order: the journal (and any metrics side effects) must
+		// not depend on map iteration order.
+		ids := make([]int, 0, len(a.leases))
+		for id := range a.leases {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			le := a.leases[id]
+			lost += le.Cores
+			le.release()
+		}
+	}
+	if a.committed > 0 {
+		lost += a.committed
+		l.jrec(Rec{Op: OpUncommit, Cloud: name, Cores: a.committed})
+		a.committed = 0
+	}
+	a.failed = true
+	l.jrec(Rec{Op: OpFail, Cloud: name})
+	l.CloudFailures++
+	l.m.cloudFailures.Inc()
+	l.gen.Add(1)
+	return lost, nil
+}
+
+// RestoreCloud clears a cloud's failed mark: its full capacity is free
+// again (everything on it was evicted at failure). Idempotent.
+func (l *Ledger) RestoreCloud(name string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a := l.accounts[name]
+	if a == nil {
+		return fmt.Errorf("capacity: unknown cloud %q", name)
+	}
+	if !a.failed {
+		return nil
+	}
+	a.failed = false
+	l.jrec(Rec{Op: OpRestore, Cloud: name})
+	l.CloudRestores++
+	l.m.cloudRestores.Inc()
+	l.gen.Add(1)
+	return nil
+}
+
+// Failed reports whether the cloud is in a FailCloud outage.
+func (l *Ledger) Failed(name string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	a := l.accounts[name]
+	return a != nil && a.failed
 }
 
 // String renders one line per cloud for debugging and logs.

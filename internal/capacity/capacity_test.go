@@ -34,7 +34,7 @@ func rawLoadAt(a *account, t sim.Time) int {
 // rawHeadroom is the original O(reservations x leases) Headroom definition.
 func rawHeadroom(l *Ledger, cloud string, at sim.Time) int {
 	a := l.accounts[cloud]
-	if a == nil {
+	if a == nil || a.failed {
 		return 0
 	}
 	head := a.total - rawLoadAt(a, at)
@@ -367,6 +367,12 @@ func TestLeaseRetarget(t *testing.T) {
 func TestLedgerInvariantRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	l := New()
+	// The journal observes every transition from the empty ledger onward;
+	// the walk periodically asserts Replay(journal) reproduces the live
+	// ledger byte for byte — the crash-recovery contract under the full op
+	// mix, outages included.
+	jrn := NewJournal()
+	l.Journal(jrn)
 	totals := map[string]int{}
 	var names []string
 	for c := 0; c < 4; c++ {
@@ -408,7 +414,11 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 			if c != committedBy[name] {
 				t.Fatalf("step %d: %s committed=%d, model says %d", step, name, c, committedBy[name])
 			}
-			if free := l.Free(name); free != totals[name]-c-h {
+			if l.Failed(name) {
+				if free := l.Free(name); free != 0 {
+					t.Fatalf("step %d: failed %s reports free=%d, want 0", step, name, free)
+				}
+			} else if free := l.Free(name); free != totals[name]-c-h {
 				t.Fatalf("step %d: %s free=%d, want total-committed-held=%d",
 					step, name, free, totals[name]-c-h)
 			}
@@ -429,7 +439,7 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 	for step := 0; step < 5000; step++ {
 		cloud := names[rng.Intn(len(names))]
 		cores := 1 + rng.Intn(6)
-		switch op := rng.Intn(14); {
+		switch op := rng.Intn(16); {
 		case op < 3: // acquire (sometimes with an estimated end)
 			var end sim.Time
 			if rng.Intn(2) == 0 {
@@ -444,9 +454,12 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 		case op < 5: // reserve a future claim
 			le, err := l.Reserve(cloud, cores, sim.Time(rng.Intn(1000))*sim.Second)
 			if err != nil {
-				t.Fatalf("step %d: reserve: %v", step, err)
+				if !l.Failed(cloud) {
+					t.Fatalf("step %d: reserve: %v", step, err)
+				}
+			} else {
+				live = append(live, &entry{lease: le})
 			}
-			live = append(live, &entry{lease: le})
 		case op < 7 && len(live) > 0: // commit a random lease
 			e := live[rng.Intn(len(live))]
 			wasActive := e.lease.Active()
@@ -520,13 +533,13 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 				if moved != e.lease {
 					live = append(live, &entry{lease: moved})
 				}
-			case e.lease.Kind == Reserved:
+			case e.lease.Kind == Reserved && !l.Failed(dst):
 				t.Fatalf("step %d: reservation retarget failed: %v", step, err)
 			case l.Free(dst) >= part && dst != e.lease.Cloud:
 				t.Fatalf("step %d: held retarget of %d denied with %d free at %s: %v",
 					step, part, l.Free(dst), dst, err)
 			}
-		default: // uncommit a committed lease's cores (VM terminated)
+		case op < 14: // uncommit a committed lease's cores (VM terminated)
 			for i, e := range live {
 				if e.committed {
 					l.Uncommit(e.cloud, e.lease.Cores)
@@ -535,8 +548,41 @@ func TestLedgerInvariantRandomized(t *testing.T) {
 					break
 				}
 			}
+		case op < 15: // cloud outage (sometimes twice: must be idempotent)
+			if _, err := l.FailCloud(cloud); err != nil {
+				t.Fatalf("step %d: fail cloud: %v", step, err)
+			}
+			if rng.Intn(3) == 0 {
+				if again, err := l.FailCloud(cloud); again != 0 || err != nil {
+					t.Fatalf("step %d: double fail not idempotent: lost=%d err=%v", step, again, err)
+				}
+			}
+			// The outage closed every lease and zeroed the committed
+			// aggregate on the cloud; the model follows.
+			committedBy[cloud] = 0
+			for _, e := range live {
+				if e.committed && e.cloud == cloud {
+					e.committed = false
+				}
+			}
+		default: // restore (idempotent on healthy clouds too)
+			if err := l.RestoreCloud(cloud); err != nil {
+				t.Fatalf("step %d: restore cloud: %v", step, err)
+			}
 		}
 		check(step)
+		if step%500 == 499 || step == 4999 {
+			// Crash-recovery contract: replaying the journal into a fresh
+			// ledger reproduces the live ledger's state byte for byte.
+			rl, err := Replay(jrn.Recs())
+			if err != nil {
+				t.Fatalf("step %d: journal replay: %v", step, err)
+			}
+			if got, want := string(rl.Snapshot()), string(l.Snapshot()); got != want {
+				t.Fatalf("step %d: journal replay diverged from live ledger:\nreplay:\n%s\nlive:\n%s",
+					step, got, want)
+			}
+		}
 	}
 }
 

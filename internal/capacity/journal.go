@@ -1,0 +1,248 @@
+package capacity
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// The ledger journal is the crash-recovery substrate ROADMAP item 1
+// (skyschedd) inherits: an append-only record of every primitive state
+// transition the ledger performs, written under the same write lock that
+// performs it, so replaying the records into a fresh ledger rebuilds the
+// live ledger's capacity state byte-identically (see Snapshot). Records are
+// primitive on purpose — composite transitions (Evict, FailCloud,
+// Lease.Retarget) decompose into the lease create/close/shrink and
+// committed-core moves they are made of, so Replay needs no knowledge of
+// policy, only of state.
+//
+// A ledger with no journal attached pays one nil check per transition; the
+// hot read paths (Probe, Free, Headroom) never journal.
+
+// Journal op codes. One record's Op selects which of its fields are
+// meaningful (see Rec).
+const (
+	// OpCloud registers a cloud or updates its total (Cloud, Cores=total).
+	OpCloud = "cloud"
+	// OpLease creates a lease (ID, Cloud, Cores, Kind, At, End).
+	OpLease = "lease"
+	// OpCommit retires lease ID into the committed aggregate.
+	OpCommit = "commit"
+	// OpRelease closes lease ID.
+	OpRelease = "release"
+	// OpShrink removes Cores from lease ID in place (partial retarget).
+	OpShrink = "shrink"
+	// OpUncommit returns Cores committed cores on Cloud to the pool.
+	OpUncommit = "uncommit"
+	// OpMove moves Cores committed cores from Cloud to To.
+	OpMove = "move"
+	// OpFail marks Cloud failed (its leases were closed by preceding
+	// OpRelease records; its committed cores by a preceding OpUncommit).
+	OpFail = "fail"
+	// OpRestore clears Cloud's failed mark.
+	OpRestore = "restore"
+)
+
+// Rec is one journal record. Field order is fixed so an encoded journal is
+// byte-stable across save/load round trips.
+type Rec struct {
+	Op    string `json:"op"`
+	Cloud string `json:"cloud,omitempty"`
+	To    string `json:"to,omitempty"`
+	ID    int    `json:"id,omitempty"`
+	Cores int    `json:"cores,omitempty"`
+	Kind  int    `json:"kind,omitempty"`
+	At    int64  `json:"at,omitempty"`
+	End   int64  `json:"end,omitempty"`
+}
+
+// Journal accumulates ledger transition records. Appends happen under the
+// owning ledger's write lock (the ledger is the only writer), so the
+// journal needs no lock of its own; read it only after detaching or once
+// the writers are quiet.
+type Journal struct {
+	recs []Rec
+	enc  *json.Encoder
+}
+
+// NewJournal returns an empty in-memory journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Sink additionally streams every future record to w as one JSON line per
+// record — the durable form a daemon would fsync.
+func (j *Journal) Sink(w io.Writer) { j.enc = json.NewEncoder(w) }
+
+// Recs returns the accumulated records (not a copy).
+func (j *Journal) Recs() []Rec { return j.recs }
+
+// Len returns the number of accumulated records.
+func (j *Journal) Len() int { return len(j.recs) }
+
+func (j *Journal) append(r Rec) {
+	j.recs = append(j.recs, r)
+	if j.enc != nil {
+		j.enc.Encode(r) // best-effort stream; recs stays authoritative
+	}
+}
+
+// Journal attaches j as the ledger's transition journal (nil detaches).
+// Attach before the first transition: the journal must observe every
+// mutation from the empty ledger onward for Replay to reconstruct state.
+func (l *Ledger) Journal(j *Journal) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.jrn = j
+}
+
+// jrec appends a record when a journal is attached. Callers hold l.mu.
+func (l *Ledger) jrec(r Rec) {
+	if l.jrn != nil {
+		l.jrn.append(r)
+	}
+}
+
+// LoadJournal reads records from a JSONL stream written by Sink.
+func LoadJournal(r io.Reader) ([]Rec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var recs []Rec
+	line := 0
+	for sc.Scan() {
+		line++
+		var rec Rec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("capacity: journal line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Replay rebuilds a ledger from a journal: applying the records in order to
+// a fresh ledger reproduces the recording ledger's capacity state —
+// accounts, committed aggregates, active leases with their original ids —
+// byte-identically under Snapshot. Lease ids are restored exactly (the id
+// sequence is part of the record stream), so a recovered scheduler adopts
+// where the dead one left off.
+func Replay(recs []Rec) (*Ledger, error) {
+	l := New()
+	leases := make(map[int]*Lease)
+	for i, r := range recs {
+		if err := l.apply(r, leases); err != nil {
+			return nil, fmt.Errorf("capacity: journal record %d (%s): %w", i, r.Op, err)
+		}
+	}
+	return l, nil
+}
+
+// apply replays one record.
+func (l *Ledger) apply(r Rec, leases map[int]*Lease) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch r.Op {
+	case OpCloud:
+		l.addCloud(r.Cloud, r.Cores)
+	case OpLease:
+		a := l.accounts[r.Cloud]
+		if a == nil {
+			return fmt.Errorf("unknown cloud %q", r.Cloud)
+		}
+		if r.ID <= l.seq {
+			return fmt.Errorf("lease id %d not past sequence %d", r.ID, l.seq)
+		}
+		l.seq = r.ID - 1 // newLease increments to exactly r.ID
+		leases[r.ID] = l.newLease(a, r.Cores, Kind(r.Kind), sim.Time(r.At), sim.Time(r.End))
+	case OpCommit:
+		le := leases[r.ID]
+		if le == nil {
+			return fmt.Errorf("unknown lease %d", r.ID)
+		}
+		return le.commit()
+	case OpRelease:
+		le := leases[r.ID]
+		if le == nil {
+			return fmt.Errorf("unknown lease %d", r.ID)
+		}
+		le.release()
+	case OpShrink:
+		le := leases[r.ID]
+		if le == nil || le.closed {
+			return fmt.Errorf("shrinking closed or unknown lease %d", r.ID)
+		}
+		if r.Cores <= 0 || r.Cores >= le.Cores {
+			return fmt.Errorf("shrinking %d of a %d-core lease", r.Cores, le.Cores)
+		}
+		a := le.acct
+		a.index(le, false)
+		le.Cores -= r.Cores
+		*a.kindCores(le.Kind) -= r.Cores
+		a.index(le, true)
+	case OpUncommit:
+		a := l.accounts[r.Cloud]
+		if a == nil {
+			return fmt.Errorf("unknown cloud %q", r.Cloud)
+		}
+		a.committed -= r.Cores
+		if a.committed < 0 {
+			a.committed = 0
+		}
+	case OpMove:
+		src, dst := l.accounts[r.Cloud], l.accounts[r.To]
+		if src == nil || dst == nil {
+			return fmt.Errorf("unknown cloud in move %q -> %q", r.Cloud, r.To)
+		}
+		src.committed -= r.Cores
+		dst.committed += r.Cores
+	case OpFail:
+		a := l.accounts[r.Cloud]
+		if a == nil {
+			return fmt.Errorf("unknown cloud %q", r.Cloud)
+		}
+		a.failed = true
+	case OpRestore:
+		a := l.accounts[r.Cloud]
+		if a == nil {
+			return fmt.Errorf("unknown cloud %q", r.Cloud)
+		}
+		a.failed = false
+	default:
+		return fmt.Errorf("unknown op")
+	}
+	return nil
+}
+
+// Snapshot renders the ledger's full capacity state deterministically:
+// accounts in name order with their aggregates and failed marks, then every
+// active lease in id order. Two ledgers with equal Snapshot bytes are
+// equivalent for every capacity decision — the equality the kill-and-recover
+// tests assert between a live ledger and its journal replay.
+func (l *Ledger) Snapshot() []byte {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var b bytes.Buffer
+	ids := make([]int, 0, 16)
+	for _, name := range l.order {
+		a := l.accounts[name]
+		fmt.Fprintf(&b, "%s total=%d committed=%d held=%d reserved=%d failed=%t\n",
+			name, a.total, a.committed, a.held, a.reserved, a.failed)
+		ids = ids[:0]
+		for id := range a.leases {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			le := a.leases[id]
+			fmt.Fprintf(&b, "  lease %d kind=%s cores=%d at=%d end=%d\n",
+				le.id, le.Kind, le.Cores, int64(le.At), int64(le.End))
+		}
+	}
+	return b.Bytes()
+}

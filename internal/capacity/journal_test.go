@@ -1,0 +1,118 @@
+package capacity
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestJournalReplayRoundTrip: a journal streamed through Sink survives a
+// LoadJournal round trip, Replay rebuilds the recording ledger byte for byte
+// (outage transitions included), and the recovered ledger resumes the lease
+// id sequence where the dead one stopped.
+func TestJournalReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	jrn := NewJournal()
+	jrn.Sink(&buf)
+	l := New()
+	l.Journal(jrn)
+	l.AddCloud("a", 16)
+	l.AddCloud("b", 8)
+
+	la, err := l.AcquireUntil("a", 4, 100*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := l.Acquire("b", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Reserve("a", 6, 50*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Retarget("a", "b", 2); err != nil { // 2 committed cores move a -> b
+		t.Fatal(err)
+	}
+	lb.Release()
+	if _, err := l.FailCloud("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RestoreCloud("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := LoadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != jrn.Len() {
+		t.Fatalf("sink stream has %d records, journal holds %d", len(recs), jrn.Len())
+	}
+	rl, err := Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(rl.Snapshot()), string(l.Snapshot()); got != want {
+		t.Fatalf("replayed snapshot diverged:\nreplay:\n%s\nlive:\n%s", got, want)
+	}
+	// The id sequence is part of the recovered state: the next lease on
+	// either ledger gets the same id.
+	nl, err := l.Acquire("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := rl.Acquire("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.id != nr.id {
+		t.Fatalf("recovered ledger issued lease id %d, live issued %d", nr.id, nl.id)
+	}
+}
+
+// TestFailCloudKeepsTotal: an outage zeroes free and headroom but keeps the
+// total, so federation-wide "could this ever fit" checks still count the
+// cloud as coming back — wide gangs wait for the restore instead of failing.
+func TestFailCloudKeepsTotal(t *testing.T) {
+	l := New()
+	l.AddCloud("a", 16)
+	le, err := l.Acquire("a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := le.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := l.FailCloud("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 4 {
+		t.Fatalf("outage lost %d cores, want 4", lost)
+	}
+	if l.Total("a") != 16 {
+		t.Fatalf("total=%d after outage, want 16", l.Total("a"))
+	}
+	if l.Free("a") != 0 || l.Headroom("a", 0) != 0 {
+		t.Fatalf("failed cloud reports free=%d headroom=%d, want 0/0", l.Free("a"), l.Headroom("a", 0))
+	}
+	if l.Probe("a", 1, 0) {
+		t.Fatal("probe admitted on a failed cloud")
+	}
+	if _, err := l.Acquire("a", 1); err == nil {
+		t.Fatal("acquire admitted on a failed cloud")
+	}
+	if _, err := l.Reserve("a", 1, 0); err == nil {
+		t.Fatal("reserve admitted on a failed cloud")
+	}
+	if err := l.RestoreCloud("a"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Free("a") != 16 {
+		t.Fatalf("free=%d after restore, want 16 (everything was evicted)", l.Free("a"))
+	}
+}

@@ -12,11 +12,13 @@ import "repro/internal/obs"
 
 // ledgerMetrics holds the ledger's resolved registry instruments.
 type ledgerMetrics struct {
-	acquires  *obs.Counter
-	reserves  *obs.Counter
-	probes    *obs.Counter
-	evictions *obs.Counter
-	retargets *obs.Counter
+	acquires      *obs.Counter
+	reserves      *obs.Counter
+	probes        *obs.Counter
+	evictions     *obs.Counter
+	retargets     *obs.Counter
+	cloudFailures *obs.Counter
+	cloudRestores *obs.Counter
 }
 
 // Instrument registers the ledger's counters and per-cloud core gauges in
@@ -29,11 +31,13 @@ func (l *Ledger) Instrument(reg *obs.Registry) {
 		return
 	}
 	l.m = ledgerMetrics{
-		acquires:  reg.Counter("sky_capacity_acquires_total", "Successful held-lease admissions."),
-		reserves:  reg.Counter("sky_capacity_reserves_total", "Future-start reservations created."),
-		probes:    reg.Counter("sky_capacity_probes_total", "Reservation-aware capacity probes."),
-		evictions: reg.Counter("sky_capacity_evictions_total", "Forced lease-to-shield eviction transitions."),
-		retargets: reg.Counter("sky_capacity_retargets_total", "Lease retargets between clouds."),
+		acquires:      reg.Counter("sky_capacity_acquires_total", "Successful held-lease admissions."),
+		reserves:      reg.Counter("sky_capacity_reserves_total", "Future-start reservations created."),
+		probes:        reg.Counter("sky_capacity_probes_total", "Reservation-aware capacity probes."),
+		evictions:     reg.Counter("sky_capacity_evictions_total", "Forced lease-to-shield eviction transitions."),
+		retargets:     reg.Counter("sky_capacity_retargets_total", "Lease retargets between clouds."),
+		cloudFailures: reg.Counter("sky_capacity_cloud_failures_total", "FailCloud outage transitions."),
+		cloudRestores: reg.Counter("sky_capacity_cloud_restores_total", "RestoreCloud recovery transitions."),
 	}
 	// The ledger's own lock joins the exposition: contended acquisitions
 	// under a parallel scheduler (or an external API surface) show up as

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"repro/internal/capacity"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/migration"
 	"repro/internal/netmon"
+	"repro/internal/nimbus"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -52,6 +55,11 @@ type fedBackend struct {
 	// owner maps live worker VM names to their scheduler job, for spot
 	// revocation dispatch and traffic attribution.
 	owner map[string]*launchedJob
+
+	// retryRNG jitters launch/grow retry backoff; seeded lazily from the
+	// kernel RNG on the first transient deploy failure, so fault-free runs
+	// never perturb the kernel stream.
+	retryRNG *rand.Rand
 }
 
 // launchedJob tracks one dispatched job's execution state.
@@ -168,6 +176,17 @@ type fedHandle struct {
 // its GrewBy credit back on error, so a kept worker would be one it never
 // accounts for (or shrinks).
 func (h *fedHandle) Grow(n int, onDone func(error)) {
+	h.growAttempt(n, 0, onDone)
+}
+
+// growAttempt runs one all-or-nothing grow pass. A transient deploy fault
+// rolls the pass back (exactly the workers that did deploy are terminated)
+// and schedules a fresh attempt after a jittered backoff — planGrow re-runs
+// then, so a cloud that lost capacity or failed during the wait drops out
+// of the retried allocation. Attempts are bounded by the scheduler's
+// LaunchRetries; non-transient errors and exhausted bounds report to onDone
+// as before, and the scheduler rolls its GrewBy credit back.
+func (h *fedHandle) growAttempt(n, attempt int, onDone func(error)) {
 	if h.lj.vc == nil {
 		if onDone != nil {
 			h.b.f.K.Schedule(0, func() { onDone(fmt.Errorf("core: job cluster not up yet")) })
@@ -207,6 +226,20 @@ func (h *fedHandle) Grow(n int, onDone func(error)) {
 			if firstErr != nil {
 				for _, name := range addedVMs {
 					h.lj.vc.removeWorker(name)
+				}
+				if errors.Is(firstErr, nimbus.ErrTransientDeploy) && attempt < h.b.retryBudget() && !h.lj.preempted {
+					h.b.f.m.launchRetries.Inc()
+					err := firstErr
+					h.b.f.K.Schedule(h.b.retryDelay(attempt+1), func() {
+						if h.lj.preempted || h.lj.vc == nil {
+							if onDone != nil {
+								onDone(err)
+							}
+							return
+						}
+						h.growAttempt(n, attempt+1, onDone)
+					})
+					return
 				}
 			} else {
 				h.lj.extras = append(h.lj.extras, addedClouds...)
@@ -408,47 +441,141 @@ func (b *fedBackend) release(lj *launchedJob) {
 // shepherding here: nimbus admits each member deployment synchronously
 // against the federation ledger, so the cores are held from this call
 // onward.
+//
+// Deploy failures surface asynchronously (CreateCluster's callback), so the
+// scheduler's synchronous ErrTransientLaunch requeue never fires for this
+// backend; transient faults are retried here instead — bounded attempts
+// with jittered backoff, each preceded by a remapPlan pass that re-Probes
+// every member and moves slices the ledger can no longer host onto the
+// alternate cloud with the most headroom. A failed CreateCluster tears its
+// partial gang down before reporting, so every retry starts from a clean
+// ledger.
 func (b *fedBackend) Launch(j *sched.Job, plan sched.Plan, onDone func(*sched.Job, sched.Outcome)) (sched.Handle, error) {
 	cores := j.Spec.CoresPerWorker
 	if cores <= 0 {
 		cores = 1
 	}
 	lj := &launchedJob{id: j.ID, tenant: j.Spec.Tenant, plan: plan, cpw: cores}
-	dist := make(map[string]int, len(plan.Members))
-	for _, m := range plan.Members {
-		dist[m.Cloud] = m.Workers
+	attempt := 0
+	var tryLaunch func()
+	tryLaunch = func() {
+		dist := make(map[string]int, len(lj.plan.Members))
+		for _, m := range lj.plan.Members {
+			dist[m.Cloud] = m.Workers
+		}
+		b.f.CreateCluster("sched-"+j.ID, ClusterSpec{
+			Image:        b.opt.Image,
+			Cores:        cores,
+			MemPages:     b.opt.MemPagesPerWorker,
+			CoW:          true,
+			Spot:         j.Spec.Spot,
+			Bid:          j.Spec.Bid,
+			Distribution: dist,
+		}, func(vc *VirtualCluster, err error) {
+			if err != nil {
+				if errors.Is(err, nimbus.ErrTransientDeploy) && attempt < b.retryBudget() && !lj.preempted {
+					attempt++
+					b.f.m.launchRetries.Inc()
+					b.remapPlan(lj)
+					b.f.K.Schedule(b.retryDelay(attempt), func() {
+						if lj.preempted {
+							onDone(j, sched.Outcome{Err: err})
+							return
+						}
+						tryLaunch()
+					})
+					return
+				}
+				onDone(j, sched.Outcome{Err: err})
+				return
+			}
+			lj.vc = vc
+			b.adopt(lj)
+			mr := j.Spec.MR
+			if mr.Splits == nil && j.Spec.InputSite != "" && j.Spec.InputBytes > 0 && mr.NumMaps > 0 {
+				mr.Splits = b.inputSplits(j.Spec.InputSite, mr.NumMaps, j.Spec.InputBytes)
+			}
+			finish := func(out sched.Outcome) {
+				b.release(lj)
+				vc.Terminate()
+				onDone(j, out)
+			}
+			if err := vc.RunJob(mr, func(res mapreduce.Result) {
+				finish(sched.Outcome{Result: res})
+			}); err != nil {
+				finish(sched.Outcome{Err: err})
+			}
+		})
 	}
-	b.f.CreateCluster("sched-"+j.ID, ClusterSpec{
-		Image:        b.opt.Image,
-		Cores:        cores,
-		MemPages:     b.opt.MemPagesPerWorker,
-		CoW:          true,
-		Spot:         j.Spec.Spot,
-		Bid:          j.Spec.Bid,
-		Distribution: dist,
-	}, func(vc *VirtualCluster, err error) {
-		if err != nil {
-			onDone(j, sched.Outcome{Err: err})
-			return
-		}
-		lj.vc = vc
-		b.adopt(lj)
-		mr := j.Spec.MR
-		if mr.Splits == nil && j.Spec.InputSite != "" && j.Spec.InputBytes > 0 && mr.NumMaps > 0 {
-			mr.Splits = b.inputSplits(j.Spec.InputSite, mr.NumMaps, j.Spec.InputBytes)
-		}
-		finish := func(out sched.Outcome) {
-			b.release(lj)
-			vc.Terminate()
-			onDone(j, out)
-		}
-		if err := vc.RunJob(mr, func(res mapreduce.Result) {
-			finish(sched.Outcome{Result: res})
-		}); err != nil {
-			finish(sched.Outcome{Err: err})
-		}
-	})
+	tryLaunch()
 	return &fedHandle{b: b, lj: lj}, nil
+}
+
+// remapPlan re-Probes every member of a retrying launch's plan and moves
+// slices the ledger can no longer host (the cloud failed during the backoff,
+// or its cores were taken) onto the non-member cloud with the most
+// reservation-aware headroom. The scheduler's plan and release entries
+// follow via JobRelocated, so the retried deploy and the scheduler agree on
+// where the gang will live. A slice with no viable alternate keeps its
+// placement — the retry simply fails again, and the attempt bound converts
+// that into a terminal error.
+func (b *fedBackend) remapPlan(lj *launchedJob) {
+	l := b.f.ledger
+	now := b.f.K.Now()
+	names := make([]string, 0, len(b.f.clouds))
+	for _, c := range b.f.Clouds() { // sorted by name
+		names = append(names, c.Name)
+	}
+	members := append(lj.plan.Members[:0:0], lj.plan.Members...)
+	for _, m := range members {
+		need := m.Workers * lj.cpw
+		if l.Probe(m.Cloud, need, now) {
+			continue
+		}
+		best, bestRoom := "", 0
+		for _, cand := range names {
+			if cand == m.Cloud || lj.plan.WorkersOn(cand) > 0 {
+				continue
+			}
+			if room := l.Headroom(cand, now); room >= need && room > bestRoom {
+				best, bestRoom = cand, room
+			}
+		}
+		if best == "" {
+			continue
+		}
+		lj.plan = lj.plan.MoveWorkers(m.Cloud, best, m.Workers)
+		b.s.JobRelocated(lj.id, m.Cloud, best, m.Workers)
+	}
+}
+
+// retryBudget is the bounded retry count for transient deploy faults; zero
+// when no scheduler is attached (direct cluster tests drive the backend
+// without one), so the retry paths stay dormant there.
+func (b *fedBackend) retryBudget() int {
+	if b.s == nil {
+		return 0
+	}
+	return b.s.Config().LaunchRetries
+}
+
+// retryDelay is the jittered exponential backoff before launch/grow attempt
+// `attempt` (1-based): the scheduler's RetryBackoffBase doubled per prior
+// attempt, capped at FaultQuarantineMax, jittered ×[0.5,1.5) so a burst of
+// same-cycle failures does not retry in lockstep.
+func (b *fedBackend) retryDelay(attempt int) sim.Time {
+	cfg := b.s.Config()
+	d := cfg.RetryBackoffBase
+	for n := attempt - 1; n > 0 && d < cfg.FaultQuarantineMax; n-- {
+		d *= 2
+	}
+	if d > cfg.FaultQuarantineMax {
+		d = cfg.FaultQuarantineMax
+	}
+	if b.retryRNG == nil {
+		b.retryRNG = rand.New(rand.NewSource(b.f.K.Rand().Int63()))
+	}
+	return sim.Time(float64(d) * (0.5 + b.retryRNG.Float64()))
 }
 
 // inputSplits binds each map task to the data-holding cloud's repository

@@ -274,3 +274,58 @@ func TestNotifySchedulerPatterns(t *testing.T) {
 		t.Error("tenant pattern not recorded")
 	}
 }
+
+// TestFederationDeployFaultRetried: a transient deploy fault on the chosen
+// cloud fails the gang's CreateCluster; the backend tears the partial gang
+// down, backs off, re-probes the plan, and the retried launch completes the
+// job — the scheduler never sees an error.
+func TestFederationDeployFaultRetried(t *testing.T) {
+	f, s := schedFederation(t, 29, 2, 2, sched.Config{})
+	s.AddTenant("a", 1)
+	// Arm one strike on each cloud: whichever the placement picks, the
+	// first deploy faults.
+	f.Cloud("cloud0").FailNextDeploys(1)
+	f.Cloud("cloud1").FailNextDeploys(1)
+	id, err := s.Submit(sched.JobSpec{
+		Tenant: "a", Name: "bumpy", Workers: 2, CoresPerWorker: 2,
+		MR: mapreduce.Job{Name: "blast", NumMaps: 4, NumReduces: 1, MapCPU: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.K.Run()
+	ji, _ := s.Poll(id)
+	if ji.State != sched.Done {
+		t.Fatalf("job state %v err %v, want Done despite the deploy fault", ji.State, ji.Err)
+	}
+	if got := int(f.m.launchRetries.Value()); got < 1 {
+		t.Fatalf("core launch retries = %d, want >= 1", got)
+	}
+	if n := len(f.VMNames()); n != 0 {
+		t.Errorf("%d VMs leaked after the retried launch", n)
+	}
+}
+
+// TestFederationDeployFaultsExhausted: faults past the retry budget fail
+// the job with the transient error surfaced, and no cluster debris remains.
+func TestFederationDeployFaultsExhausted(t *testing.T) {
+	f, s := schedFederation(t, 31, 2, 2, sched.Config{})
+	s.AddTenant("a", 1)
+	f.Cloud("cloud0").FailNextDeploys(10)
+	f.Cloud("cloud1").FailNextDeploys(10)
+	id, err := s.Submit(sched.JobSpec{
+		Tenant: "a", Name: "doomed", Workers: 2, CoresPerWorker: 2,
+		MR: mapreduce.Job{Name: "blast", NumMaps: 4, NumReduces: 1, MapCPU: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.K.Run()
+	ji, _ := s.Poll(id)
+	if ji.State != sched.Failed {
+		t.Fatalf("job state %v, want Failed once retries are exhausted", ji.State)
+	}
+	if n := len(f.VMNames()); n != 0 {
+		t.Errorf("%d VMs leaked after the failed launch", n)
+	}
+}

@@ -27,6 +27,7 @@ func All() []Experiment {
 		{"E11", "gang placement: wider-than-any-cloud jobs span clouds; shuffle-cost-aware plans beat bandwidth-oblivious spanning (§II gang scheduling)", E11GangPlacement},
 		{"E12", "revocable placement: spot-priced preemption starts a blocked head >=2x sooner than wait-for-release; consolidation zeroes a spanning gang's cross-site shuffle (§III-C adaptation + §IV synthesis)", E12Preemption},
 		{"E13", "scale survival: under a heavy-tailed diurnal trace with mis-calibrated estimates, preemption (+aging, +consolidation) caps the p99 wait and fair-share drift that plain backfill lets blow up (§IV at scale)", E13ScaleSurvival},
+		{"E14", "fault tolerance: under an outage storm, degraded-mode handling (progress credit + flap quarantine + launch retry) beats naive zero-credit requeue on p99 wait and goodput (§IV robustness)", E14FaultTolerance},
 		{"A1", "ablation: Shrinker registry scope (site-wide vs per-VM vs none)", A1RegistryScope},
 		{"A2", "ablation: dirty-rate sensitivity of pre-copy vs Shrinker", A2DirtyRateSweep},
 		{"A3", "ablation: broadcast-chain chunk size (pipelining vs per-hop latency)", A3ChunkSize},

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -23,10 +24,7 @@ import (
 // their anchor.
 func E13ScaleSurvival(seed int64) []*metrics.Table {
 	tr := workload.Generate(workload.StandardConfig(seed, 6000))
-	t := metrics.NewTable(
-		fmt.Sprintf("E13: %d-job heavy-tail replay (4 tenants, 4x64-core clouds, log-normal overrun sigma=0.5) — policy survival", tr.Jobs()),
-		"policy", "p50 wait (s)", "p99 wait (s)", "makespan (s)", "preempt", "backfills", "share err", "done")
-	for _, variant := range []struct {
+	variants := []struct {
 		label string
 		cfg   sched.Config
 	}{
@@ -35,7 +33,11 @@ func E13ScaleSurvival(seed int64) []*metrics.Table {
 		{"backfill+aging", sched.Config{ReservationMaxSlips: 3}},
 		{"backfill+preempt", sched.Config{EnablePreemption: true}},
 		{"backfill+preempt+consolidate", sched.Config{EnablePreemption: true, EnableConsolidation: true}},
-	} {
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("E13: %d-job heavy-tail replay (4 tenants, 4x64-core clouds, log-normal overrun sigma=0.5) — policy survival", tr.Jobs()),
+		"policy", "p50 wait (s)", "p99 wait (s)", "makespan (s)", "preempt", "backfills", "share err", "done")
+	for _, variant := range variants {
 		r, err := workload.Replay(tr, workload.ReplayConfig{
 			Sched:        variant.cfg,
 			OverrunSigma: 0.5,
@@ -51,5 +53,32 @@ func E13ScaleSurvival(seed int64) []*metrics.Table {
 			fmt.Sprintf("%.3f", r.ShareErrorMax),
 			fmt.Sprintf("%d/%d", r.Completed, r.Jobs))
 	}
-	return []*metrics.Table{t}
+
+	// The same ladder with an outage storm injected: crashes, flaps, and
+	// deploy faults hit every policy identically (same seed, same schedule),
+	// so the delta against the clean table is pure fault-handling cost. The
+	// fault columns replace preempt/backfill detail — under a storm the
+	// interesting survival axes are requeue volume and tail damage.
+	storm := faults.Generate(faults.Storm(seed, faults.Targets(workload.DefaultClouds())))
+	str := storm.InjectInto(tr)
+	ts := metrics.NewTable(
+		fmt.Sprintf("E13 (storm): same %d-job ladder under an injected outage storm — requeue/quarantine/retry load and tail damage per policy", tr.Jobs()),
+		"policy", "p50 wait (s)", "p99 wait (s)", "makespan (s)", "requeues", "retries", "share err", "done")
+	for _, variant := range variants {
+		r, err := workload.Replay(str, workload.ReplayConfig{
+			Sched:        variant.cfg,
+			OverrunSigma: 0.5,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("E13 storm: %s: %v", variant.label, err))
+		}
+		ts.AddRowf(variant.label,
+			fmt.Sprintf("%.1f", r.P50WaitSeconds),
+			fmt.Sprintf("%.1f", r.P99WaitSeconds),
+			fmt.Sprintf("%.0f", r.MakespanSeconds),
+			r.OutageRequeues, r.LaunchRetries,
+			fmt.Sprintf("%.3f", r.ShareErrorMax),
+			fmt.Sprintf("%d/%d", r.Completed, r.Jobs))
+	}
+	return []*metrics.Table{t, ts}
 }

@@ -33,11 +33,14 @@ func E10SchedulerContention(seed int64) []*metrics.Table {
 
 // schedSnapshot is the shared metrics view every scheduler experiment
 // prints: the live registry counters, filtered to deterministic families
-// (phase timings are wall-clock and excluded), so experiment tables cannot
-// drift from what the scheduler actually counted.
+// (phase timings are wall-clock and excluded; the fault-transition
+// counters are excluded too — these experiments inject no faults, so the
+// rows would be constant zeros), so experiment tables cannot drift from
+// what the scheduler actually counted.
 func schedSnapshot(s *sched.Scheduler, title string) *metrics.Table {
 	return obs.SnapshotTable(s.Obs(), title,
-		"sky_sched_", "sky_capacity_", "!sky_sched_phase_seconds")
+		"sky_sched_", "sky_capacity_", "!sky_sched_phase_seconds",
+		"!sky_capacity_cloud_failures", "!sky_capacity_cloud_restores")
 }
 
 // schedFederation builds a small, contended federation: two clouds of

@@ -10,6 +10,7 @@
 package nimbus
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -100,6 +101,11 @@ type Cloud struct {
 	repoNode *simnet.Node
 	ledger   *capacity.Ledger
 	seq      int
+
+	// failNext counts injected transient deploy failures still pending:
+	// while positive, Deploy consumes one per call and fails with
+	// ErrTransientDeploy before debiting anything (see FailNextDeploys).
+	failNext int
 
 	// Spot is the cloud's spot market (always present; unused unless VMs
 	// are deployed with Spot: true).
@@ -205,6 +211,17 @@ func (c *Cloud) Cost() float64 {
 	return c.CoreSecondsUsed / 3600 * c.cfg.PricePerCoreHour
 }
 
+// ErrTransientDeploy marks a deploy failure worth retrying: the fault
+// injector (FailNextDeploys) wraps it, and callers on the placement path —
+// the federation's scheduler backend — re-probe and retry against alternate
+// clouds with backoff instead of failing the job.
+var ErrTransientDeploy = errors.New("nimbus: transient deploy failure")
+
+// FailNextDeploys makes the next n Deploy calls on this cloud fail with
+// ErrTransientDeploy before any admission debit — the deploy-fault
+// injection hook the workload replay's deployfault events drive.
+func (c *Cloud) FailNextDeploys(n int) { c.failNext += n }
+
 // DeployRequest asks for a homogeneous set of VMs.
 type DeployRequest struct {
 	NamePrefix string
@@ -260,6 +277,16 @@ type Deployment struct {
 func (c *Cloud) Deploy(req DeployRequest, onDone func(Deployment)) {
 	req = req.withDefaults()
 	k := c.Net.K
+	if c.failNext > 0 {
+		// Injected transient fault: fail before any host or ledger debit, so
+		// the caller's retry sees the cloud exactly as it was.
+		c.failNext--
+		c.m.deployFaulted.Inc()
+		k.Schedule(0, func() {
+			onDone(Deployment{Err: fmt.Errorf("nimbus: %s deploy fault: %w", c.Name, ErrTransientDeploy)})
+		})
+		return
+	}
 	start := k.Now()
 	base := c.Store.Get(req.Image)
 	if base == nil {

@@ -14,6 +14,7 @@ type nimbusMetrics struct {
 	deployPlaced       *obs.Counter
 	deployRejected     *obs.Counter
 	deployImageMissing *obs.Counter
+	deployFaulted      *obs.Counter
 
 	vmBooting         *obs.Counter
 	vmContextualizing *obs.Counter
@@ -33,6 +34,7 @@ func newNimbusMetrics(reg *obs.Registry, cloud string) nimbusMetrics {
 		deployPlaced:       deploys.With(cloud, "placed"),
 		deployRejected:     deploys.With(cloud, "rejected"),
 		deployImageMissing: deploys.With(cloud, "image_missing"),
+		deployFaulted:      deploys.With(cloud, "faulted"),
 		vmBooting:          trans.With(cloud, "booting"),
 		vmContextualizing:  trans.With(cloud, "contextualizing"),
 		vmRunning:          trans.With(cloud, "running"),

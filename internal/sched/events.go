@@ -19,13 +19,23 @@ const (
 	// pattern; communication-heavy patterns bias future placement toward
 	// better-connected clouds.
 	EventPatternDetected
+	// EventCloudFailed reports a cloud outage. The backend must have run the
+	// ledger's FailCloud transition first; the scheduler then requeues
+	// running gangs with workers there (progress credit preserved), remaps
+	// any head reservation claiming the cloud, and records the failure in
+	// the cloud's flap history (see faults.go).
+	EventCloudFailed
+	// EventCloudRestored reports the outage's end. Clouds past the flap
+	// threshold are quarantined behind a jittered exponential backoff
+	// before placement may trust them again.
+	EventCloudRestored
 )
 
 // Event is one notification.
 type Event struct {
 	Kind    EventKind
 	Job     string // spot: affected job ID
-	Cloud   string // spot: cloud that revoked
+	Cloud   string // spot: cloud that revoked; fault: cloud that failed/restored
 	Tenant  string // pattern: whose traffic
 	Pattern string // pattern: one of the Pattern* constants
 }
@@ -71,6 +81,10 @@ func (s *Scheduler) Notify(ev Event) {
 			// reservation baked in — invalidate it.
 			s.resvEpoch++
 		}
+	case EventCloudFailed:
+		s.cloudFailed(ev.Cloud)
+	case EventCloudRestored:
+		s.cloudRestored(ev.Cloud)
 	}
 }
 

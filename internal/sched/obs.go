@@ -21,6 +21,11 @@ import (
 // to 1 s.
 var phaseBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
 
+// recoveryBuckets grade outage recovery times (requeue to redispatch) in
+// virtual seconds: sub-minute recoveries are the degraded-mode goal, the
+// tail rides out quarantines.
+var recoveryBuckets = []float64{1, 5, 15, 60, 300, 900, 3600}
+
 // schedMetrics holds the scheduler's registry instruments, resolved once at
 // New so hot-path increments are single atomic ops with no registry lookup.
 type schedMetrics struct {
@@ -48,9 +53,18 @@ type schedMetrics struct {
 	viewSeals             *obs.Counter
 	resvHoldReuses        *obs.Counter
 
+	outages        *obs.Counter
+	restores       *obs.Counter
+	outageRequeues *obs.Counter
+	quarantines    *obs.Counter
+	readmissions   *obs.Counter
+	launchRetries  *obs.Counter
+
 	queuedJobs   *obs.Gauge
 	runningJobs  *obs.Gauge
 	scoreWorkers *obs.Gauge
+
+	recoverySeconds *obs.Histogram
 
 	phasePlacement  *obs.Histogram
 	phaseBackfill   *obs.Histogram
@@ -101,6 +115,13 @@ func newSchedMetrics(reg *obs.Registry) schedMetrics {
 		parallelConflicts:     reg.Counter("sky_sched_parallel_conflicts_total", "Speculated plans invalidated by capacity movement and rescored before commit."),
 		viewSeals:             reg.Counter("sky_sched_view_seals_total", "Cycle starts whose world matched the previous cycle's sealed end state (plan memos carried over)."),
 		resvHoldReuses:        reg.Counter("sky_sched_resv_hold_reuses_total", "Blocked cycles whose recomputed reservation adopted the previous cycle's live ledger leases."),
+		outages:               reg.Counter("sky_faults_outages_total", "Cloud outage events delivered to the scheduler."),
+		restores:              reg.Counter("sky_faults_restores_total", "Cloud restore events delivered to the scheduler."),
+		outageRequeues:        reg.Counter("sky_faults_outage_requeues_total", "Running gangs requeued off failed clouds."),
+		quarantines:           reg.Counter("sky_faults_quarantines_total", "Flapping clouds quarantined at restore."),
+		readmissions:          reg.Counter("sky_faults_readmissions_total", "Quarantined clouds readmitted to placement."),
+		launchRetries:         reg.Counter("sky_faults_launch_retries_total", "Transient launch failures requeued for retry."),
+		recoverySeconds:       reg.Histogram("sky_faults_recovery_seconds", "Virtual seconds from outage requeue to redispatch.", recoveryBuckets),
 		queuedJobs:            reg.Gauge("sky_sched_queued_jobs", "Jobs currently queued."),
 		runningJobs:           reg.Gauge("sky_sched_running_jobs", "Jobs currently running."),
 		scoreWorkers:          reg.Gauge("sky_sched_score_workers", "Resolved plan-scoring worker pool size (1 = sequential core)."),
@@ -219,3 +240,21 @@ func (s *Scheduler) ResvHoldReuses() int { return int(s.m.resvHoldReuses.Value()
 
 // ScoreWorkerCount returns the resolved scoring-pool size (1 = sequential).
 func (s *Scheduler) ScoreWorkerCount() int { return int(s.m.scoreWorkers.Value()) }
+
+// Outages returns the cloud outage events delivered to the scheduler.
+func (s *Scheduler) Outages() int { return int(s.m.outages.Value()) }
+
+// Restores returns the cloud restore events delivered to the scheduler.
+func (s *Scheduler) Restores() int { return int(s.m.restores.Value()) }
+
+// OutageRequeues returns the running gangs requeued off failed clouds.
+func (s *Scheduler) OutageRequeues() int { return int(s.m.outageRequeues.Value()) }
+
+// Quarantines returns the flapping clouds quarantined at restore.
+func (s *Scheduler) Quarantines() int { return int(s.m.quarantines.Value()) }
+
+// Readmissions returns the quarantined clouds readmitted to placement.
+func (s *Scheduler) Readmissions() int { return int(s.m.readmissions.Value()) }
+
+// LaunchRetries returns the transient launch failures requeued for retry.
+func (s *Scheduler) LaunchRetries() int { return int(s.m.launchRetries.Value()) }

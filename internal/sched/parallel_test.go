@@ -20,9 +20,12 @@ import (
 // parallelWorkload drives one seeded federation big enough to cross every
 // parallel gate — 20 clouds (≥ parallelCloudMin fans the single-cloud scan)
 // and 300 tenants (≥ shardMinTenants shards the fair-share pick and Shares)
-// — with wide jobs that block, reserve, backfill, and preempt. Returns the
+// — with wide jobs that block, reserve, backfill, and preempt. With storm
+// set, a deterministic outage storm rides along: two full crashes, a flap
+// episode deep enough to quarantine, and a transient deploy-fault burst —
+// the degraded-mode paths must stay byte-deterministic too. Returns the
 // decision trace bytes and the final shares.
-func parallelWorkload(t *testing.T, workers int) ([]byte, map[string]float64) {
+func parallelWorkload(t *testing.T, workers int, storm bool) ([]byte, map[string]float64) {
 	t.Helper()
 	k := sim.NewKernel(7)
 	b := NewSimBackend(k)
@@ -41,6 +44,35 @@ func parallelWorkload(t *testing.T, workers int) ([]byte, map[string]float64) {
 	})
 	defer s.Close()
 	s.Start()
+	if storm {
+		outage := func(at sim.Time, cloud string, dur sim.Time) {
+			k.At(at, func() {
+				if _, err := b.FailCloud(cloud); err != nil {
+					t.Errorf("fail %s: %v", cloud, err)
+				}
+				s.Notify(Event{Kind: EventCloudFailed, Cloud: cloud})
+			})
+			k.At(at+dur, func() {
+				if err := b.RestoreCloud(cloud); err != nil {
+					t.Errorf("restore %s: %v", cloud, err)
+				}
+				s.Notify(Event{Kind: EventCloudRestored, Cloud: cloud})
+			})
+		}
+		outage(600*sim.Second, "c03", 600*sim.Second)
+		outage(2000*sim.Second, "c07", 500*sim.Second)
+		// Flap c05 three times inside the flap window: the restore past the
+		// threshold quarantines it behind jittered backoff.
+		outage(3000*sim.Second, "c05", 40*sim.Second)
+		outage(3080*sim.Second, "c05", 40*sim.Second)
+		outage(3160*sim.Second, "c05", 40*sim.Second)
+		// Deploy-fault bursts: the next launches touching c02 fail
+		// transiently and exercise the retry/backoff path. Three strikes at
+		// most per burst — within one job's retry budget even if a single
+		// job eats the whole burst.
+		k.At(500*sim.Second, func() { b.FailNextLaunches("c02", 3) })
+		k.At(4000*sim.Second, func() { b.FailNextLaunches("c02", 3) })
+	}
 	for ti := 0; ti < 300; ti++ {
 		name := fmt.Sprintf("t%03d", ti)
 		s.AddTenant(name, 1+float64(ti%3))
@@ -68,12 +100,12 @@ func parallelWorkload(t *testing.T, workers int) ([]byte, map[string]float64) {
 // byte-identical decision traces and bit-identical delivered shares. Run
 // under -cpu 1,2,8 in CI so the pool is exercised both starved and spread.
 func TestParallelDeterminism(t *testing.T) {
-	seqTrace, seqShares := parallelWorkload(t, 1)
+	seqTrace, seqShares := parallelWorkload(t, 1, false)
 	if !bytes.Contains(seqTrace, []byte(`"kind":"dispatch"`)) {
 		t.Fatal("trace has no dispatch events; workload exercised nothing")
 	}
 	for _, workers := range []int{2, 8} {
-		trace, shares := parallelWorkload(t, workers)
+		trace, shares := parallelWorkload(t, workers, false)
 		if !bytes.Equal(seqTrace, trace) {
 			i := 0
 			for i < len(trace) && i < len(seqTrace) && trace[i] == seqTrace[i] {
@@ -92,6 +124,36 @@ func TestParallelDeterminism(t *testing.T) {
 			if got := shares[name]; got != want {
 				t.Fatalf("ScoreWorkers=%d: share[%s] = %v, sequential %v",
 					workers, name, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelDeterminismUnderOutageStorm re-runs the oracle with the fault
+// storm riding along: outage requeues, quarantine jitter, and launch-retry
+// backoff all draw from kernel-ordered state, so the decision trace —
+// outage, requeue, and restore events included — must stay byte-identical
+// at ScoreWorkers 1, 2, and 8.
+func TestParallelDeterminismUnderOutageStorm(t *testing.T) {
+	seqTrace, seqShares := parallelWorkload(t, 1, true)
+	for _, kind := range []string{`"kind":"outage"`, `"kind":"requeue"`, `"kind":"restore"`} {
+		if !bytes.Contains(seqTrace, []byte(kind)) {
+			t.Fatalf("storm trace has no %s events; the fault paths did not fire", kind)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		trace, shares := parallelWorkload(t, workers, true)
+		if !bytes.Equal(seqTrace, trace) {
+			i := 0
+			for i < len(trace) && i < len(seqTrace) && trace[i] == seqTrace[i] {
+				i++
+			}
+			t.Fatalf("ScoreWorkers=%d storm trace diverges from sequential at byte %d (lengths %d vs %d)",
+				workers, i, len(trace), len(seqTrace))
+		}
+		for name, want := range seqShares {
+			if got := shares[name]; got != want {
+				t.Fatalf("ScoreWorkers=%d: share[%s] = %v, sequential %v", workers, name, got, want)
 			}
 		}
 	}

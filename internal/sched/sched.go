@@ -26,7 +26,9 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
@@ -176,6 +178,13 @@ type Job struct {
 	creditFrac float64
 	// relocating guards one in-flight consolidation migration per job.
 	relocating bool
+	// outageRequeuedAt stamps the instant an outage tore this job off a
+	// failed cloud; the next dispatch observes the gap as its recovery time.
+	// retryAt holds the job in the queue until a transient launch failure's
+	// backoff lapses; launchRetries counts that dispatch's retry attempts.
+	outageRequeuedAt sim.Time
+	retryAt          sim.Time
+	launchRetries    int
 }
 
 // unfitMark is one cloud's entry in a single-cloud job's watermark record:
@@ -475,6 +484,30 @@ type Config struct {
 	// member clouds is live-migrated onto it (backends exposing Relocator),
 	// cutting its cross-site shuffle to zero. Off by default.
 	EnableConsolidation bool
+	// NaiveFaultMode is the E14 baseline: outage victims requeue with zero
+	// progress credit and restored clouds are never quarantined, however
+	// often they flap. Off by default (degraded-mode handling: credit
+	// preserved, flappers quarantined).
+	NaiveFaultMode bool
+	// FlapThreshold is how many failures within FlapWindow mark a cloud as
+	// flapping; its next restore is then quarantined. Zero means 2.
+	FlapThreshold int
+	// FlapWindow is the failure-streak window for flap detection. Zero
+	// means 10 minutes.
+	FlapWindow sim.Time
+	// FaultQuarantineBase is the first quarantine's nominal length; it
+	// doubles per failure past the threshold. Zero means 60 s.
+	FaultQuarantineBase sim.Time
+	// FaultQuarantineMax caps the quarantine (and launch-retry) backoff.
+	// Zero means 15 minutes.
+	FaultQuarantineMax sim.Time
+	// LaunchRetries bounds how many times one job's transiently failed
+	// launches (ErrTransientLaunch) are retried before the job fails. Zero
+	// means 3; negative disables retries.
+	LaunchRetries int
+	// RetryBackoffBase is the first launch retry's nominal delay; it
+	// doubles per attempt. Zero means 5 s.
+	RetryBackoffBase sim.Time
 	// Obs is the metrics registry the scheduler's counters, gauges, and
 	// phase histograms register in — a federation passes its shared registry
 	// so every layer's families render from one /metrics endpoint. Nil
@@ -531,6 +564,26 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPreemptions == 0 {
 		c.MaxPreemptions = 3
+	}
+	if c.FlapThreshold == 0 {
+		c.FlapThreshold = 2
+	}
+	if c.FlapWindow == 0 {
+		c.FlapWindow = 10 * sim.Minute
+	}
+	if c.FaultQuarantineBase == 0 {
+		c.FaultQuarantineBase = 60 * sim.Second
+	}
+	if c.FaultQuarantineMax == 0 {
+		c.FaultQuarantineMax = 15 * sim.Minute
+	}
+	if c.LaunchRetries == 0 {
+		c.LaunchRetries = 3
+	} else if c.LaunchRetries < 0 {
+		c.LaunchRetries = 0
+	}
+	if c.RetryBackoffBase == 0 {
+		c.RetryBackoffBase = 5 * sim.Second
 	}
 	return c
 }
@@ -722,8 +775,21 @@ type Scheduler struct {
 	slotsTotals []int
 	slotsOK     bool
 
+	// Fault state (faults.go), allocated lazily on the first fault event so
+	// fault-free runs carry only nil pointers: downClouds tracks outages in
+	// progress, quarUntil readmission quarantines, failStreak/lastFail the
+	// per-cloud flap history. faultRNG is the jitter stream for quarantine
+	// and retry backoff, seeded from the kernel RNG at first use — zero
+	// kernel draws when faults never fire.
+	downClouds map[string]bool
+	quarUntil  map[string]sim.Time
+	failStreak map[string]int
+	lastFail   map[string]sim.Time
+	faultRNG   *rand.Rand
+
 	cyclePending  bool
 	cycleFn       func() // s.cycle as a value, built once (kick is hot)
+	kickFn        func() // s.kick as a value (fault paths schedule it)
 	elasticOn     bool
 	cancelElastic func()
 	patternOf     map[string]string // tenant -> detected pattern
@@ -757,6 +823,7 @@ func New(b Backend, cfg Config) *Scheduler {
 		tr:        cfg.Trace,
 	}
 	s.cycleFn = s.cycle
+	s.kickFn = s.kick
 	// One completion callback for every launch: dispatch hands this to
 	// Backend.Launch instead of closing over each job.
 	s.doneCB = func(j *Job, out Outcome) { s.complete(j, out) }
@@ -988,7 +1055,13 @@ func (s *Scheduler) cycle() {
 	s.prevResv, s.resv = s.resv, nil
 	s.dropShields()
 	v := &s.view
-	v.Reset(s.snapshotClouds())
+	snap := s.snapshotClouds()
+	if len(s.quarUntil) > 0 {
+		// Readmit lapsed quarantines, hide the rest from every decision this
+		// cycle makes. Free when no cloud is quarantined (nil-map len check).
+		snap = s.pruneQuarantine(snap)
+	}
+	v.Reset(snap)
 	if s.sealMatches(v) {
 		// The world this cycle sees is byte-identical to the one the
 		// previous cycle left: every plan memo entry is still the answer
@@ -1008,6 +1081,13 @@ func (s *Scheduler) cycle() {
 			break
 		}
 		j := t.queue[t.scan]
+		if j.retryAt > s.K.Now() {
+			// Transient-launch backoff in progress: leave the job queued (a
+			// kick is already scheduled for when the backoff lapses) and let
+			// the queue behind it proceed.
+			t.scan++
+			continue
+		}
 		if j.Spec.External() {
 			s.dispatchExternal(t, j)
 			continue
@@ -1356,10 +1436,36 @@ func (s *Scheduler) dispatch(t *Tenant, j *Job, plan Plan, backfilled bool, v *C
 	s.insertReleases(j)
 	h, err := s.B.Launch(j, plan, s.doneCB)
 	if err != nil {
+		if errors.Is(err, ErrTransientLaunch) && j.launchRetries < s.cfg.LaunchRetries {
+			// A deploy-path failure the backend believes is transient:
+			// requeue (undoing this dispatch's charge and release entries)
+			// and hold the job behind a jittered backoff. The next attempt
+			// re-places from scratch, so a cloud still dropping deploys can
+			// lose the job to an alternate candidate.
+			j.launchRetries++
+			s.m.launchRetries.Inc()
+			d := s.retryBackoff(j.launchRetries)
+			if s.tr != nil {
+				s.trace(obs.TraceEvent{Kind: "requeue", Tenant: t.Name, Job: j.ID,
+					Cloud: j.Cloud, Workers: j.workers(), Cores: j.Cores(),
+					Start: int64(s.K.Now() + d)})
+			}
+			s.requeue(j, 0)
+			j.retryAt = s.K.Now() + d
+			s.K.Schedule(d, s.kickFn)
+			return
+		}
 		s.complete(j, Outcome{Err: err})
 		return
 	}
 	j.handle = h
+	j.launchRetries = 0
+	if j.outageRequeuedAt > 0 {
+		// The gang an outage tore down is running again: the gap is the
+		// scheduler's recovery time for this job.
+		s.m.recoverySeconds.Observe((now - j.outageRequeuedAt).Seconds())
+		j.outageRequeuedAt = 0
+	}
 }
 
 // dispatchExternal starts an external (gate-admitted) job: fair-share

@@ -42,6 +42,11 @@ type SimBackend struct {
 	// Launches counts Launch calls.
 	Launches int
 
+	// failNext maps cloud -> remaining injected transient launch failures:
+	// while positive, a Launch whose plan touches the cloud consumes one
+	// strike and fails with ErrTransientLaunch (see FailNextLaunches).
+	failNext map[string]int
+
 	// Launch-time estimate view, rebuilt only when the cloud set changes:
 	// planEstimateSeconds reads nothing but static attributes (name, speed)
 	// from it, so the free cores it carries are allowed to go stale.
@@ -105,6 +110,31 @@ func (b *SimBackend) UseLogNormalOverrun(mu, sigma float64) {
 	b.Overrun = func(*Job) float64 {
 		return math.Exp(mu + sigma*rng.NormFloat64())
 	}
+}
+
+// FailCloud crashes a synthetic cloud: the ledger's outage transition closes
+// every lease and committed core there in one generation-bumped step and
+// refuses new admissions until RestoreCloud. Returns the cores lost. The
+// caller (replay driver, test) follows up with a Notify(EventCloudFailed) so
+// the scheduler requeues the affected gangs — the ledger transition must come
+// first, which is why the backend does not notify itself.
+func (b *SimBackend) FailCloud(name string) (int, error) {
+	return b.ledger.FailCloud(name)
+}
+
+// RestoreCloud ends a synthetic cloud's outage.
+func (b *SimBackend) RestoreCloud(name string) error {
+	return b.ledger.RestoreCloud(name)
+}
+
+// FailNextLaunches makes the next n Launch calls whose plan touches the
+// cloud fail with ErrTransientLaunch before acquiring anything — the
+// injected deploy fault that fuels the scheduler's retry/backoff path.
+func (b *SimBackend) FailNextLaunches(cloud string, n int) {
+	if b.failNext == nil {
+		b.failNext = make(map[string]int)
+	}
+	b.failNext[cloud] += n
 }
 
 // Cloud returns a synthetic cloud by name, or nil.
@@ -366,6 +396,17 @@ func (h *SimHandle) rollback() {
 // run for the plan-level estimate (slowest member speed + uncovered-input
 // streaming + cross-site shuffle), release everything at completion.
 func (b *SimBackend) Launch(j *Job, plan Plan, onDone func(*Job, Outcome)) (Handle, error) {
+	if len(b.failNext) > 0 {
+		for _, m := range plan.Members {
+			if b.failNext[m.Cloud] > 0 {
+				b.failNext[m.Cloud]--
+				if b.failNext[m.Cloud] == 0 {
+					delete(b.failNext, m.Cloud)
+				}
+				return nil, fmt.Errorf("sched: deploy fault on %s: %w", m.Cloud, ErrTransientLaunch)
+			}
+		}
+	}
 	per := j.coresPerWorker()
 	if b.viewClouds != len(b.clouds) {
 		b.snapScratch = b.AppendClouds(b.snapScratch[:0])

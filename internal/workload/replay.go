@@ -67,6 +67,12 @@ type Result struct {
 	SpotRevocations int
 	Consolidations  int
 
+	// Fault-tolerance columns, all zero for a fault-free trace.
+	Outages        int // outage events replayed (full crashes reaching the scheduler)
+	OutageRequeues int // running gangs torn down and requeued by outages
+	Quarantines    int // flapping clouds placed behind readmission backoff
+	LaunchRetries  int // transiently failed launches retried with backoff
+
 	// ShareErrorMax is the largest |delivered − entitled| share across
 	// tenants at drain time: how far the policy let fairness drift.
 	ShareErrorMax float64
@@ -112,6 +118,12 @@ func Replay(tr *Trace, cfg ReplayConfig) (Result, error) {
 	// order).
 	var spotLive []string
 	var submitErr error
+	// Fault-episode state, allocated only when the trace carries faults:
+	// partialLost remembers how many cores each partially-down cloud lost (so
+	// its restore knows the base to return to), baseBW caches a degraded
+	// link's pre-fault bandwidth.
+	var partialLost map[string]int
+	var baseBW map[[2]string]float64
 	var inject func(i int)
 	process := func(ev *Event) {
 		switch ev.Kind {
@@ -164,6 +176,85 @@ func Replay(tr *Trace, cfg ReplayConfig) (Result, error) {
 				}
 			}
 			spotLive = live
+		case KindOutage:
+			if ev.Partial > 0 {
+				// Partial host loss: capacity shrinks, survivors keep
+				// running. Track the loss so the restore knows the base.
+				c := b.Cloud(ev.Cloud)
+				if c == nil {
+					if submitErr == nil {
+						submitErr = fmt.Errorf("workload: outage on unknown cloud %q", ev.Cloud)
+					}
+					return
+				}
+				if partialLost == nil {
+					partialLost = make(map[string]int)
+				}
+				total := c.Total()
+				lost := ev.Partial
+				if lost >= total {
+					lost = total - 1 // a full crash is spelled Partial == 0
+				}
+				if lost <= 0 || partialLost[ev.Cloud] > 0 {
+					return // malformed or overlapping episode: skip
+				}
+				partialLost[ev.Cloud] = lost
+				c.SetTotal(total - lost)
+				return
+			}
+			// Full crash: the ledger transition first (leases close,
+			// committed cores zero), then the scheduler requeues the gangs
+			// that lived there.
+			if _, err := b.FailCloud(ev.Cloud); err != nil {
+				if submitErr == nil {
+					submitErr = fmt.Errorf("workload: outage: %w", err)
+				}
+				return
+			}
+			s.Notify(sched.Event{Kind: sched.EventCloudFailed, Cloud: ev.Cloud})
+		case KindRestore:
+			if lost := partialLost[ev.Cloud]; lost > 0 {
+				delete(partialLost, ev.Cloud)
+				c := b.Cloud(ev.Cloud)
+				c.SetTotal(c.Total() + lost)
+				// Not a ledger restore, but capacity returned: poke the
+				// scheduler so queued jobs recheck.
+				s.Notify(sched.Event{Kind: sched.EventCloudRestored, Cloud: ev.Cloud})
+				return
+			}
+			if err := b.RestoreCloud(ev.Cloud); err != nil {
+				if submitErr == nil {
+					submitErr = fmt.Errorf("workload: restore: %w", err)
+				}
+				return
+			}
+			s.Notify(sched.Event{Kind: sched.EventCloudRestored, Cloud: ev.Cloud})
+		case KindDegrade:
+			if baseBW == nil {
+				baseBW = make(map[[2]string]float64)
+			}
+			key := [2]string{ev.Cloud, ev.Peer}
+			if ev.Factor >= 1 {
+				// Factor 1 ends the episode: the link returns to its
+				// pre-degradation bandwidth.
+				if base, ok := baseBW[key]; ok {
+					b.SetBandwidth(ev.Cloud, ev.Peer, base)
+					delete(baseBW, key)
+				}
+				return
+			}
+			base, ok := baseBW[key]
+			if !ok {
+				base = b.Bandwidth(ev.Cloud, ev.Peer)
+				baseBW[key] = base
+			}
+			b.SetBandwidth(ev.Cloud, ev.Peer, base*ev.Factor)
+		case KindDeployFault:
+			strikes := ev.Strikes
+			if strikes <= 0 {
+				strikes = 1
+			}
+			b.FailNextLaunches(ev.Cloud, strikes)
 		}
 	}
 	inject = func(i int) {
@@ -225,6 +316,10 @@ func Replay(tr *Trace, cfg ReplayConfig) (Result, error) {
 	res.Preemptions = s.Preemptions()
 	res.SpotRevocations = s.SpotRevocations()
 	res.Consolidations = s.Consolidations()
+	res.Outages = s.Outages()
+	res.OutageRequeues = s.OutageRequeues()
+	res.Quarantines = s.Quarantines()
+	res.LaunchRetries = s.LaunchRetries()
 	shares, entitled := s.Shares(), s.EntitledShares()
 	for _, t := range tr.Header.Tenants {
 		if err := shares[t.Name] - entitled[t.Name]; err > res.ShareErrorMax {

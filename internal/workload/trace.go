@@ -25,6 +25,25 @@ const (
 	// Event.At: running spot jobs with a plan slice there lose one worker
 	// each, oldest submission first, up to Strikes jobs (0 = every one).
 	KindRevoke = "revoke"
+
+	// Fault episode kinds (see internal/faults for the generator).
+
+	// KindOutage takes Event.Cloud down at Event.At. Partial > 0 is a
+	// partial host loss — the cloud's capacity shrinks by that many cores
+	// but survivors keep running; Partial == 0 is a full crash — every
+	// lease and committed core on the cloud is evicted (ledger FailCloud)
+	// and the scheduler requeues gangs with members there.
+	KindOutage = "outage"
+	// KindRestore returns Event.Cloud to full capacity, ending its outage.
+	KindRestore = "restore"
+	// KindDegrade multiplies the WAN link Event.Cloud <-> Event.Peer to
+	// Factor x its base bandwidth (Factor 1 restores it). Degradation is a
+	// rerouting trigger, not an error: future placements and consolidations
+	// just price the slower link.
+	KindDegrade = "degrade"
+	// KindDeployFault makes the next Strikes launch attempts touching
+	// Event.Cloud fail transiently (min 1) — the retry/backoff path's fuel.
+	KindDeployFault = "deployfault"
 )
 
 // TraceVersion is the schema version written by Save and required by Load.
@@ -61,9 +80,14 @@ type Event struct {
 	Spot            bool    `json:"spot,omitempty"`
 	Bid             float64 `json:"bid,omitempty"`
 
-	// Revoke fields.
+	// Revoke and fault fields.
 	Cloud   string `json:"cloud,omitempty"`
 	Strikes int    `json:"strikes,omitempty"`
+
+	// Fault fields (outage/degrade episodes).
+	Partial int     `json:"partial,omitempty"` // outage: cores lost (0 = full crash)
+	Peer    string  `json:"peer,omitempty"`    // degrade: the link's far end
+	Factor  float64 `json:"factor,omitempty"`  // degrade: bandwidth multiplier
 }
 
 // Trace is a replayable workload: header plus time-ordered events.
@@ -150,6 +174,14 @@ func Load(r io.Reader) (*Trace, error) {
 		case KindRevoke:
 			if ev.Cloud == "" {
 				return nil, fmt.Errorf("workload: line %d: revoke needs cloud", line)
+			}
+		case KindOutage, KindRestore, KindDeployFault:
+			if ev.Cloud == "" {
+				return nil, fmt.Errorf("workload: line %d: %s needs cloud", line, ev.Kind)
+			}
+		case KindDegrade:
+			if ev.Cloud == "" || ev.Peer == "" || ev.Factor <= 0 {
+				return nil, fmt.Errorf("workload: line %d: degrade needs cloud, peer, and factor", line)
 			}
 		default:
 			return nil, fmt.Errorf("workload: line %d: unknown kind %q", line, ev.Kind)
