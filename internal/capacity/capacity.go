@@ -439,6 +439,13 @@ type Ledger struct {
 	// per-transition cost is then one nil check.
 	jrn *Journal
 
+	// viewVer counts every state transition (unlike gen, which only moves
+	// on cloud-set/total changes and forced transitions); view caches the
+	// snapshot published at the last View() call. Together they give
+	// readers a lock-free consistent snapshot — see view.go.
+	viewVer atomic.Uint64
+	view    atomic.Pointer[View]
+
 	// m mirrors transition counts into a registry when Instrument was
 	// called; zero-value (nil instruments) otherwise.
 	m ledgerMetrics
@@ -448,6 +455,11 @@ type Ledger struct {
 func New() *Ledger {
 	return &Ledger{accounts: make(map[string]*account)}
 }
+
+// dirty marks the ledger state as moved since the last published read view.
+// Called under the write lock at every state transition; multiple bumps in
+// one critical section are harmless (readers only compare for equality).
+func (l *Ledger) dirty() { l.viewVer.Add(1) }
 
 // AddCloud registers a cloud's total core capacity. Re-adding an existing
 // cloud only updates its total.
@@ -464,6 +476,7 @@ func (l *Ledger) addCloud(name string, totalCores int) {
 			a.total = totalCores
 			l.jrec(Rec{Op: OpCloud, Cloud: name, Cores: totalCores})
 			l.gen.Add(1)
+			l.dirty()
 		}
 		return
 	}
@@ -476,6 +489,7 @@ func (l *Ledger) addCloud(name string, totalCores int) {
 	}
 	l.jrec(Rec{Op: OpCloud, Cloud: name, Cores: totalCores})
 	l.gen.Add(1)
+	l.dirty()
 }
 
 // Generation returns a counter bumped whenever the cloud set or any cloud's
@@ -758,6 +772,7 @@ func (l *Ledger) newLease(a *account, cores int, k Kind, at, end sim.Time) *Leas
 	*a.kindCores(k) += cores
 	a.index(le, true)
 	l.jrec(Rec{Op: OpLease, Cloud: a.name, ID: le.id, Cores: cores, Kind: int(k), At: int64(at), End: int64(end)})
+	l.dirty()
 	return le
 }
 
@@ -812,6 +827,7 @@ func (le *Lease) commit() error {
 	a.index(le, false)
 	a.committed += le.Cores
 	le.l.jrec(Rec{Op: OpCommit, ID: le.id})
+	le.l.dirty()
 	return nil
 }
 
@@ -835,6 +851,7 @@ func (le *Lease) release() {
 	*a.kindCores(le.Kind) -= le.Cores
 	a.index(le, false)
 	le.l.jrec(Rec{Op: OpRelease, ID: le.id})
+	le.l.dirty()
 }
 
 // Uncommit returns committed cores to the pool (VM termination, shrink,
@@ -852,6 +869,7 @@ func (l *Ledger) Uncommit(cloud string, cores int) {
 		a.committed = 0
 	}
 	l.jrec(Rec{Op: OpUncommit, Cloud: cloud, Cores: cores})
+	l.dirty()
 }
 
 // CommitNow acquires and immediately commits cores — single-step admission
@@ -952,6 +970,7 @@ func (l *Ledger) Retarget(from, to string, cores int) error {
 	l.Retargets++
 	l.m.retargets.Inc()
 	l.gen.Add(1)
+	l.dirty()
 	return nil
 }
 
@@ -1055,6 +1074,7 @@ func (l *Ledger) FailCloud(name string) (int, error) {
 	l.CloudFailures++
 	l.m.cloudFailures.Inc()
 	l.gen.Add(1)
+	l.dirty()
 	return lost, nil
 }
 
@@ -1075,6 +1095,7 @@ func (l *Ledger) RestoreCloud(name string) error {
 	l.CloudRestores++
 	l.m.cloudRestores.Inc()
 	l.gen.Add(1)
+	l.dirty()
 	return nil
 }
 

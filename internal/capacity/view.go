@@ -1,0 +1,172 @@
+package capacity
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// View is an immutable read snapshot of the ledger: per-cloud committed/held
+// aggregates plus the two time indexes flattened into plain sorted slices
+// with prefix sums. N score workers probing a View concurrently share
+// nothing mutable, so the reads never contend on the ledger mutex — the
+// lock-free read path the parallel scheduler phases (backfill scan,
+// eviction what-if fits, elastic consolidation targeting) fan out over.
+//
+// Publication rule: writers bump an internal version counter on every state
+// transition (lease create/commit/release, commit-aggregate moves, fail/
+// restore, retargets, capacity changes); View() returns the cached snapshot
+// while the version is unchanged and rebuilds under the read lock when it
+// moved. A reader therefore sees one consistent ledger state — the one
+// current at its View() call — until it asks for a new view; concurrent
+// writers never mutate a published snapshot.
+//
+// Every arithmetic path mirrors the locked implementation exactly
+// (free/loadAt/headroom/probe), so View answers are bit-identical to the
+// locked ones against the same state — the property the view_test.go oracle
+// and race stress lock in.
+type View struct {
+	l        *Ledger
+	ver      uint64
+	gen      uint64
+	accounts map[string]*viewAccount
+}
+
+// viewAccount is one cloud's frozen state. The time indexes are flattened
+// from the ledger's unrolled buckets into single sorted runs: the view is
+// read-only, so the bucketed structure's cheap-insert property buys nothing
+// and the flat form makes coresBy one binary search.
+type viewAccount struct {
+	total     int
+	committed int
+	held      int
+	failed    bool
+	heldEnds  viewIndex
+	resvStart viewIndex
+}
+
+// viewIndex is a flattened timeIndex: entries in (at, id) order with a
+// prefix sum of cores.
+type viewIndex struct {
+	ents []timedCores
+	cum  []int
+}
+
+// flatten copies a timeIndex into flat sorted slices.
+func flatten(x *timeIndex) viewIndex {
+	if x.n == 0 {
+		return viewIndex{}
+	}
+	f := viewIndex{
+		ents: make([]timedCores, 0, x.n),
+		cum:  make([]int, x.n),
+	}
+	for _, b := range x.buckets {
+		f.ents = append(f.ents, b.ents...)
+	}
+	prev := 0
+	for i, e := range f.ents {
+		prev += e.cores
+		f.cum[i] = prev
+	}
+	return f
+}
+
+// coresBy returns the total cores of entries with at <= t — the flat
+// mirror of timeIndex.coresBy.
+func (f *viewIndex) coresBy(t sim.Time) int {
+	j := sort.Search(len(f.ents), func(i int) bool { return f.ents[i].at > t })
+	if j == 0 {
+		return 0
+	}
+	return f.cum[j-1]
+}
+
+// View returns the current read snapshot, building one only when the ledger
+// has changed since the last published view. The fast path is two atomic
+// loads; the rebuild path holds the read lock only while copying state. A
+// racing pair of rebuilders may publish out of order — harmless, since any
+// published view is internally consistent and a stale cache entry fails the
+// version check on the next call.
+func (l *Ledger) View() *View {
+	if v := l.view.Load(); v != nil && v.ver == l.viewVer.Load() {
+		return v
+	}
+	l.mu.RLock()
+	v := &View{
+		l:        l,
+		ver:      l.viewVer.Load(), // stable: bumps happen under the write lock
+		gen:      l.gen.Load(),
+		accounts: make(map[string]*viewAccount, len(l.accounts)),
+	}
+	for name, a := range l.accounts {
+		v.accounts[name] = &viewAccount{
+			total:     a.total,
+			committed: a.committed,
+			held:      a.held,
+			failed:    a.failed,
+			heldEnds:  flatten(&a.heldEnds),
+			resvStart: flatten(&a.resvStarts),
+		}
+	}
+	l.mu.RUnlock()
+	l.view.Store(v)
+	return v
+}
+
+// Generation returns the ledger generation the view was built at — the value
+// optimistic committers (AcquireUntilGen) validate against.
+func (v *View) Generation() uint64 { return v.gen }
+
+// Current reports whether the view still reflects the ledger's live state —
+// no transition has committed since it was built. Two atomic loads, so
+// callers holding a view across a mutation window can fall back to the
+// locked path exactly when the snapshot went stale.
+func (v *View) Current() bool { return v.ver == v.l.viewVer.Load() }
+
+// Free mirrors Ledger.Free against the snapshot.
+func (v *View) Free(cloud string) int {
+	a := v.accounts[cloud]
+	if a == nil || a.failed {
+		return 0
+	}
+	return a.total - a.committed - a.held
+}
+
+// loadAt mirrors account.loadAt against the snapshot.
+func (a *viewAccount) loadAt(t sim.Time) int {
+	return a.committed + a.held - a.heldEnds.coresBy(t) + a.resvStart.coresBy(t)
+}
+
+// Headroom mirrors Ledger.Headroom against the snapshot: the load at `at`
+// and at every later reservation start bounds the indefinite claim.
+func (v *View) Headroom(cloud string, at sim.Time) int {
+	a := v.accounts[cloud]
+	if a == nil || a.failed {
+		return 0
+	}
+	head := a.total - a.loadAt(at)
+	ents := a.resvStart.ents
+	for i := sort.Search(len(ents), func(k int) bool { return ents[k].at > at }); i < len(ents); i++ {
+		if h := a.total - a.loadAt(ents[i].at); h < head {
+			head = h
+		}
+	}
+	if head < 0 {
+		return 0
+	}
+	return head
+}
+
+// Probe mirrors Ledger.Probe against the snapshot. The probe counter is a
+// registry atomic, so incrementing it from concurrent workers is safe.
+func (v *View) Probe(cloud string, cores int, at sim.Time) bool {
+	v.l.m.probes.Inc()
+	if v.accounts[cloud] == nil {
+		return false
+	}
+	if cores <= 0 {
+		return true
+	}
+	return v.Headroom(cloud, at) >= cores
+}

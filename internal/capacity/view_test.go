@@ -1,0 +1,231 @@
+package capacity
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// viewOracleCompare asserts the view answers match the locked path exactly
+// over every cloud and a grid of instants.
+func viewOracleCompare(t *testing.T, l *Ledger, clouds []string, step string) {
+	t.Helper()
+	v := l.View()
+	instants := []sim.Time{0, sim.FromSeconds(1), sim.FromSeconds(10), sim.FromSeconds(50),
+		sim.FromSeconds(100), sim.FromSeconds(500), sim.FromSeconds(1000), sim.FromSeconds(5000)}
+	for _, c := range append(append([]string(nil), clouds...), "no-such-cloud") {
+		if got, want := v.Free(c), l.Free(c); got != want {
+			t.Fatalf("%s: View.Free(%s) = %d, locked = %d", step, c, got, want)
+		}
+		for _, at := range instants {
+			if got, want := v.Headroom(c, at), l.Headroom(c, at); got != want {
+				t.Fatalf("%s: View.Headroom(%s, %v) = %d, locked = %d", step, c, at, got, want)
+			}
+			for _, n := range []int{-1, 0, 1, 4, 16, 64, 1000} {
+				if got, want := v.Probe(c, n, at), l.Probe(c, n, at); got != want {
+					t.Fatalf("%s: View.Probe(%s, %d, %v) = %v, locked = %v", step, c, n, at, got, want)
+				}
+			}
+		}
+	}
+	if v.Generation() != l.Generation() {
+		t.Fatalf("%s: View.Generation() = %d, locked = %d", step, v.Generation(), l.Generation())
+	}
+}
+
+// TestViewMatchesLockedOracle drives a random lease lifecycle workload and
+// cross-checks View() against the locked Free/Headroom/Probe path after
+// every mutation — the bit-identity contract the parallel scheduler phases
+// rely on.
+func TestViewMatchesLockedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := New()
+	clouds := []string{"a", "b", "c", "d"}
+	for i, c := range clouds {
+		l.AddCloud(c, 32+16*i)
+	}
+	var live []*Lease
+	for op := 0; op < 2000; op++ {
+		c := clouds[rng.Intn(len(clouds))]
+		switch rng.Intn(10) {
+		case 0, 1: // acquire, maybe with an estimated end
+			var end sim.Time
+			if rng.Intn(2) == 0 {
+				end = sim.FromSeconds(float64(1 + rng.Intn(900)))
+			}
+			if le, err := l.AcquireUntil(c, 1+rng.Intn(8), end); err == nil {
+				live = append(live, le)
+			}
+		case 2, 3: // reserve a future claim
+			at := sim.FromSeconds(float64(1 + rng.Intn(900)))
+			if le, err := l.Reserve(c, 1+rng.Intn(16), at); err == nil {
+				live = append(live, le)
+			}
+		case 4: // commit a live lease
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				live[i].Commit()
+				live = append(live[:i], live[i+1:]...)
+			}
+		case 5: // release a live lease
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				live[i].Release()
+				live = append(live[:i], live[i+1:]...)
+			}
+		case 6: // evict a live lease into a shield reservation
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				shield, _ := l.Evict(live[i], sim.FromSeconds(float64(1+rng.Intn(900))))
+				live = append(live[:i], live[i+1:]...)
+				if shield != nil {
+					live = append(live, shield)
+				}
+			}
+		case 7: // uncommit some committed cores
+			l.Uncommit(c, 1+rng.Intn(8))
+		case 8: // fail, then sometimes restore
+			l.FailCloud(c)
+			// Drop leases the outage closed.
+			kept := live[:0]
+			for _, le := range live {
+				if le.Active() {
+					kept = append(kept, le)
+				}
+			}
+			live = kept
+			if rng.Intn(2) == 0 {
+				l.RestoreCloud(c)
+			}
+		case 9: // retarget part of a live lease
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				le := live[i]
+				if moved, err := le.Retarget(clouds[rng.Intn(len(clouds))], 1+rng.Intn(le.Cores)); err == nil && moved != le {
+					if !le.Active() {
+						live = append(live[:i], live[i+1:]...)
+					}
+					live = append(live, moved)
+				}
+			}
+		}
+		viewOracleCompare(t, l, clouds, fmt.Sprintf("op %d", op))
+	}
+}
+
+// TestViewCachePublishes asserts the view cache is reused while the ledger
+// is quiescent and replaced after any mutation.
+func TestViewCachePublishes(t *testing.T) {
+	l := New()
+	l.AddCloud("a", 16)
+	v1 := l.View()
+	if v2 := l.View(); v1 != v2 {
+		t.Fatalf("quiescent View() rebuilt the snapshot")
+	}
+	le, err := l.Acquire("a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3 := l.View()
+	if v3 == v1 {
+		t.Fatalf("View() returned the stale snapshot after a mutation")
+	}
+	if v1.Free("a") != 16 || v3.Free("a") != 12 {
+		t.Fatalf("snapshot immutability broken: v1.Free=%d v3.Free=%d", v1.Free("a"), v3.Free("a"))
+	}
+	le.Release()
+}
+
+// TestViewRaceStress hammers View() readers against concurrent writers —
+// the -race sanity check for the lock-free read path — then quiesces and
+// cross-checks against the locked oracle. Readers assert only internal
+// consistency invariants (a snapshot never yields a negative headroom or a
+// probe disagreeing with its own headroom), since they race real writers.
+func TestViewRaceStress(t *testing.T) {
+	clouds := []string{"a", "b", "c", "d", "e", "f"}
+	for round := 0; round < 4; round++ {
+		l := New()
+		for i, c := range clouds {
+			l.AddCloud(c, 64+32*i)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v := l.View()
+					c := clouds[rng.Intn(len(clouds))]
+					at := sim.FromSeconds(float64(rng.Intn(500)))
+					head := v.Headroom(c, at)
+					if head < 0 {
+						t.Errorf("View.Headroom(%s) negative: %d", c, head)
+						return
+					}
+					if head > 0 && !v.Probe(c, head, at) {
+						t.Errorf("View.Probe(%s, %d) false with headroom %d", c, head, head)
+						return
+					}
+					if v.Probe(c, head+1, at) {
+						t.Errorf("View.Probe(%s, %d) true beyond headroom %d", c, head+1, head)
+						return
+					}
+					_ = v.Free(c)
+				}
+			}(int64(100 + r))
+		}
+		var wwg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wwg.Add(1)
+			go func(seed int64) {
+				defer wwg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				var mine []*Lease
+				for op := 0; op < 3000; op++ {
+					c := clouds[rng.Intn(len(clouds))]
+					switch rng.Intn(8) {
+					case 0, 1, 2:
+						var end sim.Time
+						if rng.Intn(2) == 0 {
+							end = sim.FromSeconds(float64(1 + rng.Intn(400)))
+						}
+						if le, err := l.AcquireUntil(c, 1+rng.Intn(4), end); err == nil {
+							mine = append(mine, le)
+						}
+					case 3:
+						if le, err := l.Reserve(c, 1+rng.Intn(8), sim.FromSeconds(float64(1+rng.Intn(400)))); err == nil {
+							mine = append(mine, le)
+						}
+					case 4, 5:
+						if len(mine) > 0 {
+							i := rng.Intn(len(mine))
+							mine[i].Release()
+							mine = append(mine[:i], mine[i+1:]...)
+						}
+					case 6:
+						l.FailCloud(c)
+					case 7:
+						l.RestoreCloud(c)
+					}
+				}
+				for _, le := range mine {
+					le.Release()
+				}
+			}(int64(200 + w))
+		}
+		wwg.Wait()
+		close(stop)
+		wg.Wait()
+		viewOracleCompare(t, l, clouds, fmt.Sprintf("round %d quiesced", round))
+	}
+}

@@ -483,6 +483,17 @@ func (s *Scheduler) backfillOK(b *Job, plan Plan, resv *reservation, v *CloudVie
 			return s.backfillOKMemo(b, m, resv, v)
 		}
 	}
+	return s.backfillFits(b, plan, resv, v)
+}
+
+// backfillFits is backfillOK's arithmetic without the memo machinery: a
+// pure function of the job, the plan, the reservation, the frozen view,
+// and the cycle's per-cloud release sums at the reservation instant
+// (s.relSumAtResv, fixed while the reservation stands). Touching no
+// mutable scheduler state, it is the form the parallel backfill scan's
+// workers judge candidates with (speculateBackfill); the verdict equals
+// backfillOKMemo's — !shared ∨ finish≤resv.at ∨ capOK — by construction.
+func (s *Scheduler) backfillFits(b *Job, plan Plan, resv *reservation, v *CloudView) bool {
 	shared := false
 	for _, m := range plan.Members {
 		if resv.plan.WorkersOn(m.Cloud) > 0 {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -82,12 +83,16 @@ type schedMetrics struct {
 // newSchedMetrics registers the scheduler's instruments in reg (a private
 // registry when nil, so the scheduler always runs instrumented — the
 // benchdiff gate measures the real hot path).
-func newSchedMetrics(reg *obs.Registry) schedMetrics {
+func newSchedMetrics(reg *obs.Registry, workers int) schedMetrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// The workers label pins each phase series to the resolved pool size, so
+	// scrapes can tell a phase-speedup regression (same workers, slower
+	// phase) from a worker-count change.
 	phase := reg.HistogramVec("sky_sched_phase_seconds",
-		"Wall-clock time per scheduling phase per cycle.", phaseBuckets, "phase")
+		"Wall-clock time per scheduling phase per cycle.", phaseBuckets, "phase", "workers")
+	w := strconv.Itoa(workers)
 	// Monotonic clock: observePhases only ever differences samples, and
 	// time.Since's monotonic fast path costs roughly half a wall-clock read
 	// — the clock is sampled several times per cycle, so it shows up.
@@ -125,11 +130,11 @@ func newSchedMetrics(reg *obs.Registry) schedMetrics {
 		queuedJobs:            reg.Gauge("sky_sched_queued_jobs", "Jobs currently queued."),
 		runningJobs:           reg.Gauge("sky_sched_running_jobs", "Jobs currently running."),
 		scoreWorkers:          reg.Gauge("sky_sched_score_workers", "Resolved plan-scoring worker pool size (1 = sequential core)."),
-		phasePlacement:        phase.With("placement"),
-		phaseBackfill:         phase.With("backfill"),
-		phasePreemption:       phase.With("preemption"),
-		phaseElastic:          phase.With("elastic"),
-		phaseShardScan:        phase.With("shard_scan"),
+		phasePlacement:        phase.With("placement", w),
+		phaseBackfill:         phase.With("backfill", w),
+		phasePreemption:       phase.With("preemption", w),
+		phaseElastic:          phase.With("elastic", w),
+		phaseShardScan:        phase.With("shard_scan", w),
 		clock:                 func() int64 { return int64(time.Since(base)) },
 	}
 }

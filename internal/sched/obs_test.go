@@ -155,7 +155,7 @@ func TestPhaseProfiling(t *testing.T) {
 	if s.Completed() != 4 {
 		t.Fatalf("completed %d jobs, want 4", s.Completed())
 	}
-	n := s.Obs().Value("sky_sched_phase_seconds", "placement")
+	n := s.Obs().Value("sky_sched_phase_seconds", "placement", "1")
 	if n < float64(s.Cycles()) {
 		t.Errorf("placement phase observed %v times over %d cycles", n, s.Cycles())
 	}

@@ -86,8 +86,21 @@ const (
 	// the pool (reservePar).
 	parallelResvMin = 16
 	// parallelEvictMin is the victim-candidate count from which the
-	// eviction pricer runs pool-parallel.
+	// eviction pricer and the cheapest-prefix what-if fit run pool-parallel.
 	parallelEvictMin = 16
+	// parallelElasticMin is the running-job count from which the elastic
+	// pass evaluates grow/shrink/forced-preempt candidates pool-parallel.
+	parallelElasticMin = 16
+	// specBackfillPerWorker sizes the backfill speculation batch: after the
+	// head's reservation is held, at most this many queued candidates per
+	// pool worker get a speculated (plan, backfill-verdict) pair per
+	// fork-join. Any dispatch invalidates the batch (the free vector moved),
+	// so deeper speculation only burns work the commit path discards.
+	specBackfillPerWorker = 2
+	// specBackfillPerTenant caps one tenant's share of the speculation
+	// batch, so a single deep queue cannot crowd every other tenant's
+	// backfill candidates out of the fan-out.
+	specBackfillPerTenant = 4
 )
 
 // poolTask is one fork-join work item: fn(w, k) runs on a worker (w keys
@@ -165,11 +178,17 @@ func (p *scorePool) close() {
 
 // specEntry is one speculated head plan: the plan the sequential scan
 // would compute for the job against the frozen view, stamped with the
-// ledger generation and working-view version it was scored under.
+// ledger generation and working-view version it was scored under. Backfill
+// speculation (speculateBackfill) additionally stamps the reservation the
+// verdict was judged against — holdReservation installs a fresh
+// *reservation each time a claim is (re)computed, so pointer identity is
+// the validity key — and the verdict itself.
 type specEntry struct {
-	plan Plan
-	gen  uint64
-	ver  int
+	plan   Plan
+	gen    uint64
+	ver    int
+	bfOK   bool
+	bfResv *reservation
 }
 
 // rebuildShards recomputes the contiguous shard bounds over the
@@ -477,6 +496,264 @@ func (s *Scheduler) reservePar(j *Job, v *CloudView, releases []coreRelease, sc 
 		}
 	}
 	return reservation{}, false
+}
+
+// speculateBackfill scores, in parallel, a (plan, backfill-verdict) pair
+// for the queued jobs the scan is about to probe against the held
+// reservation — the parallel backfill scan. Each worker scores its
+// candidates against the frozen view with its own placeScratch and judges
+// the backfill gate through backfillFits, the pure form of backfillOK's
+// arithmetic (frozen free vector + the cycle's release sums at the
+// reservation instant). Entries land in the same optimistic-commit table
+// the head speculation uses: the commit path revalidates the view version
+// (any dispatch moved the free vector and drops the whole batch) and the
+// reservation pointer before trusting a verdict, and rescoring on conflict
+// is inline and authoritative — speculation can only save work, never
+// change a decision. Called when the reservation is first held and again
+// after each backfill dispatch, so the candidate walk between dispatches
+// runs across the pool.
+func (s *Scheduler) speculateBackfill(v *CloudView) {
+	if s.pool == nil || !s.memoable || s.resv == nil || s.cfg.DisableBackfill {
+		return
+	}
+	sc, ok := s.cfg.Placement.(scratchChooser)
+	if !ok {
+		return
+	}
+	now := s.K.Now()
+	maxCands := specBackfillPerWorker * s.pool.n
+	cands := s.bfCands[:0]
+	for _, t := range s.tenantList {
+		if len(cands) == maxCands {
+			break
+		}
+		start := 0
+		if t.scanCycle == s.cycleNum {
+			start = t.scan
+		}
+		for qi := start; qi < len(t.queue) && len(cands) < maxCands; qi++ {
+			j := t.queue[qi]
+			if j.Spec.External() || j.Spec.InputFractions != nil || j.retryAt > now || !s.canFit(j) {
+				continue
+			}
+			cands = append(cands, j)
+			if qi-start+1 >= specBackfillPerTenant {
+				break
+			}
+		}
+	}
+	s.bfCands = cands
+	if len(cands) < 2 {
+		return // nothing worth a fork-join
+	}
+	gen := s.B.Ledger().Generation()
+	ver := s.viewVer
+	resv := s.resv
+	for len(s.specEntries) < len(cands) {
+		s.specEntries = append(s.specEntries, specEntry{})
+	}
+	entries := s.specEntries[:len(cands)]
+	s.pool.run(len(cands), func(w, k int) {
+		j := cands[k]
+		var plan Plan
+		bfOK := false
+		if !s.provablyEmpty(j, v) {
+			// chooseWith copies the winning members out of the worker's
+			// scratch before returning, so the plan is owned.
+			plan = sc.chooseWith(s, j, v, &s.pool.scratch[w])
+		}
+		if !plan.Empty() {
+			bfOK = s.backfillFits(j, plan, resv, v)
+		}
+		entries[k] = specEntry{plan: plan, gen: gen, ver: ver, bfOK: bfOK, bfResv: resv}
+	})
+	for k, j := range cands {
+		s.spec[j] = entries[k]
+	}
+}
+
+// specBackfill returns the speculated backfill verdict for the job, valid
+// only when it was judged against the current reservation (pointer
+// identity) and the current working-view version. The caller must already
+// have consumed the entry's plan un-rescored (specPlan hit, planStale
+// false) — a rescored plan is not the one the verdict was judged for.
+func (s *Scheduler) specBackfill(j *Job) (ok, valid bool) {
+	if s.pool == nil || len(s.spec) == 0 || s.resv == nil {
+		return false, false
+	}
+	e, found := s.spec[j]
+	if !found || e.ver != s.viewVer || e.bfResv != s.resv {
+		return false, false
+	}
+	return e.bfOK, true
+}
+
+// victimPrefixPar is chooseVictims' pool-parallel what-if fit: the
+// availability vector after evicting each price-sorted candidate prefix is
+// accumulated sequentially (identical adds in identical order to the
+// sequential walk), then the per-prefix Choose probes — each a pure
+// function of (head, frozen availability vector) — fan across the pool in
+// prefix-order blocks. The smallest prefix yielding a non-empty plan is
+// the answer, exactly the sequential walk's; the plan itself is discarded
+// either way (preemptFor re-chooses after the evictions re-snapshot the
+// view). Returns the index of the last victim in the winning prefix, or -1
+// when even evicting every candidate leaves the head unplaceable.
+func (s *Scheduler) victimPrefixPar(head *Job, cand []*Job, av *CloudView, sc scratchChooser) int {
+	nc := len(av.Clouds)
+	flat := s.parResvFree[:0]
+	for _, victim := range cand {
+		cpw := victim.coresPerWorker()
+		for _, m := range victim.Plan.Members {
+			if p := av.Pos(m.Cloud); p >= 0 {
+				av.free[p] += m.Workers * cpw
+			}
+		}
+		flat = append(flat, av.free...)
+	}
+	s.parResvFree = flat
+	for len(s.parResvViews) < s.pool.n {
+		s.parResvViews = append(s.parResvViews, CloudView{})
+	}
+	views := s.parResvViews[:s.pool.n]
+	for w := range views {
+		views[w].Clouds, views[w].pos, views[w].names = av.Clouds, av.pos, av.names
+	}
+	block := 2 * s.pool.n
+	for len(s.parResvPlans) < block {
+		s.parResvPlans = append(s.parResvPlans, Plan{})
+	}
+	plans := s.parResvPlans[:block]
+	for start := 0; start < len(cand); start += block {
+		n := len(cand) - start
+		if n > block {
+			n = block
+		}
+		s.pool.run(n, func(w, k int) {
+			idx := start + k
+			wv := &views[w]
+			wv.free = flat[idx*nc : (idx+1)*nc]
+			var plan Plan
+			if !s.provablyEmpty(head, wv) {
+				// The plan is discarded; chooseWith still owns its members.
+				plan = sc.chooseWith(s, head, wv, &s.pool.scratch[w])
+			}
+			plans[k] = plan
+		})
+		for k := 0; k < n; k++ {
+			if !plans[k].Empty() {
+				return start + k
+			}
+		}
+	}
+	return -1
+}
+
+// elasticEval is one running job's parallel elastic evaluation: the
+// mutation-independent verdicts a worker can compute against frozen state,
+// applied later by the sequential commit walk.
+type elasticEval struct {
+	skip  bool
+	force bool
+	// cons records that the consolidation gates passed; consTo is the
+	// target the frozen ledger view produced (possibly ""). The commit
+	// walk recomputes the target against the live ledger when the view
+	// went stale (an earlier commit mutated capacity).
+	cons   bool
+	consTo string
+	// Progress observed at evaluation time. Progress is a pure read on
+	// every Handle implementation and no commit mutates another job's
+	// handle, so the values equal what the sequential interleaved walk
+	// would read at its turn.
+	md, mt, rd, rt int
+}
+
+// elasticPar is elasticTick's pool-parallel body: evaluation fans out per
+// running job against frozen state (the scheduler's reservation, each
+// job's own record and handle, and a lock-free capacity.View for the
+// consolidation probes), then mutations run on the sequential commit walk
+// in submission order. Per-job verdicts are mutation-independent — no
+// commit changes another job's state, handle, or plan — except the
+// consolidation target's ledger reads, which the commit walk recomputes
+// live exactly when the snapshot went stale (View.Current). Traces,
+// prices, and grow/shrink decisions are byte-identical to the sequential
+// walk's.
+func (s *Scheduler) elasticPar() {
+	run := s.runScratch
+	now := s.K.Now()
+	lv := s.B.Ledger().View()
+	for len(s.elasticEvals) < len(run) {
+		s.elasticEvals = append(s.elasticEvals, elasticEval{})
+	}
+	evals := s.elasticEvals[:len(run)]
+	s.pool.run(len(run), func(_, k int) {
+		j := run[k]
+		e := &evals[k]
+		*e = elasticEval{}
+		if j.State != Running || j.handle == nil {
+			e.skip = true
+			return
+		}
+		if s.cfg.EnablePreemption && s.resv != nil && s.preemptible(j) &&
+			float64(now-j.Started) > s.cfg.PreemptOverrunFactor*float64(j.estDuration) &&
+			s.feedsReservation(j) {
+			// The sequential walk evicts before reading Progress; mirror
+			// that by not reading it here either.
+			e.force = true
+			return
+		}
+		if s.cfg.EnableConsolidation && j.Plan.Spanning() && !j.relocating {
+			if _, ok := j.handle.(Relocator); ok {
+				e.cons = true
+				e.consTo = s.consolidationTargetOn(j, lv)
+			}
+		}
+		e.md, e.mt, e.rd, e.rt = j.handle.Progress()
+	})
+	for k, j := range run {
+		e := &evals[k]
+		if e.skip {
+			continue
+		}
+		if e.force {
+			var price float64
+			if s.tr != nil { // Shares/EntitledShares allocate; price only feeds the trace
+				price = s.evictPrice(j, now, s.Shares(), s.EntitledShares())
+			}
+			s.m.forcedPreemptions.Inc()
+			s.shields = append(s.shields, s.evict(j, s.resv.at, price, "forced_preempt")...)
+			s.kick()
+			continue
+		}
+		if e.cons {
+			to := e.consTo
+			if !lv.Current() {
+				// An earlier commit moved capacity: the frozen answer may be
+				// stale, so ask the live ledger — the sequential behaviour.
+				to = s.consolidationTarget(j)
+			}
+			if to != "" {
+				s.startConsolidation(j, j.handle.(Relocator), to)
+			}
+		}
+		md, mt, rd, rt := e.md, e.mt, e.rd, e.rt
+		if j.Spec.Deadline > 0 {
+			eta := s.predictETA(j, md, mt, rd, rt)
+			if eta > j.Spec.Deadline-s.cfg.DeadlineMargin &&
+				(j.Spec.MaxExtraWorkers == 0 || j.deadlineGrown < j.Spec.MaxExtraWorkers) {
+				j.deadlineGrown++
+				s.m.growRequests.Inc()
+				s.growOne(j, &j.deadlineGrown)
+			}
+		}
+		if j.deadlineGrown > 0 && !j.shrunk && mt > 0 && md >= mt && rt > 0 {
+			j.shrunk = true
+			if n := j.handle.Shrink(j.deadlineGrown); n > 0 {
+				s.m.shrinkRequests.Inc()
+				s.resize(j, -n*j.coresPerWorker())
+				s.kick()
+			}
+		}
+	}
 }
 
 // choosePar is BestScore's pool-parallel single-cloud scan: contiguous

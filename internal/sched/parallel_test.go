@@ -2,6 +2,7 @@ package sched
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -37,10 +38,11 @@ func parallelWorkload(t *testing.T, workers int, storm bool) ([]byte, map[string
 	var buf bytes.Buffer
 	tr.SetSink(&buf)
 	s := New(b, Config{
-		EnablePreemption: true,
-		UsageHalfLife:    600 * sim.Second,
-		Trace:            tr,
-		ScoreWorkers:     workers,
+		EnablePreemption:    true,
+		EnableConsolidation: true,
+		UsageHalfLife:       600 * sim.Second,
+		Trace:               tr,
+		ScoreWorkers:        workers,
 	})
 	defer s.Close()
 	s.Start()
@@ -77,12 +79,24 @@ func parallelWorkload(t *testing.T, workers int, storm bool) ([]byte, map[string
 		name := fmt.Sprintf("t%03d", ti)
 		s.AddTenant(name, 1+float64(ti%3))
 		w := 2
-		if ti%9 == 5 {
+		var deadline sim.Time
+		maxExtra := 0
+		switch ti % 9 {
+		case 5:
 			w = 24 // wider than any cloud: spanning plans, blocks, reservations
+		case 2:
+			w = 6 // spans under fragmentation yet fits one cloud: consolidation bait
+		case 7:
+			// An unreachable deadline: the elastic pass grows the gang to the
+			// cap, then shrinks it when the map phase drains.
+			deadline = sim.Time(100+ti) * sim.Second
+			maxExtra = 2
 		}
 		submitN(t, s, name, 2, JobSpec{
 			Workers: w, CoresPerWorker: 2,
 			EstimateSeconds: float64(40 + ti%60),
+			Deadline:        deadline,
+			MaxExtraWorkers: maxExtra,
 		})
 	}
 	k.RunUntil(60000 * sim.Second)
@@ -95,6 +109,37 @@ func parallelWorkload(t *testing.T, workers int, storm bool) ([]byte, map[string
 	return buf.Bytes(), s.Shares()
 }
 
+// tracePricesAndStarts pulls the decisions the parallel phases could most
+// plausibly perturb out of a decision trace: every eviction price (preempt
+// and forced_preempt events — the parallel pricer's floats) and every
+// reserved start instant (reserve events — the parallel backfill probe's
+// instants), in emission order.
+func tracePricesAndStarts(t *testing.T, trace []byte) ([]float64, []int64) {
+	t.Helper()
+	var prices []float64
+	var starts []int64
+	for _, line := range bytes.Split(trace, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev struct {
+			Kind  string  `json:"kind"`
+			Price float64 `json:"price"`
+			Start int64   `json:"start"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+		switch ev.Kind {
+		case "preempt", "forced_preempt":
+			prices = append(prices, ev.Price)
+		case "reserve":
+			starts = append(starts, ev.Start)
+		}
+	}
+	return prices, starts
+}
+
 // TestParallelDeterminism is the oracle the whole parallel core answers to:
 // the same seeded workload at ScoreWorkers 1 (sequential), 2, and 8 emits
 // byte-identical decision traces and bit-identical delivered shares. Run
@@ -104,8 +149,34 @@ func TestParallelDeterminism(t *testing.T) {
 	if !bytes.Contains(seqTrace, []byte(`"kind":"dispatch"`)) {
 		t.Fatal("trace has no dispatch events; workload exercised nothing")
 	}
+	// The phases parallelized over the ledger-view read path must all have
+	// fired, or the oracle below proves nothing about them.
+	seqPrices, seqStarts := tracePricesAndStarts(t, seqTrace)
+	if len(seqPrices) == 0 || len(seqStarts) == 0 {
+		t.Fatalf("workload produced %d eviction prices and %d reservations; both must be exercised",
+			len(seqPrices), len(seqStarts))
+	}
 	for _, workers := range []int{2, 8} {
 		trace, shares := parallelWorkload(t, workers, false)
+		// Bit-identical eviction prices and reserved backfill starts: the
+		// parallel pricer and the parallel backfill probe move work across
+		// workers, never answers. (Implied by the byte compare below, but
+		// asserted separately so a divergence names the decision that moved.)
+		prices, starts := tracePricesAndStarts(t, trace)
+		for i, want := range seqPrices {
+			if i >= len(prices) || prices[i] != want {
+				t.Fatalf("ScoreWorkers=%d: eviction price #%d diverges from sequential", workers, i)
+			}
+		}
+		for i, want := range seqStarts {
+			if i >= len(starts) || starts[i] != want {
+				t.Fatalf("ScoreWorkers=%d: reservation start #%d diverges from sequential", workers, i)
+			}
+		}
+		if len(prices) != len(seqPrices) || len(starts) != len(seqStarts) {
+			t.Fatalf("ScoreWorkers=%d: %d prices/%d starts vs sequential %d/%d",
+				workers, len(prices), len(starts), len(seqPrices), len(seqStarts))
+		}
 		if !bytes.Equal(seqTrace, trace) {
 			i := 0
 			for i < len(trace) && i < len(seqTrace) && trace[i] == seqTrace[i] {
@@ -155,6 +226,100 @@ func TestParallelDeterminismUnderOutageStorm(t *testing.T) {
 			if got := shares[name]; got != want {
 				t.Fatalf("ScoreWorkers=%d: share[%s] = %v, sequential %v", workers, name, got, want)
 			}
+		}
+	}
+}
+
+// evictionStormWorkload drives the eviction machinery across the parallel
+// prefix-fit gate: two holders pin 208 of 320 cores, a 160-core head blocks
+// behind them and reserves, and a swarm of short jobs backfills the slack.
+// The second holder and every backfilled small overrun their estimates, so
+// the head's reserved start slips recompute after recompute until the
+// reservation ages out and chooseVictims prices — and what-if prefix-fits —
+// a candidate list far wider than parallelEvictMin. Returns the decision
+// trace and the eviction count.
+func evictionStormWorkload(tb testing.TB, workers int) ([]byte, int) {
+	k := sim.NewKernel(13)
+	b := NewSimBackend(k)
+	for c := 0; c < 20; c++ {
+		b.AddCloud(fmt.Sprintf("c%02d", c), 16, 1, 0.10)
+	}
+	b.Overrun = func(j *Job) float64 {
+		switch j.Spec.Name {
+		case "lateholder", "small":
+			return 4 // overdue releases: the reserved start slips every recompute
+		}
+		return 1
+	}
+	tr := obs.NewTracer(1 << 16)
+	var buf bytes.Buffer
+	tr.SetSink(&buf)
+	s := New(b, Config{EnablePreemption: true, Trace: tr, ScoreWorkers: workers})
+	defer s.Close()
+	s.Start()
+	sub := func(tenant string, spec JobSpec) {
+		spec.Tenant = tenant
+		if _, err := s.Submit(spec); err != nil {
+			tb.Fatalf("submit %s: %v", tenant, err)
+		}
+	}
+	// Staged arrival, or the head would grab the idle federation at t=0: the
+	// holders dispatch first (208 of 320 cores), the head arrives at t=1 and
+	// blocks behind them with a reservation at the honest holder's ~600 s
+	// release, and the smalls arrive at t=2 to backfill the remaining slack
+	// under that far-future reservation.
+	s.AddTenant("hold", 1)
+	sub("hold", JobSpec{Name: "holder", Workers: 72, CoresPerWorker: 2, EstimateSeconds: 600})
+	sub("hold", JobSpec{Name: "lateholder", Workers: 32, CoresPerWorker: 2, EstimateSeconds: 600})
+	k.RunUntil(1 * sim.Second)
+	s.AddTenant("head", 1)
+	// 220 cores — more than the two holders' 208 — so the reserved plan must
+	// also claim slack on the smalls' clouds: overrunning smalls feed the
+	// reservation and the forced-preempt pass reclaims them at elastic ticks.
+	sub("head", JobSpec{Name: "head", Workers: 110, CoresPerWorker: 2, EstimateSeconds: 300})
+	k.RunUntil(2 * sim.Second)
+	total := 3
+	for ti := 0; ti < 40; ti++ {
+		name := fmt.Sprintf("s%02d", ti)
+		s.AddTenant(name, 1)
+		for n := 0; n < 4; n++ {
+			sub(name, JobSpec{Name: "small", Workers: 2, CoresPerWorker: 2,
+				EstimateSeconds: float64(30 + ti%20)})
+			total++
+		}
+	}
+	k.RunUntil(40000 * sim.Second)
+	if got := s.Completed(); got != total {
+		tb.Fatalf("ScoreWorkers=%d: completed %d of %d jobs", workers, got, total)
+	}
+	return buf.Bytes(), s.Preemptions()
+}
+
+// TestParallelEvictionStormDeterminism pins the parallel eviction pricer and
+// the parallel what-if prefix fit at a candidate scale the main oracle's
+// workload does not reach: evictions actually fire, and the decision trace —
+// victim sets, prices, and the head's post-eviction dispatch included — is
+// byte-identical at ScoreWorkers 1, 2, and 8.
+func TestParallelEvictionStormDeterminism(t *testing.T) {
+	seqTrace, seqEvictions := evictionStormWorkload(t, 1)
+	if seqEvictions == 0 || !bytes.Contains(seqTrace, []byte(`"kind":"preempt"`)) {
+		t.Fatal("storm produced no evictions; the prefix-fit path was not exercised")
+	}
+	if !bytes.Contains(seqTrace, []byte(`"kind":"forced_preempt"`)) {
+		t.Fatal("storm produced no forced preemptions; the parallel elastic force path was not exercised")
+	}
+	for _, workers := range []int{2, 8} {
+		trace, evictions := evictionStormWorkload(t, workers)
+		if evictions != seqEvictions {
+			t.Fatalf("ScoreWorkers=%d: %d evictions vs %d sequential", workers, evictions, seqEvictions)
+		}
+		if !bytes.Equal(seqTrace, trace) {
+			i := 0
+			for i < len(trace) && i < len(seqTrace) && trace[i] == seqTrace[i] {
+				i++
+			}
+			t.Fatalf("ScoreWorkers=%d storm trace diverges from sequential at byte %d (lengths %d vs %d)",
+				workers, i, len(trace), len(seqTrace))
 		}
 	}
 }

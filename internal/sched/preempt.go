@@ -122,6 +122,23 @@ func (s *Scheduler) chooseVictims(head *Job, v *CloudView) ([]*Job, map[*Job]flo
 	})
 	av := &s.evictView
 	av.shareIndex(v)
+	// Pool-parallel prefix fit: the what-if availability after each prefix of
+	// the price-sorted candidate list is accumulated sequentially (identical
+	// adds, identical order), then the per-prefix placement probes fan out
+	// over the workers. The winner is the FIRST prefix index with a plan —
+	// the same index the sequential walk below stops at — and the probe plans
+	// are discarded (preemptFor re-chooses after eviction), so only that
+	// index matters. Gated like every speculative path on a pure
+	// scratch-scoring policy; RandomPlacement keeps the sequential loop and
+	// its RNG draw order.
+	if s.pool != nil && len(cand) >= parallelEvictMin && s.memoable {
+		if sc, ok := s.cfg.Placement.(scratchChooser); ok {
+			if k := s.victimPrefixPar(head, cand, av, sc); k >= 0 {
+				return cand[:k+1], prices
+			}
+			return nil, nil
+		}
+	}
 	for n, victim := range cand {
 		// Only the victim's base plan is credited to the what-if view: the
 		// scheduler does not know which clouds host its elastic extras, and

@@ -763,6 +763,11 @@ type Scheduler struct {
 	parResvViews []CloudView
 	parResvPlans []Plan
 	evictPrices  []float64
+	// Parallel backfill-scan and elastic-pass scratch (speculateBackfill /
+	// elasticPar): candidate list and per-job eval records, reused across
+	// cycles like the buffers above.
+	bfCands      []*Job
+	elasticEvals []elasticEval
 
 	// extMu serializes external drivers (Sync): goroutines outside the
 	// kernel thread submit and poll through it under -race stress.
@@ -819,7 +824,7 @@ func New(b Backend, cfg Config) *Scheduler {
 		archive:   make(map[string]*Job),
 		freedBy:   make(map[string]int64),
 		patternOf: make(map[string]string),
-		m:         newSchedMetrics(cfg.Obs),
+		m:         newSchedMetrics(cfg.Obs, resolveScoreWorkers(cfg.ScoreWorkers)),
 		tr:        cfg.Trace,
 	}
 	s.cycleFn = s.cycle
@@ -1093,6 +1098,7 @@ func (s *Scheduler) cycle() {
 			continue
 		}
 		var plan Plan
+		specOK := false // plan consumed from speculation, no inline rescore
 		if s.canFit(j) {
 			if j.unfit && s.tr != nil {
 				// The watermark opened: enough cores freed since the block
@@ -1114,6 +1120,8 @@ func (s *Scheduler) cycle() {
 						s.m.parallelConflicts.Inc()
 						s.invalidateMemos()
 						plan = s.choosePlan(j, v)
+					} else {
+						specOK = true
 					}
 				} else {
 					plan = s.choosePlan(j, v)
@@ -1131,9 +1139,22 @@ func (s *Scheduler) cycle() {
 			}
 		}
 		if !plan.Empty() {
-			if s.resv != nil && !s.backfillOK(j, plan, s.resv, v) {
-				t.scan++
-				continue
+			if s.resv != nil {
+				// Backfill gate: the parallel scan's speculated verdict is
+				// reusable only when the plan itself was consumed un-rescored
+				// (specOK) and the verdict's world — free vector and the exact
+				// reservation — is unchanged; otherwise judge live.
+				bfOK, have := false, false
+				if specOK {
+					bfOK, have = s.specBackfill(j)
+				}
+				if !have {
+					bfOK = s.backfillOK(j, plan, s.resv, v)
+				}
+				if !bfOK {
+					t.scan++
+					continue
+				}
 			}
 			s.dispatch(t, j, plan, s.resv != nil, v)
 			cpw := j.coresPerWorker()
@@ -1141,6 +1162,10 @@ func (s *Scheduler) cycle() {
 				v.take(m.Cloud, m.Workers*cpw)
 			}
 			s.bumpView() // the working free vector moved
+			// A backfill landed: every outstanding speculation is stale (the
+			// free vector moved), so refill the pipeline for the candidates
+			// still queued behind this one.
+			s.speculateBackfill(v)
 			continue
 		}
 		if s.resv == nil {
@@ -1201,6 +1226,9 @@ func (s *Scheduler) cycle() {
 			if s.cfg.DisableBackfill {
 				break
 			}
+			// Reservation in place: fan the backfill candidate walk out over
+			// the pool before the sequential consumer reaches them.
+			s.speculateBackfill(v)
 		}
 		t.scan++
 	}

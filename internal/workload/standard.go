@@ -8,13 +8,22 @@ import "repro/internal/sim"
 // on the two batch tenants, and revocation storms sweeping the spot-heavy
 // tenant's clouds. Midline load is ~60% of the 256-core federation and the
 // diurnal peaks push past 85%, so queues build, backfill and reservations
-// engage, and the heavy tail decides who waits. maxJobs caps the trace
-// (the horizon is a week, so the cap binds first for every CI-scale run).
+// engage, and the heavy tail decides who waits. maxJobs caps the trace;
+// the horizon starts at one week (~350k arrivals) and extends in whole
+// weeks until the cap can bind, so million-job traces are just more weeks
+// of the same mix. Generation stops exactly at maxJobs either way.
 func StandardConfig(seed int64, maxJobs int) Config {
+	// Conservative floor on what one week of the mix yields; keeps the
+	// horizon at exactly one week for every trace up to CI's 100k smoke.
+	const weeklyYield = 350_000
+	weeks := sim.Time(1)
+	if maxJobs > weeklyYield {
+		weeks = sim.Time((maxJobs + weeklyYield - 1) / weeklyYield)
+	}
 	return Config{
 		Seed:        seed,
 		Description: "standard scale-harness mix: 4 tenants, diurnal + bursts + storms",
-		Horizon:     7 * 24 * sim.Hour,
+		Horizon:     weeks * 7 * 24 * sim.Hour,
 		MaxJobs:     maxJobs,
 		Tenants: []TenantProfile{
 			{
